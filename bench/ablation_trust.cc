@@ -1,0 +1,49 @@
+// Ablation over trust topologies: the paper runs its experiments with
+// uniform equal trust, which forces every conflict through manual
+// resolution (§6: "conflicts that must be manually rather than
+// automatically resolved"). This harness quantifies the flip side the
+// model promises in §3.1: authority rankings let the system resolve
+// conflicts automatically, shrinking the deferred backlog and the state
+// ratio without any user intervention.
+#include <cstdio>
+
+#include "sim/experiment.h"
+
+int main() {
+  using namespace orchestra::sim;
+  constexpr size_t kTrials = 5;
+  std::printf("Ablation: trust topology vs. automatic conflict "
+              "resolution\n");
+  std::printf("(10 peers, txn size 1, RI 4, %zu trials)\n\n", kTrials);
+  TablePrinter table({"Topology", "State ratio", "Deferred", "Rejected",
+                      "Accepted"});
+  struct Row {
+    const char* name;
+    TrustTopology topology;
+  };
+  for (const Row& row :
+       {Row{"uniform (paper)", TrustTopology::kUniform},
+        Row{"tiered", TrustTopology::kTiered},
+        Row{"star (curated hub)", TrustTopology::kStar}}) {
+    CdssConfig config;
+    config.participants = 10;
+    config.store = StoreKind::kCentral;
+    config.transaction_size = 1;
+    config.txns_between_recons = 4;
+    config.rounds = 8;
+    config.topology = row.topology;
+    auto agg = RunTrials(config, kTrials);
+    if (!agg.ok()) {
+      std::fprintf(stderr, "trial failed: %s\n",
+                   agg.status().ToString().c_str());
+      return 1;
+    }
+    table.Row({row.name, agg->state_ratio.ToString(), Fmt(agg->deferred, 1),
+               Fmt(agg->rejected, 1), Fmt(agg->accepted, 1)});
+  }
+  std::printf(
+      "\nShape check: authority rankings convert deferrals into automatic "
+      "rejections (priorities decide), lowering the deferred backlog "
+      "relative to the uniform topology.\n");
+  return 0;
+}

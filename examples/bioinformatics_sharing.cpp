@@ -1,0 +1,156 @@
+// A curated-data confederation with tiered authority, modeled on the
+// paper's motivating bioinformatics scenario (§1): a human-curated
+// SWISS-PROT-like warehouse is more authoritative than automatically
+// annotated GenBank-like feeds, so conflicts between them resolve
+// automatically in the curator's favor; conflicts between equally
+// trusted feeds defer for manual resolution.
+//
+// Participants:
+//   0  "swissprot"  human-curated warehouse   (trusted at priority 3)
+//   1  "genbank"    automated annotation feed (priority 1)
+//   2  "tremble"    automated annotation feed (priority 1)
+//   3..5 lab peers that import from everyone
+#include <cstdio>
+
+#include "core/participant.h"
+#include "net/sim_network.h"
+#include "sim/metrics.h"
+#include "storage/engine.h"
+#include "store/central_store.h"
+#include "workload/swissprot.h"
+
+using namespace orchestra;
+
+namespace {
+
+db::Tuple Fn(const char* organism, const char* protein,
+             const char* function) {
+  return db::Tuple{db::Value(organism), db::Value(protein),
+                   db::Value(function)};
+}
+
+core::Update InsertFn(const char* organism, const char* protein,
+                      const char* function, core::ParticipantId origin) {
+  return core::Update::Insert(workload::kFunctionRelation,
+                              Fn(organism, protein, function), origin);
+}
+
+}  // namespace
+
+int main() {
+  auto catalog_result = workload::MakeSwissProtCatalog();
+  ORCH_CHECK(catalog_result.ok());
+  db::Catalog catalog = *std::move(catalog_result);
+
+  net::SimNetwork network;
+  auto engine = storage::StorageEngine::InMemory();
+  store::CentralStore store(engine.get(), &network);
+
+  const char* names[6] = {"swissprot", "genbank", "tremble",
+                          "lab-upenn", "lab-eth", "lab-ut"};
+  std::vector<std::unique_ptr<core::TrustPolicy>> policies;
+  std::vector<std::unique_ptr<core::Participant>> peers;
+  for (core::ParticipantId id = 0; id < 6; ++id) {
+    auto policy = std::make_unique<core::TrustPolicy>(id);
+    // Everyone trusts the human-curated warehouse most, the automated
+    // feeds at a lower priority, and the labs in between.
+    if (id != 0) policy->TrustPeer(0, 3);
+    for (core::ParticipantId feed : {1u, 2u}) {
+      if (id != feed) policy->TrustPeer(feed, 1);
+    }
+    for (core::ParticipantId lab : {3u, 4u, 5u}) {
+      if (id != lab) policy->TrustPeer(lab, 2);
+    }
+    ORCH_CHECK(store.RegisterParticipant(id, policy.get()).ok());
+    policies.push_back(std::move(policy));
+    peers.push_back(
+        std::make_unique<core::Participant>(id, &catalog, *policies.back()));
+  }
+
+  std::printf("=== The two automated feeds disagree about P12345 ===\n");
+  ORCH_CHECK(peers[1]
+                 ->ExecuteTransaction(
+                     {InsertFn("Rattus norvegicus", "P12345", "glycolysis", 1)})
+                 .ok());
+  ORCH_CHECK(peers[1]->PublishAndReconcile(&store).ok());
+  ORCH_CHECK(peers[2]
+                 ->ExecuteTransaction({InsertFn("Rattus norvegicus", "P12345",
+                                                "gluconeogenesis", 2)})
+                 .ok());
+  ORCH_CHECK(peers[2]->PublishAndReconcile(&store).ok());
+
+  // A lab reconciles: the two priority-1 feeds conflict, so the update
+  // defers until a human decides.
+  auto lab_report = peers[3]->Reconcile(&store);
+  ORCH_CHECK(lab_report.ok());
+  std::printf("lab-upenn: %zu deferred (equal-authority disagreement)\n",
+              lab_report->deferred.size());
+  for (const auto& group : peers[3]->pending_conflicts()) {
+    std::printf("  open conflict: %s\n", group.ToString().c_str());
+  }
+
+  std::printf("\n=== The curated warehouse weighs in ===\n");
+  ORCH_CHECK(peers[0]
+                 ->ExecuteTransaction({InsertFn("Rattus norvegicus", "P12345",
+                                                "glycolysis", 0)})
+                 .ok());
+  ORCH_CHECK(peers[0]->PublishAndReconcile(&store).ok());
+
+  // Another lab reconciles only now: it sees all three versions at once.
+  // The curator's priority-3 version wins automatically; the agreeing
+  // feed rides along and the disagreeing feed is rejected.
+  auto late_report = peers[4]->Reconcile(&store);
+  ORCH_CHECK(late_report.ok());
+  std::printf("lab-eth (reconciling late): %zu accepted, %zu rejected, "
+              "%zu deferred\n",
+              late_report->accepted.size(), late_report->rejected.size(),
+              late_report->deferred.size());
+  auto table = peers[4]->instance().GetTable(workload::kFunctionRelation);
+  ORCH_CHECK(table.ok());
+  for (const db::Tuple& t : (*table)->ScanSorted()) {
+    std::printf("  lab-eth holds %s\n", t.ToString().c_str());
+  }
+
+  std::printf("\n=== The first lab resolves with the curator's version ===\n");
+  // lab-upenn still has the deferred feed conflict; the curator's new
+  // transaction touches the same (dirty) key, so it defers too — the
+  // user resolves once and everything settles.
+  auto refreshed = peers[3]->Reconcile(&store);
+  ORCH_CHECK(refreshed.ok());
+  size_t option = 0;
+  const auto& groups = peers[3]->pending_conflicts();
+  if (!groups.empty()) {
+    for (size_t i = 0; i < groups[0].options.size(); ++i) {
+      if (groups[0].options[i].effect.find("'glycolysis'") !=
+          std::string::npos) {
+        option = i;
+      }
+    }
+    auto resolved = peers[3]->ResolveConflict(&store, 0, option);
+    ORCH_CHECK(resolved.ok());
+    std::printf("lab-upenn resolved: %zu accepted, %zu rejected\n",
+                resolved->accepted.size(), resolved->rejected.size());
+  }
+  table = peers[3]->instance().GetTable(workload::kFunctionRelation);
+  ORCH_CHECK(table.ok());
+  for (const db::Tuple& t : (*table)->ScanSorted()) {
+    std::printf("  lab-upenn holds %s\n", t.ToString().c_str());
+  }
+
+  // Let everyone catch up and report the sharing quality.
+  for (auto& peer : peers) {
+    ORCH_CHECK(peer->Reconcile(&store).ok());
+  }
+  std::vector<const core::Participant*> view;
+  for (auto& peer : peers) view.push_back(peer.get());
+  std::printf("\nFinal state ratio over %s: %.2f "
+              "(1.0 = perfect agreement, 6.0 = total divergence)\n",
+              workload::kFunctionRelation,
+              sim::StateRatio(view, workload::kFunctionRelation));
+  for (size_t i = 0; i < peers.size(); ++i) {
+    auto t = peers[i]->instance().GetTable(workload::kFunctionRelation);
+    std::printf("  %-10s: %zu tuples, %zu deferred\n", names[i],
+                (*t)->size(), peers[i]->deferred_count());
+  }
+  return 0;
+}

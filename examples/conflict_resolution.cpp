@@ -1,0 +1,152 @@
+// Deferral and conflict-resolution walkthrough (§4, §5): shows how
+// equal-priority disagreements form conflict groups with options, how
+// dirty values quarantine further updates to contested keys, and how a
+// user's resolution re-runs reconciliation and settles the deferred
+// backlog — including dependent revision chains.
+#include <cstdio>
+
+#include "core/participant.h"
+#include "db/schema.h"
+#include "net/sim_network.h"
+#include "storage/engine.h"
+#include "store/central_store.h"
+
+using namespace orchestra;
+
+namespace {
+
+db::Catalog MakeCatalog() {
+  db::Catalog catalog;
+  auto schema = db::RelationSchema::Make(
+      "F",
+      {{"organism", db::ValueType::kString, false},
+       {"protein", db::ValueType::kString, false},
+       {"function", db::ValueType::kString, false}},
+      {0, 1});
+  ORCH_CHECK(schema.ok());
+  ORCH_CHECK(catalog.AddRelation(*std::move(schema)).ok());
+  return catalog;
+}
+
+db::Tuple Row(const char* o, const char* p, const char* f) {
+  return db::Tuple{db::Value(o), db::Value(p), db::Value(f)};
+}
+
+void ShowConflicts(const core::Participant& p) {
+  if (p.pending_conflicts().empty()) {
+    std::printf("  no open conflicts\n");
+    return;
+  }
+  for (size_t g = 0; g < p.pending_conflicts().size(); ++g) {
+    const core::ConflictGroup& group = p.pending_conflicts()[g];
+    std::printf("  group %zu: %s\n", g, group.point.ToString().c_str());
+    for (size_t o = 0; o < group.options.size(); ++o) {
+      std::printf("    option %zu: %s  (", o, group.options[o].effect.c_str());
+      for (size_t t = 0; t < group.options[o].txns.size(); ++t) {
+        std::printf("%s%s", t ? ", " : "",
+                    group.options[o].txns[t].ToString().c_str());
+      }
+      std::printf(")\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  db::Catalog catalog = MakeCatalog();
+  net::SimNetwork network;
+  auto engine = storage::StorageEngine::InMemory();
+  store::CentralStore store(engine.get(), &network);
+
+  // Four peers, all trusting one another equally (priority 1) — the
+  // configuration in which no conflict can resolve automatically.
+  std::vector<std::unique_ptr<core::TrustPolicy>> policies;
+  std::vector<std::unique_ptr<core::Participant>> peers;
+  for (core::ParticipantId id = 0; id < 4; ++id) {
+    auto policy = std::make_unique<core::TrustPolicy>(id);
+    for (core::ParticipantId other = 0; other < 4; ++other) {
+      if (other != id) policy->TrustPeer(other, 1);
+    }
+    ORCH_CHECK(store.RegisterParticipant(id, policy.get()).ok());
+    policies.push_back(std::move(policy));
+    peers.push_back(
+        std::make_unique<core::Participant>(id, &catalog, *policies.back()));
+  }
+
+  std::printf("=== Three peers publish three versions of (rat, prot1) ===\n");
+  ORCH_CHECK(peers[0]
+                 ->ExecuteTransaction({core::Update::Insert(
+                     "F", Row("rat", "prot1", "cell-metabolism"), 0)})
+                 .ok());
+  ORCH_CHECK(peers[0]->PublishAndReconcile(&store).ok());
+  ORCH_CHECK(peers[1]
+                 ->ExecuteTransaction({core::Update::Insert(
+                     "F", Row("rat", "prot1", "immune-response"), 1)})
+                 .ok());
+  // Peer 1 then revises its own conclusion — a dependent chain.
+  ORCH_CHECK(peers[1]
+                 ->ExecuteTransaction({core::Update::Modify(
+                     "F", Row("rat", "prot1", "immune-response"),
+                     Row("rat", "prot1", "signal-transduction"), 1)})
+                 .ok());
+  ORCH_CHECK(peers[1]->PublishAndReconcile(&store).ok());
+  ORCH_CHECK(peers[2]
+                 ->ExecuteTransaction({core::Update::Insert(
+                     "F", Row("rat", "prot1", "cell-metabolism"), 2)})
+                 .ok());
+  ORCH_CHECK(peers[2]->PublishAndReconcile(&store).ok());
+
+  std::printf("\n=== Peer 3 reconciles and must defer everything ===\n");
+  auto report = peers[3]->Reconcile(&store);
+  ORCH_CHECK(report.ok());
+  std::printf("peer 3: %zu fetched, %zu deferred\n", report->fetched,
+              report->deferred.size());
+  ShowConflicts(*peers[3]);
+  std::printf("  note: peers 0 and 2 agree, so their transactions share "
+              "one option; peer 1's revision chain rides as one option "
+              "with its antecedent.\n");
+
+  std::printf("\n=== A later update touching the contested key defers "
+              "regardless of content ===\n");
+  ORCH_CHECK(peers[0]
+                 ->ExecuteTransaction({core::Update::Modify(
+                     "F", Row("rat", "prot1", "cell-metabolism"),
+                     Row("rat", "prot1", "cell-metabolism-revised"), 0)})
+                 .ok());
+  ORCH_CHECK(peers[0]->PublishAndReconcile(&store).ok());
+  report = peers[3]->Reconcile(&store);
+  ORCH_CHECK(report.ok());
+  std::printf("peer 3: %zu fresh deferred on the dirty key (total "
+              "deferred now %zu)\n",
+              report->fetched, peers[3]->deferred_count());
+
+  std::printf("\n=== The user resolves for 'signal-transduction' ===\n");
+  const auto& groups = peers[3]->pending_conflicts();
+  size_t chosen = 0;
+  for (size_t i = 0; i < groups[0].options.size(); ++i) {
+    if (groups[0].options[i].effect.find("signal-transduction") !=
+        std::string::npos) {
+      chosen = i;
+    }
+  }
+  auto resolved = peers[3]->ResolveConflict(&store, 0, chosen);
+  ORCH_CHECK(resolved.ok());
+  std::printf("after resolution: %zu accepted in the re-run, %zu rejected "
+              "in total (the losing options), %zu still deferred\n",
+              resolved->accepted.size(), peers[3]->rejected_count(),
+              resolved->deferred.size());
+  std::printf("peer 3 instance:\n%s", peers[3]->instance().ToString().c_str());
+  ShowConflicts(*peers[3]);
+
+  std::printf("\n=== Rejected-option publishers keep their own versions "
+              "(tolerated disagreement) ===\n");
+  for (core::ParticipantId id = 0; id < 3; ++id) {
+    auto t = peers[id]->instance().GetTable("F");
+    std::printf("peer %u holds:\n", id);
+    for (const db::Tuple& row : (*t)->ScanSorted()) {
+      std::printf("  %s\n", row.ToString().c_str());
+    }
+  }
+  return 0;
+}

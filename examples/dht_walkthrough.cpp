@@ -1,0 +1,134 @@
+// Distributed update store walkthrough (§5.2.2, Figures 6-7): builds a
+// DHT-backed confederation, shows the ring layout and node roles, and
+// traces the message costs of publishing an epoch and reconciling —
+// including the antecedent-chain requests that dominate distributed
+// reconciliation time.
+#include <cstdio>
+
+#include "core/participant.h"
+#include "net/sim_network.h"
+#include "store/dht_store.h"
+#include "workload/swissprot.h"
+
+using namespace orchestra;
+
+namespace {
+
+void ShowDelta(const char* label, const core::StoreStats& before,
+               const core::StoreStats& after) {
+  const core::StoreStats d = after - before;
+  std::printf("%-34s %5lld msgs  %7lld bytes  %8.3f ms simulated\n", label,
+              static_cast<long long>(d.messages),
+              static_cast<long long>(d.bytes),
+              static_cast<double>(d.sim_network_micros) / 1e3);
+}
+
+}  // namespace
+
+int main() {
+  auto catalog_result = workload::MakeSwissProtCatalog();
+  ORCH_CHECK(catalog_result.ok());
+  db::Catalog catalog = *std::move(catalog_result);
+
+  net::SimNetwork network;  // 500 us per message, as in the paper
+  constexpr size_t kPeers = 8;
+  store::DhtStore store(kPeers, &network);
+
+  std::printf("=== Ring layout (%zu nodes, Chord-style) ===\n", kPeers);
+  for (size_t i = 0; i < store.ring().size(); ++i) {
+    std::printf("  node %zu owns arc ending at id %016llx\n", i,
+                static_cast<unsigned long long>(store.ring().IdOf(i)));
+  }
+  std::printf("  epoch allocator: node %zu (owner of 'epoch-allocator')\n",
+              store.ring().OwnerOf(net::KeyHash("epoch-allocator")));
+  std::printf("  epoch 1 controller: node %zu\n",
+              store.ring().OwnerOf(net::KeyHash("epoch:1")));
+  std::printf("  peer 0 coordinator: node %zu\n",
+              store.ring().OwnerOf(net::KeyHash("peer:0")));
+
+  std::vector<std::unique_ptr<core::TrustPolicy>> policies;
+  std::vector<std::unique_ptr<core::Participant>> peers;
+  for (core::ParticipantId id = 0; id < kPeers; ++id) {
+    auto policy = std::make_unique<core::TrustPolicy>(id);
+    for (core::ParticipantId other = 0; other < kPeers; ++other) {
+      if (other != id) policy->TrustPeer(other, 1);
+    }
+    ORCH_CHECK(store.RegisterParticipant(id, policy.get()).ok());
+    policies.push_back(std::move(policy));
+    peers.push_back(
+        std::make_unique<core::Participant>(id, &catalog, *policies.back()));
+  }
+
+  std::printf("\n=== Figure 6: publishing an epoch ===\n");
+  // Peer 0 creates a revision chain of three transactions.
+  ORCH_CHECK(peers[0]
+                 ->ExecuteTransaction({core::Update::Insert(
+                     workload::kFunctionRelation,
+                     db::Tuple{db::Value("Danio rerio"), db::Value("P77777"),
+                               db::Value("dna-repair")},
+                     0)})
+                 .ok());
+  ORCH_CHECK(peers[0]
+                 ->ExecuteTransaction({core::Update::Modify(
+                     workload::kFunctionRelation,
+                     db::Tuple{db::Value("Danio rerio"), db::Value("P77777"),
+                               db::Value("dna-repair")},
+                     db::Tuple{db::Value("Danio rerio"), db::Value("P77777"),
+                               db::Value("dna-replication")},
+                     0)})
+                 .ok());
+  core::StoreStats before = store.StatsFor(0);
+  ORCH_CHECK(peers[0]->Publish(&store).ok());
+  ShowDelta("publish (2 txns, Fig. 6 steps 1-6)", before, store.StatsFor(0));
+
+  std::printf("\n=== Figure 7: reconciliation with antecedent chains ===\n");
+  before = store.StatsFor(1);
+  auto report = peers[1]->Reconcile(&store);
+  ORCH_CHECK(report.ok());
+  ShowDelta("peer 1 reconcile (fresh chain)", before, store.StatsFor(1));
+  std::printf("  fetched %zu trusted txns, accepted %zu (the revision "
+              "pulled its antecedent)\n",
+              report->fetched, report->accepted.size());
+
+  // Peer 1 extends the chain; peer 2 reconciles and must follow the
+  // whole antecedent chain across controllers.
+  ORCH_CHECK(peers[1]
+                 ->ExecuteTransaction({core::Update::Modify(
+                     workload::kFunctionRelation,
+                     db::Tuple{db::Value("Danio rerio"), db::Value("P77777"),
+                               db::Value("dna-replication")},
+                     db::Tuple{db::Value("Danio rerio"), db::Value("P77777"),
+                               db::Value("rna-splicing")},
+                     1)})
+                 .ok());
+  ORCH_CHECK(peers[1]->Publish(&store).ok());
+  before = store.StatsFor(2);
+  report = peers[2]->Reconcile(&store);
+  ORCH_CHECK(report.ok());
+  ShowDelta("peer 2 reconcile (3-txn chain)", before, store.StatsFor(2));
+  auto table = peers[2]->instance().GetTable(workload::kFunctionRelation);
+  for (const db::Tuple& t : (*table)->ScanSorted()) {
+    std::printf("  peer 2 holds %s\n", t.ToString().c_str());
+  }
+
+  std::printf("\n=== Scaling: every peer publishes, peer 7 reconciles ===\n");
+  for (core::ParticipantId id = 0; id < kPeers - 1; ++id) {
+    const std::string protein = "Q" + std::to_string(1000 + id);
+    ORCH_CHECK(peers[id]
+                   ->ExecuteTransaction({core::Update::Insert(
+                       workload::kFunctionRelation,
+                       db::Tuple{db::Value("Mus musculus"),
+                                 db::Value(protein), db::Value("apoptosis")},
+                       id)})
+                   .ok());
+    ORCH_CHECK(peers[id]->Publish(&store).ok());
+  }
+  before = store.StatsFor(7);
+  report = peers[7]->Reconcile(&store);
+  ORCH_CHECK(report.ok());
+  ShowDelta("peer 7 reconcile (7 epochs)", before, store.StatsFor(7));
+  std::printf("  accepted %zu transactions from %zu epochs; per-transaction "
+              "controller round trips dominate, exactly as §6.2 reports.\n",
+              report->accepted.size(), static_cast<size_t>(report->epoch));
+  return 0;
+}

@@ -1,0 +1,37 @@
+#ifndef ORCHESTRA_COMMON_CHECK_H_
+#define ORCHESTRA_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checks for programming errors (not recoverable failures —
+/// those return Status). A failed check prints the location and aborts.
+/// The format arguments are printf-style and optional.
+#define ORCH_CHECK(cond, ...)                                         \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "ORCH_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                        \
+      ORCH_CHECK_MSG_(__VA_ARGS__);                                   \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (false)
+
+// Prints an optional printf-style message; expands to nothing if no
+// message arguments were supplied.
+#define ORCH_CHECK_MSG_(...)                                          \
+  do {                                                                \
+    if (sizeof(#__VA_ARGS__) > 1) {                                   \
+      std::fprintf(stderr, "  " __VA_ARGS__);                         \
+      std::fprintf(stderr, "\n");                                     \
+    }                                                                 \
+  } while (false)
+
+#define ORCH_CHECK_EQ(a, b, ...) ORCH_CHECK((a) == (b), ##__VA_ARGS__)
+#define ORCH_CHECK_NE(a, b, ...) ORCH_CHECK((a) != (b), ##__VA_ARGS__)
+#define ORCH_CHECK_LT(a, b, ...) ORCH_CHECK((a) < (b), ##__VA_ARGS__)
+#define ORCH_CHECK_LE(a, b, ...) ORCH_CHECK((a) <= (b), ##__VA_ARGS__)
+#define ORCH_CHECK_GT(a, b, ...) ORCH_CHECK((a) > (b), ##__VA_ARGS__)
+#define ORCH_CHECK_GE(a, b, ...) ORCH_CHECK((a) >= (b), ##__VA_ARGS__)
+
+#endif  // ORCHESTRA_COMMON_CHECK_H_

@@ -1,0 +1,54 @@
+#ifndef ORCHESTRA_COMMON_CLOCK_H_
+#define ORCHESTRA_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace orchestra {
+
+/// Simulated microsecond clock. Network and store costs in the experiment
+/// harness are charged against instances of this clock so that results are
+/// deterministic and independent of host load; local algorithm time is
+/// measured separately with Stopwatch.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Current simulated time in microseconds since simulation start.
+  int64_t NowMicros() const { return now_micros_; }
+
+  /// Advances the clock; delta must be non-negative.
+  void Advance(int64_t delta_micros) {
+    ORCH_CHECK_GE(delta_micros, 0);
+    now_micros_ += delta_micros;
+  }
+
+  void Reset() { now_micros_ = 0; }
+
+ private:
+  int64_t now_micros_ = 0;
+};
+
+/// Wall-clock stopwatch for measuring local (CPU-side) algorithm time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace orchestra
+
+#endif  // ORCHESTRA_COMMON_CLOCK_H_

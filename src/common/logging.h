@@ -1,0 +1,46 @@
+#ifndef ORCHESTRA_COMMON_LOGGING_H_
+#define ORCHESTRA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace orchestra {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Default is kWarning so tests and benchmarks stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. Use via ORCH_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace orchestra
+
+#define ORCH_LOG(level)                                   \
+  ::orchestra::internal_logging::LogMessage(              \
+      ::orchestra::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // ORCHESTRA_COMMON_LOGGING_H_

@@ -1,0 +1,46 @@
+#ifndef ORCHESTRA_COMMON_RANDOM_H_
+#define ORCHESTRA_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace orchestra {
+
+/// Deterministic xoshiro256** PRNG. Experiments must be reproducible
+/// run-to-run, so all randomness in the library flows through explicitly
+/// seeded instances of this class (never std::random_device).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds via SplitMix64 so that nearby seeds give unrelated streams.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound); bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    ORCH_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace orchestra
+
+#endif  // ORCHESTRA_COMMON_RANDOM_H_

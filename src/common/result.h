@@ -1,0 +1,71 @@
+#ifndef ORCHESTRA_COMMON_RESULT_H_
+#define ORCHESTRA_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace orchestra {
+
+/// A value-or-error holder, the Result counterpart of Status (compare
+/// arrow::Result / absl::StatusOr). Exactly one of the two states holds:
+/// either `ok()` and a value is present, or a non-OK Status is present.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. Constructing a Result
+  /// from an OK status is a bug and aborts.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    ORCH_CHECK(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; the Result must be ok().
+  const T& value() const& {
+    ORCH_CHECK(ok(), "Result::value() on error: %s", status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    ORCH_CHECK(ok(), "Result::value() on error: %s", status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    ORCH_CHECK(ok(), "Result::value() on error: %s", status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds
+  std::optional<T> value_;
+};
+
+}  // namespace orchestra
+
+/// Evaluates `expr` (a Result<T>), propagating a non-OK status; otherwise
+/// moves the value into `lhs` (a declaration or assignable expression).
+#define ORCH_ASSIGN_OR_RETURN(lhs, expr)                   \
+  ORCH_ASSIGN_OR_RETURN_IMPL_(                             \
+      ORCH_CONCAT_(_orch_result_, __LINE__), lhs, expr)
+
+#define ORCH_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define ORCH_CONCAT_(a, b) ORCH_CONCAT_IMPL_(a, b)
+#define ORCH_CONCAT_IMPL_(a, b) a##b
+
+#endif  // ORCHESTRA_COMMON_RESULT_H_

@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace orchestra {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kConstraintViolation:
+      return "constraint_violation";
+    case StatusCode::kConflict:
+      return "conflict";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kIOError:
+      return "io_error";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kNotSupported:
+      return "not_supported";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace orchestra

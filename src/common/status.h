@@ -1,0 +1,110 @@
+#ifndef ORCHESTRA_COMMON_STATUS_H_
+#define ORCHESTRA_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace orchestra {
+
+/// Machine-readable category of a failure. Follows the RocksDB/Arrow
+/// convention of a small, closed set of codes with a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // caller passed something malformed
+  kNotFound,           // a named entity (relation, tuple, peer) is absent
+  kAlreadyExists,      // uniqueness violated (e.g. duplicate key/txn id)
+  kConstraintViolation,// integrity constraint rejected an operation
+  kConflict,           // operation clashes with concurrent/previous state
+  kOutOfRange,         // index or epoch outside the valid window
+  kIOError,            // WAL / file system failure
+  kCorruption,         // stored data failed validation on read
+  kUnavailable,        // store/peer cannot be reached (simulated)
+  kNotSupported,       // feature intentionally unimplemented
+  kInternal,           // invariant violation; indicates a bug
+};
+
+/// Returns a stable lowercase name for `code` (e.g. "not_found").
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation. The library does not throw exceptions;
+/// every operation that can fail returns a Status (or Result<T>).
+///
+/// Cheap to copy in the OK case (no allocation); error statuses carry a
+/// heap-allocated message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsConstraintViolation() const {
+    return code_ == StatusCode::kConstraintViolation;
+  }
+
+  /// Human-readable rendering, e.g. "not_found: relation F".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace orchestra
+
+/// Propagates a non-OK Status to the caller. Usable in any function that
+/// returns Status.
+#define ORCH_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::orchestra::Status _orch_status = (expr); \
+    if (!_orch_status.ok()) return _orch_status; \
+  } while (false)
+
+#endif  // ORCHESTRA_COMMON_STATUS_H_

@@ -1,0 +1,110 @@
+#include "core/analysis.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "core/extension.h"
+#include "core/flatten.h"
+
+namespace orchestra::core {
+
+ReconcileAnalysis::Pair MakeAnalysisPair(size_t i, size_t j,
+                                         std::vector<ConflictPoint> points) {
+  ReconcileAnalysis::Pair pair;
+  pair.i = i;
+  pair.j = j;
+  pair.points = std::move(points);
+  return pair;
+}
+
+void FlattenExtensions(const db::Catalog& catalog,
+                       const TransactionProvider& provider,
+                       const std::vector<TrustedTxn>& txns,
+                       ReconcileAnalysis* analysis) {
+  const size_t start = analysis->up_ex.size();
+  analysis->up_ex.resize(txns.size());
+  analysis->flatten_ok.resize(txns.size(), 0);
+  for (size_t i = start; i < txns.size(); ++i) {
+    std::vector<Update> footprint =
+        UpdateFootprint(provider, txns[i].extension);
+    auto flat = Flatten(catalog, footprint);
+    if (flat.ok()) {
+      analysis->up_ex[i] = *std::move(flat);
+      analysis->flatten_ok[i] = 1;
+    }
+  }
+}
+
+void FindExtensionConflicts(const db::Catalog& catalog,
+                            const TransactionProvider& provider,
+                            const std::vector<TrustedTxn>& txns,
+                            size_t first, ReconcileAnalysis* analysis) {
+  const size_t n = txns.size();
+  // Candidate pairs share a touched key; bucket by key, then test each
+  // candidate pair at most once.
+  std::unordered_map<RelKey, std::vector<size_t>, RelKeyHash> buckets;
+  for (size_t i = 0; i < n; ++i) {
+    for (const Update& u : analysis->up_ex[i]) {
+      const db::RelationSchema& schema =
+          *catalog.GetRelation(u.relation()).value();
+      for (RelKey& rk : u.TouchedKeys(schema)) {
+        auto& bucket = buckets[std::move(rk)];
+        if (bucket.empty() || bucket.back() != i) bucket.push_back(i);
+      }
+    }
+  }
+  std::map<std::pair<size_t, size_t>, bool> tested;
+  for (const auto& [key, bucket] : buckets) {
+    for (size_t a = 0; a < bucket.size(); ++a) {
+      for (size_t b = a + 1; b < bucket.size(); ++b) {
+        const size_t i = std::min(bucket[a], bucket[b]);
+        const size_t j = std::max(bucket[a], bucket[b]);
+        if (i == j || j < first) continue;  // head×head pairs already done
+        if (!tested.emplace(std::make_pair(i, j), true).second) continue;
+        std::vector<ConflictPoint> points =
+            SetsConflict(catalog, analysis->up_ex[i], analysis->up_ex[j]);
+        if (points.empty()) continue;
+        // Fig. 5 FindConflicts line 4: a subsumed transaction never
+        // counts as conflicting with its subsumer.
+        if (Subsumes(txns[i].extension, txns[j].extension) ||
+            Subsumes(txns[j].extension, txns[i].extension)) {
+          continue;
+        }
+        // Definition 4 (direct conflict): interactions through *shared*
+        // antecedents do not count — compare the extensions with the
+        // shared transactions S removed. Only needed when the cheap
+        // full-extension test fired and the extensions overlap.
+        TxnIdSet shared;
+        {
+          TxnIdSet ext_i(txns[i].extension.begin(), txns[i].extension.end());
+          for (const TransactionId& id : txns[j].extension) {
+            if (ext_i.count(id) != 0) shared.insert(id);
+          }
+        }
+        if (!shared.empty()) {
+          auto flat_i = Flatten(
+              catalog, UpdateFootprint(provider, txns[i].extension, shared));
+          auto flat_j = Flatten(
+              catalog, UpdateFootprint(provider, txns[j].extension, shared));
+          if (flat_i.ok() && flat_j.ok()) {
+            points = SetsConflict(catalog, *flat_i, *flat_j);
+          }
+          if (points.empty()) continue;
+        }
+        analysis->conflicts.push_back(
+            MakeAnalysisPair(i, j, std::move(points)));
+      }
+    }
+  }
+}
+
+ReconcileAnalysis AnalyzeExtensions(const db::Catalog& catalog,
+                                    const TransactionProvider& provider,
+                                    const std::vector<TrustedTxn>& txns) {
+  ReconcileAnalysis analysis;
+  FlattenExtensions(catalog, provider, txns, &analysis);
+  FindExtensionConflicts(catalog, provider, txns, 0, &analysis);
+  return analysis;
+}
+
+}  // namespace orchestra::core

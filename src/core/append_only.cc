@@ -1,0 +1,133 @@
+#include "core/append_only.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/apply.h"
+#include "core/conflict.h"
+
+namespace orchestra::core {
+
+AppendOnlyReconciler::AppendOnlyReconciler(const db::Catalog* catalog,
+                                           const TrustPolicy* policy)
+    : catalog_(catalog), policy_(policy) {
+  ORCH_CHECK(catalog != nullptr && policy != nullptr);
+}
+
+Result<AppendOnlyReconciler::EpochResult> AppendOnlyReconciler::ApplyEpoch(
+    const std::vector<Transaction>& epoch_txns, db::Instance* instance) {
+  // Validate the append-only precondition up front so the instance is
+  // untouched on error.
+  for (const Transaction& txn : epoch_txns) {
+    for (const Update& u : txn.updates) {
+      if (!u.is_insert()) {
+        return Status::InvalidArgument(
+            "append-only reconciliation saw a " +
+            std::string(UpdateKindName(u.kind())) + " in " +
+            txn.id.ToString());
+      }
+      if (!catalog_->HasRelation(u.relation())) {
+        return Status::NotFound("relation " + u.relation() +
+                                " is not declared in the catalog");
+      }
+    }
+  }
+
+  EpochResult result;
+  const size_t n = epoch_txns.size();
+  std::vector<int> priority(n);
+  std::vector<bool> acceptable(n, true);
+  for (size_t i = 0; i < n; ++i) {
+    priority[i] = policy_->PriorityOfTransaction(epoch_txns[i]);
+    if (priority[i] <= 0) acceptable[i] = false;  // untrusted
+  }
+
+  // Condition (2): conflict with anything published in an earlier epoch.
+  auto conflicts_with_history = [&](const Update& u,
+                                    const db::RelationSchema& schema) {
+    auto it = published_.find(RelKey{u.relation(), schema.KeyOf(u.new_tuple())});
+    if (it == published_.end()) return false;
+    for (const db::Tuple& earlier : it->second.values) {
+      if (earlier != u.new_tuple()) return true;  // same key, other value
+    }
+    return false;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (!acceptable[i]) continue;
+    for (const Update& u : epoch_txns[i].updates) {
+      const db::RelationSchema& schema =
+          *catalog_->GetRelation(u.relation()).value();
+      if (conflicts_with_history(u, schema)) {
+        acceptable[i] = false;
+        break;
+      }
+    }
+  }
+
+  // Condition (1): same-epoch conflicts at equal or higher priority.
+  // Conflicting insertions share a key, so bucket by key and test only
+  // co-bucketed pairs (keeps the per-epoch cost near-linear, matching
+  // the "very simple to compute" claim of §4.1).
+  std::vector<bool> blocked(n, false);
+  {
+    std::unordered_map<RelKey, std::vector<size_t>, RelKeyHash> buckets;
+    for (size_t i = 0; i < n; ++i) {
+      for (const Update& u : epoch_txns[i].updates) {
+        const db::RelationSchema& schema =
+            *catalog_->GetRelation(u.relation()).value();
+        auto& bucket =
+            buckets[RelKey{u.relation(), schema.KeyOf(u.new_tuple())}];
+        if (bucket.empty() || bucket.back() != i) bucket.push_back(i);
+      }
+    }
+    auto txns_conflict = [&](size_t i, size_t j) {
+      for (const Update& a : epoch_txns[i].updates) {
+        const db::RelationSchema& schema =
+            *catalog_->GetRelation(a.relation()).value();
+        for (const Update& b : epoch_txns[j].updates) {
+          if (UpdatesConflict(schema, a, b)) return true;
+        }
+      }
+      return false;
+    };
+    for (const auto& [key, bucket] : buckets) {
+      for (size_t a = 0; a < bucket.size(); ++a) {
+        for (size_t b = a + 1; b < bucket.size(); ++b) {
+          const size_t i = bucket[a];
+          const size_t j = bucket[b];
+          if (priority[i] <= 0 || priority[j] <= 0) continue;  // untrusted
+          if (!txns_conflict(i, j)) continue;
+          if (priority[j] >= priority[i]) blocked[i] = true;
+          if (priority[i] >= priority[j]) blocked[j] = true;
+        }
+      }
+    }
+  }
+
+  // Apply the survivors, then fold the whole epoch (accepted or not)
+  // into the published history for future condition-(2) checks.
+  for (size_t i = 0; i < n; ++i) {
+    if (acceptable[i] && !blocked[i]) {
+      std::vector<Update> updates = epoch_txns[i].updates;
+      ORCH_RETURN_IF_ERROR(ApplyFlattened(instance, updates));
+      result.applied.push_back(epoch_txns[i].id);
+    } else {
+      result.skipped.push_back(epoch_txns[i].id);
+    }
+  }
+  for (const Transaction& txn : epoch_txns) {
+    for (const Update& u : txn.updates) {
+      const db::RelationSchema& schema =
+          *catalog_->GetRelation(u.relation()).value();
+      KeyHistory& history =
+          published_[RelKey{u.relation(), schema.KeyOf(u.new_tuple())}];
+      if (std::find(history.values.begin(), history.values.end(),
+                    u.new_tuple()) == history.values.end()) {
+        history.values.push_back(u.new_tuple());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace orchestra::core

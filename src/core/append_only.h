@@ -1,0 +1,65 @@
+#ifndef ORCHESTRA_CORE_APPEND_ONLY_H_
+#define ORCHESTRA_CORE_APPEND_ONLY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "db/instance.h"
+#include "core/trust.h"
+#include "core/update.h"
+
+namespace orchestra::core {
+
+/// Append-only reconciliation (Definition 2, §4.1): when every update is
+/// an insertion, each published transaction can be considered in
+/// isolation — no antecedents, extensions, or flattening. A transaction
+/// X published in epoch e is acceptable to p_i iff
+///
+///   (1) no transaction X' in the same epoch conflicts with X at
+///       priority pri_i(X') >= pri_i(X)  (a tie drops both — the
+///       append-only model has no deferral), and
+///   (2) no transaction published in an *earlier* epoch conflicts with X
+///       (regardless of whether p_i accepted it) — first publication of
+///       a key wins forever, preserving monotonicity.
+///
+/// The general reconciler (core/reconciler.h) subsumes this semantics
+/// for insert-only histories except that it defers ties for later user
+/// resolution instead of dropping them; this class exists as the
+/// faithful, O(per-epoch) implementation of the paper's simpler model
+/// and as the baseline for the cost comparison in bench/micro_reconcile.
+class AppendOnlyReconciler {
+ public:
+  /// Outcome of one epoch: which transactions were applied and which
+  /// were skipped (conflict with an earlier epoch, or a same-epoch
+  /// rival at equal-or-higher priority, or untrusted).
+  struct EpochResult {
+    std::vector<TransactionId> applied;
+    std::vector<TransactionId> skipped;
+  };
+
+  /// The catalog and policy must outlive the reconciler.
+  AppendOnlyReconciler(const db::Catalog* catalog, const TrustPolicy* policy);
+
+  /// Processes the transactions published in the next epoch, in epoch
+  /// order, applying the acceptable ones to `instance`. Fails with
+  /// InvalidArgument if any update is not an insertion, and with
+  /// NotFound for unknown relations; the instance is only modified by
+  /// accepted transactions.
+  Result<EpochResult> ApplyEpoch(const std::vector<Transaction>& epoch_txns,
+                                 db::Instance* instance);
+
+ private:
+  /// Distinct tuple values published for a key in earlier epochs.
+  struct KeyHistory {
+    std::vector<db::Tuple> values;
+  };
+
+  const db::Catalog* catalog_;
+  const TrustPolicy* policy_;
+  std::unordered_map<RelKey, KeyHistory, RelKeyHash> published_;
+};
+
+}  // namespace orchestra::core
+
+#endif  // ORCHESTRA_CORE_APPEND_ONLY_H_

@@ -1,0 +1,36 @@
+#include "core/decision.h"
+
+#include "common/string_util.h"
+
+namespace orchestra::core {
+
+std::string_view DecisionName(Decision decision) {
+  switch (decision) {
+    case Decision::kUndecided:
+      return "undecided";
+    case Decision::kAccept:
+      return "accept";
+    case Decision::kReject:
+      return "reject";
+    case Decision::kDefer:
+      return "defer";
+  }
+  return "?";
+}
+
+std::string ConflictGroup::ToString() const {
+  std::string out = point.ToString() + " {";
+  for (size_t i = 0; i < options.size(); ++i) {
+    if (i > 0) out += " | ";
+    std::vector<std::string> ids;
+    ids.reserve(options[i].txns.size());
+    for (const TransactionId& id : options[i].txns) {
+      ids.push_back(id.ToString());
+    }
+    out += "[" + Join(ids, ",") + "] " + options[i].effect;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace orchestra::core

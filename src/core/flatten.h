@@ -1,0 +1,40 @@
+#ifndef ORCHESTRA_CORE_FLATTEN_H_
+#define ORCHESTRA_CORE_FLATTEN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "db/schema.h"
+#include "core/update.h"
+
+namespace orchestra::core {
+
+/// Flattens an ordered update sequence into a set of mutually independent
+/// net updates, removing every intermediate step (the Heraclitus-style
+/// delta composition of [12, 14] that §4.2 relies on). Composition rules
+/// per logical tuple chain:
+///
+///   +t        ∘ t->t'   = +t'
+///   +t        ∘ -t      = (nothing)
+///   t0->t     ∘ t->t'   = t0->t'   (identity t0->t0 is dropped)
+///   t0->t     ∘ -t      = -t0
+///   -t        ∘ +t'     = t->t'    (remove-and-replace of the same key;
+///                                   dropped entirely if t' == t)
+///
+/// Chains follow key changes: a modify that moves a tuple to a new key
+/// moves its chain with it.
+///
+/// Fails with Conflict if the sequence is internally inconsistent (e.g.
+/// inserts a key twice without an intervening delete, or modifies a tuple
+/// the sequence has already deleted) — such a sequence cannot be one
+/// transaction extension and the caller rejects it.
+///
+/// The resulting net updates are returned in deterministic order
+/// (relation, key) and carry the origin of the *last* writer of each
+/// chain, which is what trust predicates over update origin inspect.
+Result<std::vector<Update>> Flatten(const db::Catalog& catalog,
+                                    const std::vector<Update>& sequence);
+
+}  // namespace orchestra::core
+
+#endif  // ORCHESTRA_CORE_FLATTEN_H_

@@ -1,0 +1,52 @@
+#ifndef ORCHESTRA_CORE_IDS_H_
+#define ORCHESTRA_CORE_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace orchestra::core {
+
+/// Identifies one autonomous participant (peer) p_i in the CDSS.
+using ParticipantId = uint32_t;
+
+/// Reconciliation epoch counter `e` (Definition 1). Incremented each time
+/// a participant publishes; epoch 0 means "before the first publication".
+using Epoch = int64_t;
+
+constexpr Epoch kNoEpoch = -1;
+
+/// Globally unique transaction identifier X_{i:j}: the originator i plus
+/// its local, monotonically increasing sequence number j.
+struct TransactionId {
+  ParticipantId origin = 0;
+  uint64_t seq = 0;
+
+  std::string ToString() const {
+    return "X" + std::to_string(origin) + ":" + std::to_string(seq);
+  }
+
+  friend bool operator==(const TransactionId& a, const TransactionId& b) {
+    return a.origin == b.origin && a.seq == b.seq;
+  }
+  friend bool operator!=(const TransactionId& a, const TransactionId& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const TransactionId& a, const TransactionId& b) {
+    if (a.origin != b.origin) return a.origin < b.origin;
+    return a.seq < b.seq;
+  }
+};
+
+struct TransactionIdHash {
+  size_t operator()(const TransactionId& id) const {
+    return static_cast<size_t>(
+        HashCombine(static_cast<uint64_t>(id.origin), id.seq));
+  }
+};
+
+}  // namespace orchestra::core
+
+#endif  // ORCHESTRA_CORE_IDS_H_

@@ -1,0 +1,440 @@
+#include "core/participant.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/clock.h"
+#include "core/analysis.h"
+#include "core/apply.h"
+#include "core/extension.h"
+#include "core/flatten.h"
+
+namespace orchestra::core {
+
+Participant::Participant(ParticipantId id, const db::Catalog* catalog,
+                         TrustPolicy policy)
+    : id_(id),
+      catalog_(catalog),
+      policy_(std::move(policy)),
+      instance_(catalog),
+      reconciler_(catalog) {
+  ORCH_CHECK(policy_.self() == id, "trust policy self id mismatch");
+}
+
+Result<std::unique_ptr<Participant>> Participant::RecoverFromStore(
+    ParticipantId id, const db::Catalog* catalog, TrustPolicy policy,
+    UpdateStore* store) {
+  ORCH_ASSIGN_OR_RETURN(RecoveryBundle bundle,
+                        store->FetchRecoveryState(id));
+  return FromBundle(id, catalog, std::move(policy), store, std::move(bundle));
+}
+
+Result<std::unique_ptr<Participant>> Participant::BootstrapFrom(
+    ParticipantId id, const db::Catalog* catalog, TrustPolicy policy,
+    UpdateStore* store, ParticipantId source_peer) {
+  ORCH_ASSIGN_OR_RETURN(RecoveryBundle bundle,
+                        store->Bootstrap(id, source_peer));
+  return FromBundle(id, catalog, std::move(policy), store, std::move(bundle));
+}
+
+Result<std::unique_ptr<Participant>> Participant::FromBundle(
+    ParticipantId id, const db::Catalog* catalog, TrustPolicy policy,
+    UpdateStore* store, RecoveryBundle bundle) {
+  auto participant =
+      std::make_unique<Participant>(id, catalog, std::move(policy));
+
+  // Replay the applied transactions in publication order. Idempotent
+  // application semantics make agreement duplicates harmless.
+  std::vector<TransactionId> applied_ids;
+  applied_ids.reserve(bundle.applied.size());
+  for (Transaction& txn : bundle.applied) {
+    ORCH_ASSIGN_OR_RETURN(std::vector<Update> flattened,
+                          Flatten(*catalog, txn.updates));
+    ORCH_RETURN_IF_ERROR(ApplyFlattened(&participant->instance_, flattened));
+    participant->applied_.insert(txn.id);
+    applied_ids.push_back(txn.id);
+    if (txn.id.origin == id && txn.id.seq >= participant->next_seq_) {
+      participant->next_seq_ = txn.id.seq + 1;
+    }
+    participant->txn_cache_.Put(std::move(txn));
+  }
+  participant->UpdateVersionMap(applied_ids);
+  for (const TransactionId& rejected_id : bundle.rejected) {
+    participant->rejected_.insert(rejected_id);
+  }
+  participant->last_recno_ = bundle.recno;
+
+  // Restore the deferred backlog and re-reconcile it, which rebuilds the
+  // dirty-value set and the open conflict groups.
+  for (Transaction& txn : bundle.closure) {
+    participant->txn_cache_.Put(std::move(txn));
+  }
+  for (const auto& [txn_id, priority] : bundle.undecided) {
+    participant->deferred_[txn_id] = DeferredInfo{priority};
+  }
+  if (!participant->deferred_.empty()) {
+    ORCH_ASSIGN_OR_RETURN(std::vector<TrustedTxn> txns,
+                          participant->ReconsiderDeferred());
+    ORCH_RETURN_IF_ERROR(participant
+                             ->RunAndCommit(store, bundle.recno, bundle.epoch,
+                                            std::move(txns), 0,
+                                            bundle.undecided.size(),
+                                            /*local=*/nullptr)
+                             .status());
+  }
+  return participant;
+}
+
+Result<TransactionId> Participant::ExecuteTransaction(
+    std::vector<Update> updates) {
+  if (updates.empty()) {
+    return Status::InvalidArgument("transaction must contain updates");
+  }
+  // Stamp every update with this participant's identity.
+  std::vector<Update> stamped;
+  stamped.reserve(updates.size());
+  for (Update& u : updates) {
+    switch (u.kind()) {
+      case UpdateKind::kInsert:
+        stamped.push_back(Update::Insert(u.relation(), u.new_tuple(), id_));
+        break;
+      case UpdateKind::kDelete:
+        stamped.push_back(Update::Delete(u.relation(), u.old_tuple(), id_));
+        break;
+      case UpdateKind::kModify:
+        stamped.push_back(
+            Update::Modify(u.relation(), u.old_tuple(), u.new_tuple(), id_));
+        break;
+    }
+  }
+
+  // Validate and apply atomically via the flattened form.
+  ORCH_ASSIGN_OR_RETURN(std::vector<Update> flattened,
+                        Flatten(*catalog_, stamped));
+  ORCH_RETURN_IF_ERROR(ApplyFlattened(&instance_, flattened));
+
+  const TransactionId txn_id{id_, next_seq_++};
+
+  // Antecedents: for each delete/modify, the last published transaction
+  // that wrote the tuple being consumed — unless this same transaction
+  // wrote it earlier in its own sequence.
+  std::vector<TransactionId> antecedents;
+  RelKeySet written_here;
+  auto add_antecedent = [&](const TransactionId& ante) {
+    if (ante != txn_id &&
+        std::find(antecedents.begin(), antecedents.end(), ante) ==
+            antecedents.end()) {
+      antecedents.push_back(ante);
+    }
+  };
+  for (const Update& u : stamped) {
+    const db::RelationSchema& schema =
+        *catalog_->GetRelation(u.relation()).value();
+    if (auto read = u.ReadKey(schema)) {
+      RelKey rk{u.relation(), *read};
+      if (written_here.count(rk) == 0) {
+        auto it = version_map_.find(rk);
+        if (it != version_map_.end()) add_antecedent(it->second);
+      }
+    }
+    if (auto write = u.WriteKey(schema)) {
+      RelKey rk{u.relation(), *write};
+      // Re-creating a key this participant previously deleted chains to
+      // the deleting transaction (see tombstone_map_).
+      if (u.is_insert() && written_here.count(rk) == 0) {
+        auto it = tombstone_map_.find(rk);
+        if (it != tombstone_map_.end()) add_antecedent(it->second);
+      }
+      written_here.insert(std::move(rk));
+    }
+  }
+
+  // Advance the version and tombstone maps with the net effects.
+  for (const Update& u : flattened) {
+    const db::RelationSchema& schema =
+        *catalog_->GetRelation(u.relation()).value();
+    if (auto read = u.ReadKey(schema)) {
+      version_map_.erase(RelKey{u.relation(), *read});
+      if (u.is_delete()) {
+        tombstone_map_[RelKey{u.relation(), *read}] = txn_id;
+      }
+    }
+    if (auto write = u.WriteKey(schema)) {
+      RelKey rk{u.relation(), *write};
+      tombstone_map_.erase(rk);
+      version_map_[std::move(rk)] = txn_id;
+    }
+  }
+
+  Transaction txn;
+  txn.id = txn_id;
+  txn.updates = std::move(stamped);
+  txn.antecedents = std::move(antecedents);
+  publish_queue_.push_back(txn);
+  txn_cache_.Put(txn);
+  applied_.insert(txn_id);
+  for (const Update& u : flattened) own_delta_.push_back(u);
+  return txn_id;
+}
+
+Result<Epoch> Participant::Publish(UpdateStore* store) {
+  if (publish_queue_.empty()) return kNoEpoch;
+  // Pass a copy: a failed publish (store unavailable) must leave the
+  // queue intact so the transactions can be republished later.
+  ORCH_ASSIGN_OR_RETURN(Epoch epoch, store->Publish(id_, publish_queue_));
+  publish_queue_.clear();
+  return epoch;
+}
+
+Result<std::vector<TrustedTxn>> Participant::ReconsiderDeferred() {
+  std::vector<TrustedTxn> out;
+  out.reserve(deferred_.size());
+  for (const auto& [id, info] : deferred_) {
+    TrustedTxn t;
+    t.id = id;
+    t.priority = info.priority;
+    t.previously_deferred = true;
+    ORCH_ASSIGN_OR_RETURN(t.extension,
+                          ComputeExtension(txn_cache_, id, applied_));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Result<ReconcileReport> Participant::Reconcile(UpdateStore* store) {
+  const StoreStats before = store->StatsFor(id_);
+  ORCH_ASSIGN_OR_RETURN(ReconcileFetch fetch, store->BeginReconciliation(id_));
+
+  Stopwatch local;
+  // Fold the fetched bundle into the local transaction cache.
+  for (Transaction& txn : fetch.transactions) {
+    txn_cache_.Put(std::move(txn));
+  }
+
+  std::vector<TrustedTxn> txns;
+  txns.reserve(fetch.trusted.size() + deferred_.size());
+  size_t fetched = 0;
+  for (const auto& [txn_id, priority] : fetch.trusted) {
+    if (applied_.count(txn_id) != 0 || rejected_.count(txn_id) != 0 ||
+        deferred_.count(txn_id) != 0) {
+      continue;  // the store should not resend these; be defensive
+    }
+    TrustedTxn t;
+    t.id = txn_id;
+    t.priority = priority;
+    ORCH_ASSIGN_OR_RETURN(t.extension,
+                          ComputeExtension(txn_cache_, txn_id, applied_));
+    txns.push_back(std::move(t));
+    ++fetched;
+  }
+  ORCH_ASSIGN_OR_RETURN(std::vector<TrustedTxn> reconsidered,
+                        ReconsiderDeferred());
+  const size_t n_reconsidered = reconsidered.size();
+  for (TrustedTxn& t : reconsidered) txns.push_back(std::move(t));
+
+  ORCH_ASSIGN_OR_RETURN(
+      ReconcileReport report,
+      RunAndCommit(store, fetch.recno, fetch.epoch, std::move(txns), fetched,
+                   n_reconsidered, &local));
+  report.store = store->StatsFor(id_) - before;
+  return report;
+}
+
+Result<ReconcileReport> Participant::RunAndCommit(
+    UpdateStore* store, int64_t recno, Epoch epoch,
+    std::vector<TrustedTxn> txns, size_t fetched, size_t reconsidered,
+    Stopwatch* local, const ReconcileAnalysis* analysis) {
+  ReconcileInput input;
+  input.recno = recno;
+  input.txns = std::move(txns);
+  input.provider = &txn_cache_;
+  input.analysis = analysis;
+  auto own_flat = Flatten(*catalog_, own_delta_);
+  if (own_flat.ok()) {
+    input.own_delta = *std::move(own_flat);
+  } else {
+    // The own delta was applied locally, so it must flatten; tolerate by
+    // passing it unflattened (conflict detection still works per key).
+    input.own_delta = own_delta_;
+  }
+  input.applied = &applied_;
+  input.rejected = &rejected_;
+  input.dirty = &dirty_;
+
+  ORCH_ASSIGN_OR_RETURN(ReconcileOutcome outcome,
+                        reconciler_.Run(input, &instance_));
+
+  // Fold the outcome into durable and soft state.
+  UpdateVersionMap(outcome.applied_txns);
+  for (const TransactionId& txn_id : outcome.applied_txns) {
+    applied_.insert(txn_id);
+    deferred_.erase(txn_id);
+  }
+  for (const TransactionId& txn_id : outcome.rejected_roots) {
+    rejected_.insert(txn_id);
+    deferred_.erase(txn_id);
+  }
+  // Rebuild the deferred set: deferred roots keep (or gain) their info.
+  std::map<TransactionId, DeferredInfo> new_deferred;
+  for (size_t i = 0; i < input.txns.size(); ++i) {
+    // Outcome lists identify roots by id; use the input priorities.
+    const TrustedTxn& t = input.txns[i];
+    if (std::find(outcome.deferred_roots.begin(), outcome.deferred_roots.end(),
+                  t.id) != outcome.deferred_roots.end()) {
+      new_deferred[t.id] = DeferredInfo{t.priority};
+    }
+  }
+  deferred_ = std::move(new_deferred);
+  dirty_ = std::move(outcome.dirty_values);
+  conflict_groups_ = std::move(outcome.conflict_groups);
+  last_recno_ = recno;
+  own_delta_.clear();
+
+  // The local clock covers only client-side computation; decision
+  // recording is store work and is timed by the store itself.
+  const int64_t local_micros = local == nullptr ? 0 : local->ElapsedMicros();
+  ORCH_RETURN_IF_ERROR(store->RecordDecisions(
+      id_, recno, outcome.applied_txns, outcome.rejected_roots));
+
+  ReconcileReport report;
+  report.local_micros = local_micros;
+  report.recno = recno;
+  report.epoch = epoch;
+  report.fetched = fetched;
+  report.reconsidered = reconsidered;
+  report.accepted = std::move(outcome.accepted_roots);
+  report.rejected = std::move(outcome.rejected_roots);
+  report.deferred = std::move(outcome.deferred_roots);
+  report.open_conflict_groups = conflict_groups_.size();
+  return report;
+}
+
+void Participant::UpdateVersionMap(
+    const std::vector<TransactionId>& applied_txns) {
+  // Publication order so the last writer wins.
+  std::vector<const Transaction*> txns;
+  txns.reserve(applied_txns.size());
+  for (const TransactionId& id : applied_txns) {
+    auto txn = txn_cache_.Get(id);
+    if (txn.ok()) txns.push_back(*txn);
+  }
+  std::sort(txns.begin(), txns.end(),
+            [](const Transaction* a, const Transaction* b) {
+              if (a->epoch != b->epoch) return a->epoch < b->epoch;
+              return a->id < b->id;
+            });
+  for (const Transaction* txn : txns) {
+    for (const Update& u : txn->updates) {
+      const db::RelationSchema& schema =
+          *catalog_->GetRelation(u.relation()).value();
+      if (auto read = u.ReadKey(schema)) {
+        version_map_.erase(RelKey{u.relation(), *read});
+        if (u.is_delete()) {
+          tombstone_map_[RelKey{u.relation(), *read}] = txn->id;
+        }
+      }
+      if (auto write = u.WriteKey(schema)) {
+        RelKey rk{u.relation(), *write};
+        tombstone_map_.erase(rk);
+        version_map_[std::move(rk)] = txn->id;
+      }
+    }
+  }
+}
+
+Result<ReconcileReport> Participant::ReconcileNetworkCentric(
+    UpdateStore* store) {
+  auto* nc = dynamic_cast<NetworkCentricStore*>(store);
+  if (nc == nullptr) {
+    return Status::NotSupported(std::string(store->name()) +
+                                " store does not support network-centric "
+                                "reconciliation");
+  }
+  const StoreStats before = store->StatsFor(id_);
+  ORCH_ASSIGN_OR_RETURN(NetworkCentricFetch fetch,
+                        nc->BeginNetworkCentricReconciliation(id_));
+
+  Stopwatch local;
+  for (Transaction& txn : fetch.base.transactions) {
+    txn_cache_.Put(std::move(txn));
+  }
+  // Defensive: if the store resent something we already know, the
+  // shipped analysis indices no longer line up — recompute locally.
+  bool analysis_valid = true;
+  for (const TrustedTxn& t : fetch.trusted_txns) {
+    if (applied_.count(t.id) != 0 || rejected_.count(t.id) != 0 ||
+        deferred_.count(t.id) != 0) {
+      analysis_valid = false;
+    }
+  }
+  std::vector<TrustedTxn> txns = std::move(fetch.trusted_txns);
+  const size_t fetched = txns.size();
+  ORCH_ASSIGN_OR_RETURN(std::vector<TrustedTxn> reconsidered,
+                        ReconsiderDeferred());
+  const size_t n_reconsidered = reconsidered.size();
+  for (TrustedTxn& t : reconsidered) txns.push_back(std::move(t));
+
+  ReconcileAnalysis analysis;
+  const ReconcileAnalysis* analysis_ptr = nullptr;
+  if (analysis_valid) {
+    // Extend the network-computed analysis with the locally cached
+    // deferred backlog: flatten the tail, then find conflicts for pairs
+    // involving at least one reconsidered transaction.
+    analysis = std::move(fetch.analysis);
+    FlattenExtensions(*catalog_, txn_cache_, txns, &analysis);
+    FindExtensionConflicts(*catalog_, txn_cache_, txns, fetched, &analysis);
+    analysis_ptr = &analysis;
+  }
+
+  ORCH_ASSIGN_OR_RETURN(
+      ReconcileReport report,
+      RunAndCommit(store, fetch.base.recno, fetch.base.epoch, std::move(txns),
+                   fetched, n_reconsidered, &local, analysis_ptr));
+  report.store = store->StatsFor(id_) - before;
+  return report;
+}
+
+Result<ReconcileReport> Participant::PublishAndReconcile(UpdateStore* store) {
+  auto epoch = Publish(store);
+  if (!epoch.ok()) return epoch.status();
+  return Reconcile(store);
+}
+
+Result<ReconcileReport> Participant::ResolveConflict(
+    UpdateStore* store, size_t group_index,
+    std::optional<size_t> chosen_option) {
+  if (group_index >= conflict_groups_.size()) {
+    return Status::OutOfRange("no conflict group " +
+                              std::to_string(group_index));
+  }
+  const ConflictGroup group = conflict_groups_[group_index];
+  if (chosen_option && *chosen_option >= group.options.size()) {
+    return Status::OutOfRange("conflict group has no option " +
+                              std::to_string(*chosen_option));
+  }
+  // Reject every transaction in the options the user did not select.
+  std::vector<TransactionId> losers;
+  for (size_t i = 0; i < group.options.size(); ++i) {
+    if (chosen_option && i == *chosen_option) continue;
+    for (const TransactionId& id : group.options[i].txns) {
+      losers.push_back(id);
+      rejected_.insert(id);
+      deferred_.erase(id);
+    }
+  }
+  ORCH_RETURN_IF_ERROR(store->RecordDecisions(id_, last_recno_, {}, losers));
+
+  // Re-run reconciliation over the remaining deferred transactions (the
+  // chosen option plus everything else still pending).
+  const StoreStats before = store->StatsFor(id_);
+  Stopwatch local;
+  ORCH_ASSIGN_OR_RETURN(std::vector<TrustedTxn> txns, ReconsiderDeferred());
+  ORCH_ASSIGN_OR_RETURN(
+      ReconcileReport report,
+      RunAndCommit(store, last_recno_, kNoEpoch, std::move(txns), 0,
+                   deferred_.size(), &local));
+  report.store = store->StatsFor(id_) - before;
+  return report;
+}
+
+}  // namespace orchestra::core

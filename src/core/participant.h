@@ -1,0 +1,189 @@
+#ifndef ORCHESTRA_CORE_PARTICIPANT_H_
+#define ORCHESTRA_CORE_PARTICIPANT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "db/instance.h"
+#include "core/decision.h"
+#include "core/reconciler.h"
+#include "core/transaction.h"
+#include "core/trust.h"
+#include "core/update_store.h"
+
+namespace orchestra::core {
+
+/// Summary of one reconciliation, including the timing split reported in
+/// the paper's evaluation (store time vs. local time).
+struct ReconcileReport {
+  int64_t recno = 0;
+  Epoch epoch = kNoEpoch;
+  size_t fetched = 0;       // newly relevant trusted transactions
+  size_t reconsidered = 0;  // previously deferred transactions re-examined
+  std::vector<TransactionId> accepted;
+  std::vector<TransactionId> rejected;
+  std::vector<TransactionId> deferred;
+  size_t open_conflict_groups = 0;
+  /// Store-side cost of this reconciliation (network + store CPU).
+  StoreStats store;
+  /// Local (client-side) reconciliation algorithm time, measured.
+  int64_t local_micros = 0;
+};
+
+/// One CDSS participant p_i: a local database instance, a trust policy,
+/// a publish queue, and the soft state required by the client-centric
+/// reconciliation algorithm (transaction cache, deferred set, dirty
+/// values, conflict groups). Everything except the instance and the
+/// durable applied/rejected decisions (which the store also records) is
+/// reconstructible soft state (§5.2).
+class Participant {
+ public:
+  /// The catalog must outlive the participant. The trust policy's self
+  /// id must equal `id`.
+  Participant(ParticipantId id, const db::Catalog* catalog,
+              TrustPolicy policy);
+
+  /// Reconstructs a participant that lost all of its local state from
+  /// the update store (§5.2: the client holds only soft state). The
+  /// instance, version map and applied/rejected sets are rebuilt by
+  /// replaying the store's decision log in publication order; the
+  /// undecided (previously deferred) backlog is re-reconciled, restoring
+  /// dirty values and conflict groups. Local transactions that were
+  /// executed but never published are genuinely lost.
+  static Result<std::unique_ptr<Participant>> RecoverFromStore(
+      ParticipantId id, const db::Catalog* catalog, TrustPolicy policy,
+      UpdateStore* store);
+
+  /// Bootstraps a brand-new participant from `source_peer`'s published
+  /// state (§1: a fresh local instance populated with downloaded data).
+  /// The new participant adopts the source's applied transactions as its
+  /// own accepted history; transactions in the adopted window that the
+  /// source left undecided are re-reconciled under the new participant's
+  /// *own* trust policy. After bootstrap the participant reconciles
+  /// forward normally.
+  static Result<std::unique_ptr<Participant>> BootstrapFrom(
+      ParticipantId id, const db::Catalog* catalog, TrustPolicy policy,
+      UpdateStore* store, ParticipantId source_peer);
+
+  ParticipantId id() const { return id_; }
+  const db::Instance& instance() const { return instance_; }
+  const TrustPolicy& policy() const { return policy_; }
+
+  /// Executes a local transaction: validates it against the local
+  /// instance, applies it, computes its antecedents from the version
+  /// map, and queues it for the next Publish. Returns the assigned id.
+  Result<TransactionId> ExecuteTransaction(std::vector<Update> updates);
+
+  /// Publishes all queued transactions to the store as one epoch.
+  /// A no-op returning kNoEpoch when the queue is empty.
+  Result<Epoch> Publish(UpdateStore* store);
+
+  /// Reconciles against the store: fetches newly relevant transactions,
+  /// reconsiders previously deferred ones, runs the reconciliation
+  /// algorithm, applies accepted updates, and records decisions.
+  Result<ReconcileReport> Reconcile(UpdateStore* store);
+
+  /// Publish followed by Reconcile (the common combined step, §3).
+  Result<ReconcileReport> PublishAndReconcile(UpdateStore* store);
+
+  /// Network-centric reconciliation (§5, Fig. 3): the store computes the
+  /// transaction extensions, flattening, and conflict detection; the
+  /// client merges its deferred backlog and runs only the decision
+  /// phases. The store must implement NetworkCentricStore (both shipped
+  /// stores do, when constructed with the catalog); otherwise this
+  /// returns NotSupported. Decisions are identical to client-centric
+  /// reconciliation by construction — only the cost split differs.
+  Result<ReconcileReport> ReconcileNetworkCentric(UpdateStore* store);
+
+  /// Conflict groups currently awaiting user resolution.
+  const std::vector<ConflictGroup>& pending_conflicts() const {
+    return conflict_groups_;
+  }
+
+  /// Resolves one pending conflict group: the transactions of the chosen
+  /// option (by index into the group's options) survive and are
+  /// re-reconciled; all other options' transactions are rejected.
+  /// Passing nullopt rejects every option. Other deferred transactions
+  /// are re-examined in the same pass, per §4.
+  Result<ReconcileReport> ResolveConflict(UpdateStore* store,
+                                          size_t group_index,
+                                          std::optional<size_t> chosen_option);
+
+  /// Number of transactions this participant has applied (own plus
+  /// imported, including transitively accepted antecedents).
+  size_t applied_count() const { return applied_.size(); }
+  size_t rejected_count() const { return rejected_.size(); }
+  size_t deferred_count() const { return deferred_.size(); }
+
+  const TxnIdSet& applied() const { return applied_; }
+  const TxnIdSet& rejected() const { return rejected_; }
+
+ private:
+  struct DeferredInfo {
+    int priority = 0;
+  };
+
+  /// Rebuilds TrustedTxn inputs for the previously deferred set.
+  Result<std::vector<TrustedTxn>> ReconsiderDeferred();
+
+  /// Shared tail of RecoverFromStore / BootstrapFrom: replays the
+  /// bundle's applied history and re-reconciles its undecided backlog.
+  static Result<std::unique_ptr<Participant>> FromBundle(
+      ParticipantId id, const db::Catalog* catalog, TrustPolicy policy,
+      UpdateStore* store, RecoveryBundle bundle);
+
+  /// Runs the reconciler over `txns` and folds the outcome into the
+  /// participant state; records decisions with the store.
+  Result<ReconcileReport> RunAndCommit(UpdateStore* store, int64_t recno,
+                                       Epoch epoch,
+                                       std::vector<TrustedTxn> txns,
+                                       size_t fetched, size_t reconsidered,
+                                       Stopwatch* local,
+                                       const ReconcileAnalysis* analysis =
+                                           nullptr);
+
+  /// Applies the version-map effects of applied transactions, in
+  /// publication order, so future antecedent computation is correct.
+  void UpdateVersionMap(const std::vector<TransactionId>& applied_txns);
+
+  ParticipantId id_;
+  const db::Catalog* catalog_;
+  TrustPolicy policy_;
+  db::Instance instance_;
+  Reconciler reconciler_;
+
+  uint64_t next_seq_ = 0;
+  std::vector<Transaction> publish_queue_;
+  /// Updates executed locally since the previous reconciliation — the
+  /// "delta for recno" used by CheckState.
+  std::vector<Update> own_delta_;
+
+  /// Soft state (reconstructible from the store).
+  TransactionMap txn_cache_;
+  TxnIdSet applied_;
+  TxnIdSet rejected_;
+  std::map<TransactionId, DeferredInfo> deferred_;
+  RelKeySet dirty_;
+  std::vector<ConflictGroup> conflict_groups_;
+  int64_t last_recno_ = 0;
+
+  /// (relation, key) -> last published transaction that wrote the tuple;
+  /// drives antecedent computation for deletes and modifies.
+  std::unordered_map<RelKey, TransactionId, RelKeyHash> version_map_;
+  /// (relation, key) -> transaction that last *deleted* the tuple. An
+  /// insert re-creating a deleted key takes the deleting transaction as
+  /// its antecedent, so that sequential remove-then-replace forms one
+  /// dependency chain (and flattens to a replacement) instead of being
+  /// mistaken for the §4 delete-vs-insert conflict between independent
+  /// writers.
+  std::unordered_map<RelKey, TransactionId, RelKeyHash> tombstone_map_;
+};
+
+}  // namespace orchestra::core
+
+#endif  // ORCHESTRA_CORE_PARTICIPANT_H_

@@ -1,0 +1,352 @@
+#include "core/reconciler.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/analysis.h"
+#include "core/apply.h"
+#include "core/flatten.h"
+
+namespace orchestra::core {
+
+namespace {
+
+// CheckState (Fig. 5): the per-transaction decision that can be made
+// before considering conflicts with other relevant transactions.
+Decision CheckState(const db::Catalog& catalog, const db::Instance& instance,
+                    const ReconcileInput& input, const TrustedTxn& txn,
+                    const std::vector<Update>& up_ex) {
+  const std::vector<TransactionId>& extension = txn.extension;
+  // Line 1: anything touching a dirty value is deferred so that a
+  // previously deferred transaction can still be accepted later.
+  // Reconsidered (previously deferred) transactions skip this check —
+  // their own marks are the dirty values.
+  if (!txn.previously_deferred && input.dirty != nullptr &&
+      !input.dirty->empty()) {
+    for (const Update& u : up_ex) {
+      const db::RelationSchema& schema =
+          *catalog.GetRelation(u.relation()).value();
+      for (const RelKey& rk : u.TouchedKeys(schema)) {
+        if (input.dirty->count(rk) != 0) return Decision::kDefer;
+      }
+    }
+  }
+  // Line 3: an extension containing an explicitly rejected transaction
+  // can never be accepted.
+  if (input.rejected != nullptr) {
+    for (const TransactionId& id : extension) {
+      if (input.rejected->count(id) != 0) return Decision::kReject;
+    }
+  }
+  // Line 5: the flattened extension must be applicable to the instance
+  // without violating integrity constraints.
+  if (!CheckApplicable(instance, up_ex).ok()) return Decision::kReject;
+  // Line 7: conflicts with the participant's own delta for this
+  // reconciliation lose outright — a peer always keeps its own version.
+  if (!input.own_delta.empty() &&
+      !SetsConflict(catalog, up_ex, input.own_delta).empty()) {
+    return Decision::kReject;
+  }
+  return Decision::kAccept;
+}
+
+// Origin-free rendering of one update, so that two peers making the same
+// modification compare equal.
+std::string UpdateEffect(const Update& u) {
+  switch (u.kind()) {
+    case UpdateKind::kInsert:
+      return "+" + u.relation() + u.new_tuple().ToString();
+    case UpdateKind::kDelete:
+      return "-" + u.relation() + u.old_tuple().ToString();
+    case UpdateKind::kModify:
+      return u.relation() + "(" + u.old_tuple().ToString() + " -> " +
+             u.new_tuple().ToString() + ")";
+  }
+  return "?";
+}
+
+// Normalized rendering of the modification a flattened extension makes to
+// one contested key; transactions with equal effects form one option.
+std::string EffectOnKey(const db::Catalog& catalog,
+                        const std::vector<Update>& up_ex,
+                        const RelKey& key) {
+  std::vector<std::string> parts;
+  for (const Update& u : up_ex) {
+    const db::RelationSchema& schema =
+        *catalog.GetRelation(u.relation()).value();
+    for (const RelKey& rk : u.TouchedKeys(schema)) {
+      if (rk == key) {
+        parts.push_back(UpdateEffect(u));
+        break;
+      }
+    }
+  }
+  std::sort(parts.begin(), parts.end());
+  return Join(parts, "; ");
+}
+
+}  // namespace
+
+Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
+                                         db::Instance* instance) const {
+  ORCH_CHECK(input.provider != nullptr);
+  const size_t n = input.txns.size();
+  ReconcileOutcome outcome;
+
+  // --- Phase 1 (Fig. 4 lines 5-8): flatten extensions, check state. ---
+  // Phases 1-2 (Fig. 4 lines 5-9): flatten extensions and find the
+  // direct, non-subsumed conflicts — either precomputed by the network
+  // (network-centric mode) or computed here (client-centric, §5.1).
+  ReconcileAnalysis local_analysis;
+  const ReconcileAnalysis* analysis = input.analysis;
+  if (analysis == nullptr) {
+    local_analysis = AnalyzeExtensions(*catalog_, *input.provider, input.txns);
+    analysis = &local_analysis;
+  }
+  ORCH_CHECK(analysis->up_ex.size() == n && analysis->flatten_ok.size() == n,
+             "analysis does not cover the input transactions");
+  const std::vector<std::vector<Update>>& up_ex = analysis->up_ex;
+
+  std::vector<Decision> decision(n, Decision::kUndecided);
+  for (size_t i = 0; i < n; ++i) {
+    if (!analysis->flatten_ok[i]) {
+      // An internally inconsistent extension can never be applied.
+      decision[i] = Decision::kReject;
+      continue;
+    }
+    decision[i] =
+        CheckState(*catalog_, *instance, input, input.txns[i], up_ex[i]);
+  }
+
+  std::vector<std::vector<size_t>> conflicts(n);
+  std::map<std::pair<size_t, size_t>, std::vector<ConflictPoint>> pair_points;
+  for (const ReconcileAnalysis::Pair& pair : analysis->conflicts) {
+    ORCH_CHECK(pair.i < n && pair.j < n);
+    if (pair.points.empty()) continue;
+    conflicts[pair.i].push_back(pair.j);
+    conflicts[pair.j].push_back(pair.i);
+    pair_points[{pair.i, pair.j}] = pair.points;
+  }
+
+  // --- Phase 3 (Fig. 4 lines 10-12): DoGroup by decreasing priority. ---
+  std::vector<int> prios;
+  for (const TrustedTxn& t : input.txns) prios.push_back(t.priority);
+  std::sort(prios.begin(), prios.end(), std::greater<int>());
+  prios.erase(std::unique(prios.begin(), prios.end()), prios.end());
+  for (int prio : prios) {
+    std::vector<size_t> group;
+    for (size_t i = 0; i < n; ++i) {
+      if (input.txns[i].priority == prio && decision[i] != Decision::kReject) {
+        group.push_back(i);
+      }
+    }
+    // Conflicts with strictly higher-priority transactions.
+    for (size_t gi = 0; gi < group.size(); ++gi) {
+      const size_t t = group[gi];
+      for (size_t c : conflicts[t]) {
+        if (input.txns[c].priority <= prio) continue;
+        if (decision[c] == Decision::kAccept) {
+          decision[t] = Decision::kReject;
+          break;
+        }
+        if (decision[c] == Decision::kDefer) {
+          decision[t] = Decision::kDefer;
+        }
+      }
+    }
+    group.erase(std::remove_if(group.begin(), group.end(),
+                               [&](size_t t) {
+                                 return decision[t] == Decision::kReject;
+                               }),
+                group.end());
+    // Equal-priority conflicts defer both sides (certain-answers model).
+    for (size_t gi = 0; gi < group.size(); ++gi) {
+      for (size_t gj = gi + 1; gj < group.size(); ++gj) {
+        const size_t i = std::min(group[gi], group[gj]);
+        const size_t j = std::max(group[gi], group[gj]);
+        auto it = pair_points.find({i, j});
+        if (it != pair_points.end() && !it->second.empty()) {
+          decision[i] = Decision::kDefer;
+          decision[j] = Decision::kDefer;
+        }
+      }
+    }
+  }
+
+  // --- Phase 4: propagate *deferral* through dependency chains: a
+  // transaction whose extension contains a deferred input transaction is
+  // itself deferred (§4.2 — its antecedent is entangled in a pending
+  // user decision). Rejection deliberately does NOT propagate within the
+  // round: Definition 5 condition 4 only excludes extensions containing
+  // *previously* rejected work (handled in CheckState). A chain whose
+  // own flattened extension is applicable is accepted even when its
+  // antecedent, considered as an independent root, lost a conflict — the
+  // chain's net effect supersedes the intermediate state ("least
+  // interaction", §3.1), and the antecedent is then transitively
+  // accepted through the chain (reclassified below).
+  std::unordered_map<TransactionId, size_t, TransactionIdHash> index_of;
+  for (size_t i = 0; i < n; ++i) index_of[input.txns[i].id] = i;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (decision[i] != Decision::kAccept) continue;
+      for (const TransactionId& id : input.txns[i].extension) {
+        auto it = index_of.find(id);
+        if (it == index_of.end() || it->second == i) continue;
+        if (decision[it->second] == Decision::kDefer) {
+          decision[i] = Decision::kDefer;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Phase 5 (Fig. 4 lines 14-19): apply accepted extensions in
+  // publication order, sharing a Used set so overlapping antecedents are
+  // applied exactly once (Definition 5).
+  std::vector<size_t> accepted;
+  for (size_t i = 0; i < n; ++i) {
+    if (decision[i] == Decision::kAccept) accepted.push_back(i);
+  }
+  std::sort(accepted.begin(), accepted.end(), [&](size_t a, size_t b) {
+    Epoch ea = kNoEpoch;
+    Epoch eb = kNoEpoch;
+    if (auto t = input.provider->Get(input.txns[a].id); t.ok()) {
+      ea = (*t)->epoch;
+    }
+    if (auto t = input.provider->Get(input.txns[b].id); t.ok()) {
+      eb = (*t)->epoch;
+    }
+    if (ea != eb) return ea < eb;
+    return input.txns[a].id < input.txns[b].id;
+  });
+  TxnIdSet used;
+  for (size_t i : accepted) {
+    std::vector<Update> footprint =
+        UpdateFootprint(*input.provider, input.txns[i].extension, used);
+    auto flat = Flatten(*catalog_, footprint);
+    Status applied_status =
+        flat.ok() ? ApplyFlattened(instance, *flat) : flat.status();
+    if (!applied_status.ok()) {
+      // The flattened form can be stale when an extension member's
+      // effect already reached the instance through a *different but
+      // identical* accepted transaction (agreement is detected pairwise,
+      // not across chains). Replaying the footprint step by step with
+      // idempotent application absorbs the already-achieved prefix.
+      applied_status = Status::OK();
+      for (const Update& u : footprint) {
+        applied_status = ApplyFlattened(instance, {u});
+        if (!applied_status.ok()) break;
+      }
+    }
+    if (!applied_status.ok()) {
+      // Defensive: CheckState vetted each extension in isolation, but an
+      // unforeseen interaction between accepted extensions surfaces
+      // here; reject rather than corrupt the instance.
+      ORCH_LOG(Warning) << "accepted transaction "
+                        << input.txns[i].id.ToString()
+                        << " failed to apply: " << applied_status.ToString();
+      decision[i] = Decision::kReject;
+      continue;
+    }
+    for (const TransactionId& id : input.txns[i].extension) used.insert(id);
+  }
+  outcome.applied_txns.assign(used.begin(), used.end());
+  std::sort(outcome.applied_txns.begin(), outcome.applied_txns.end());
+
+  // A root that lost its own conflict but rode into the instance inside
+  // an accepted dependent's extension was transitively accepted; its
+  // recorded decision must say so (applied and rejected are exclusive).
+  for (size_t i = 0; i < n; ++i) {
+    if (decision[i] == Decision::kReject &&
+        used.count(input.txns[i].id) != 0) {
+      decision[i] = Decision::kAccept;
+    }
+  }
+
+  // --- Phase 6 (Fig. 5 UpdateSoftState): rebuild dirty values and
+  // conflict groups from this run's deferred set. ---
+  std::map<ConflictPoint, std::vector<size_t>> group_members;
+  for (size_t i = 0; i < n; ++i) {
+    switch (decision[i]) {
+      case Decision::kAccept:
+        outcome.accepted_roots.push_back(input.txns[i].id);
+        break;
+      case Decision::kReject:
+        outcome.rejected_roots.push_back(input.txns[i].id);
+        break;
+      case Decision::kDefer: {
+        outcome.deferred_roots.push_back(input.txns[i].id);
+        for (const Update& u : up_ex[i]) {
+          const db::RelationSchema& schema =
+              *catalog_->GetRelation(u.relation()).value();
+          for (RelKey& rk : u.TouchedKeys(schema)) {
+            outcome.dirty_values.insert(std::move(rk));
+          }
+        }
+        break;
+      }
+      case Decision::kUndecided:
+        ORCH_CHECK(false, "transaction left undecided");
+    }
+  }
+  for (const auto& [pair, points] : pair_points) {
+    if (points.empty()) continue;
+    if (decision[pair.first] != Decision::kDefer ||
+        decision[pair.second] != Decision::kDefer) {
+      continue;
+    }
+    for (const ConflictPoint& point : points) {
+      auto& members = group_members[point];
+      for (size_t idx : {pair.first, pair.second}) {
+        if (std::find(members.begin(), members.end(), idx) == members.end()) {
+          members.push_back(idx);
+        }
+      }
+    }
+  }
+  for (auto& [point, members] : group_members) {
+    ConflictGroup group;
+    group.point = point;
+    // A member strictly subsumed by another member is that member's
+    // antecedent: accepting the subsumer transitively accepts it, so it
+    // rides in the subsumer's option rather than forming its own.
+    auto covering = [&](size_t idx) {
+      size_t best = idx;
+      for (size_t j : members) {
+        if (j == idx) continue;
+        const auto& ext_j = input.txns[j].extension;
+        const auto& ext_best = input.txns[best].extension;
+        if (ext_j.size() > ext_best.size() &&
+            Subsumes(ext_j, input.txns[idx].extension)) {
+          best = j;
+        }
+      }
+      return best;
+    };
+    // Compatible transactions (same modification to the contested key)
+    // combine into one option.
+    std::map<std::string, size_t> option_of_effect;
+    for (size_t idx : members) {
+      const size_t representative = covering(idx);
+      const std::string effect =
+          EffectOnKey(*catalog_, up_ex[representative], point.key);
+      auto [it, inserted] =
+          option_of_effect.emplace(effect, group.options.size());
+      if (inserted) {
+        group.options.push_back(ConflictOption{{}, effect});
+      }
+      group.options[it->second].txns.push_back(input.txns[idx].id);
+    }
+    outcome.conflict_groups.push_back(std::move(group));
+  }
+  return outcome;
+}
+
+}  // namespace orchestra::core

@@ -1,0 +1,79 @@
+#include "core/resolution.h"
+
+#include <algorithm>
+
+namespace orchestra::core {
+
+Result<ResolutionSummary> ResolveConflicts(
+    Participant* participant, UpdateStore* store,
+    const ResolutionStrategy& strategy) {
+  ResolutionSummary summary;
+  // Resolving a group re-runs reconciliation and rebuilds the group
+  // list, so restart the scan after every resolution. Skipped groups are
+  // remembered by their conflict point so the loop terminates even when
+  // a group survives a re-run.
+  std::vector<ConflictPoint> skipped;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const auto& groups = participant->pending_conflicts();
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (std::find(skipped.begin(), skipped.end(), groups[g].point) !=
+          skipped.end()) {
+        continue;
+      }
+      const std::optional<size_t> raw = strategy(groups[g]);
+      if (!raw.has_value()) {
+        // nullopt skips the group (leave it deferred for a human).
+        skipped.push_back(groups[g].point);
+        ++summary.groups_skipped;
+        continue;
+      }
+      // An index past the end means "reject every option".
+      const std::optional<size_t> choice =
+          *raw < groups[g].options.size() ? raw : std::nullopt;
+      ORCH_ASSIGN_OR_RETURN(ReconcileReport report,
+                            participant->ResolveConflict(store, g, choice));
+      ++summary.groups_resolved;
+      summary.accepted += report.accepted.size();
+      summary.rejected += report.rejected.size();
+      progress = true;
+      break;  // group list was rebuilt; rescan
+    }
+  }
+  return summary;
+}
+
+ResolutionStrategy PreferPeers(std::vector<ParticipantId> ranking) {
+  return [ranking = std::move(ranking)](
+             const ConflictGroup& group) -> std::optional<size_t> {
+    for (ParticipantId preferred : ranking) {
+      for (size_t i = 0; i < group.options.size(); ++i) {
+        for (const TransactionId& id : group.options[i].txns) {
+          if (id.origin == preferred) return i;
+        }
+      }
+    }
+    return std::nullopt;  // skip
+  };
+}
+
+ResolutionStrategy PreferEffect(
+    std::function<bool(const std::string& effect)> predicate) {
+  return [predicate = std::move(predicate)](
+             const ConflictGroup& group) -> std::optional<size_t> {
+    for (size_t i = 0; i < group.options.size(); ++i) {
+      if (predicate(group.options[i].effect)) return i;
+    }
+    return std::nullopt;  // skip
+  };
+}
+
+ResolutionStrategy RejectAll() {
+  return [](const ConflictGroup& group) -> std::optional<size_t> {
+    // An index past the end rejects every option.
+    return group.options.size();
+  };
+}
+
+}  // namespace orchestra::core

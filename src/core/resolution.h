@@ -1,0 +1,51 @@
+#ifndef ORCHESTRA_CORE_RESOLUTION_H_
+#define ORCHESTRA_CORE_RESOLUTION_H_
+
+#include <functional>
+
+#include "common/result.h"
+#include "core/participant.h"
+
+namespace orchestra::core {
+
+/// Outcome of a bulk conflict-resolution pass.
+struct ResolutionSummary {
+  size_t groups_resolved = 0;
+  size_t groups_skipped = 0;  // no option matched the strategy
+  size_t accepted = 0;
+  size_t rejected = 0;
+};
+
+/// Picks the option to accept for one conflict group, or nullopt to
+/// leave the group unresolved (skip) — the per-group strategy plugged
+/// into ResolveConflicts below. Returning an out-of-range index rejects
+/// every option (equivalent to Participant::ResolveConflict(nullopt)).
+using ResolutionStrategy =
+    std::function<std::optional<size_t>(const ConflictGroup&)>;
+
+/// Applies `strategy` to every pending conflict group of `participant`,
+/// repeatedly, until no strategy-resolvable group remains (resolving one
+/// group re-runs reconciliation, which can settle or re-shape others).
+/// This is the paper's §4 resolution loop with the "user" mechanized.
+Result<ResolutionSummary> ResolveConflicts(Participant* participant,
+                                           UpdateStore* store,
+                                           const ResolutionStrategy& strategy);
+
+/// Strategy: accept the option containing a transaction originated by
+/// the most-preferred peer present in the group, per the ranking
+/// (earlier in `ranking` = more preferred). Groups with none of the
+/// ranked peers are skipped.
+ResolutionStrategy PreferPeers(std::vector<ParticipantId> ranking);
+
+/// Strategy: accept the first option whose rendered effect satisfies
+/// `predicate`; skip the group if none does.
+ResolutionStrategy PreferEffect(
+    std::function<bool(const std::string& effect)> predicate);
+
+/// Strategy: reject every option of every group — keep only local data
+/// for contested keys.
+ResolutionStrategy RejectAll();
+
+}  // namespace orchestra::core
+
+#endif  // ORCHESTRA_CORE_RESOLUTION_H_

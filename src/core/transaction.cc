@@ -1,0 +1,71 @@
+#include "core/transaction.h"
+
+#include "common/string_util.h"
+#include "db/serde.h"
+
+namespace orchestra::core {
+
+std::string Transaction::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(updates.size());
+  for (const Update& u : updates) parts.push_back(u.ToString());
+  std::string out = id.ToString() + ":{" + Join(parts, ", ") + "}";
+  if (!antecedents.empty()) {
+    std::vector<std::string> ante;
+    ante.reserve(antecedents.size());
+    for (const TransactionId& a : antecedents) ante.push_back(a.ToString());
+    out += " ante{" + Join(ante, ", ") + "}";
+  }
+  return out;
+}
+
+void EncodeTransaction(std::string* out, const Transaction& txn) {
+  db::PutVarint64(out, txn.id.origin);
+  db::PutVarint64(out, txn.id.seq);
+  db::PutVarint64(out, static_cast<uint64_t>(txn.epoch + 1));  // kNoEpoch -> 0
+  db::PutVarint64(out, txn.updates.size());
+  for (const Update& u : txn.updates) EncodeUpdate(out, u);
+  db::PutVarint64(out, txn.antecedents.size());
+  for (const TransactionId& a : txn.antecedents) {
+    db::PutVarint64(out, a.origin);
+    db::PutVarint64(out, a.seq);
+  }
+}
+
+Result<Transaction> DecodeTransaction(std::string_view data, size_t* pos) {
+  Transaction txn;
+  ORCH_ASSIGN_OR_RETURN(uint64_t origin, db::GetVarint64(data, pos));
+  ORCH_ASSIGN_OR_RETURN(uint64_t seq, db::GetVarint64(data, pos));
+  txn.id = TransactionId{static_cast<ParticipantId>(origin), seq};
+  ORCH_ASSIGN_OR_RETURN(uint64_t epoch_plus_one, db::GetVarint64(data, pos));
+  txn.epoch = static_cast<Epoch>(epoch_plus_one) - 1;
+  ORCH_ASSIGN_OR_RETURN(uint64_t n_updates, db::GetVarint64(data, pos));
+  if (n_updates > data.size() - *pos) {
+    return Status::Corruption("update count exceeds the remaining input");
+  }
+  txn.updates.reserve(n_updates);
+  for (uint64_t i = 0; i < n_updates; ++i) {
+    ORCH_ASSIGN_OR_RETURN(Update u, DecodeUpdate(data, pos));
+    txn.updates.push_back(std::move(u));
+  }
+  ORCH_ASSIGN_OR_RETURN(uint64_t n_ante, db::GetVarint64(data, pos));
+  if (n_ante > data.size() - *pos) {
+    return Status::Corruption("antecedent count exceeds the remaining input");
+  }
+  txn.antecedents.reserve(n_ante);
+  for (uint64_t i = 0; i < n_ante; ++i) {
+    ORCH_ASSIGN_OR_RETURN(uint64_t a_origin, db::GetVarint64(data, pos));
+    ORCH_ASSIGN_OR_RETURN(uint64_t a_seq, db::GetVarint64(data, pos));
+    txn.antecedents.push_back(
+        TransactionId{static_cast<ParticipantId>(a_origin), a_seq});
+  }
+  return txn;
+}
+
+size_t EncodedTransactionSize(const Transaction& txn) {
+  std::string buf;
+  EncodeTransaction(&buf, txn);
+  return buf.size();
+}
+
+}  // namespace orchestra::core

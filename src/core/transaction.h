@@ -1,0 +1,75 @@
+#ifndef ORCHESTRA_CORE_TRANSACTION_H_
+#define ORCHESTRA_CORE_TRANSACTION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ids.h"
+#include "core/update.h"
+
+namespace orchestra::core {
+
+/// A published transaction X_{i:j}: an atomic group of updates plus the
+/// identifiers of its direct antecedents ante(X) — the transactions that
+/// inserted or last modified each tuple this transaction deletes or
+/// modifies (§4.2). Antecedents are computed by the publishing
+/// participant against its own instance's version map and travel with the
+/// transaction, so any store (central or DHT) can serve extension
+/// requests without understanding update semantics.
+struct Transaction {
+  TransactionId id;
+  std::vector<Update> updates;
+  std::vector<TransactionId> antecedents;
+  /// Set by the update store when the transaction is published.
+  Epoch epoch = kNoEpoch;
+
+  std::string ToString() const;
+};
+
+void EncodeTransaction(std::string* out, const Transaction& txn);
+Result<Transaction> DecodeTransaction(std::string_view data, size_t* pos);
+
+/// Encoded size in bytes; used by the simulated network for bandwidth
+/// accounting.
+size_t EncodedTransactionSize(const Transaction& txn);
+
+/// Read-only lookup of published transactions by id; implemented by the
+/// update stores (and by in-memory test fixtures).
+class TransactionProvider {
+ public:
+  virtual ~TransactionProvider() = default;
+
+  /// The transaction with the given id, or NotFound.
+  virtual Result<const Transaction*> Get(const TransactionId& id) const = 0;
+};
+
+/// Hash-map-backed provider; serves as the participant-side transaction
+/// cache (soft state) and as a test fixture.
+class TransactionMap : public TransactionProvider {
+ public:
+  /// Adds or overwrites a transaction.
+  void Put(Transaction txn) { txns_[txn.id] = std::move(txn); }
+
+  bool Contains(const TransactionId& id) const {
+    return txns_.count(id) != 0;
+  }
+
+  size_t size() const { return txns_.size(); }
+
+  Result<const Transaction*> Get(const TransactionId& id) const override {
+    auto it = txns_.find(id);
+    if (it == txns_.end()) {
+      return Status::NotFound("transaction " + id.ToString() + " unknown");
+    }
+    return &it->second;
+  }
+
+ private:
+  std::unordered_map<TransactionId, Transaction, TransactionIdHash> txns_;
+};
+
+}  // namespace orchestra::core
+
+#endif  // ORCHESTRA_CORE_TRANSACTION_H_

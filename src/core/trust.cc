@@ -1,0 +1,36 @@
+#include "core/trust.h"
+
+#include <algorithm>
+
+namespace orchestra::core {
+
+bool AcceptanceRule::Matches(const Update& update) const {
+  if (!origins_.empty() && origins_.count(update.origin()) == 0) return false;
+  if (relation_ && update.relation() != *relation_) return false;
+  if (content_predicate_ && !content_predicate_(update)) return false;
+  return true;
+}
+
+int TrustPolicy::PriorityOf(const Update& update) const {
+  if (update.origin() == self_) return kSelfPriority;
+  int best = 0;
+  for (const AcceptanceRule& rule : rules_) {
+    if (rule.priority() > best && rule.Matches(update)) {
+      best = rule.priority();
+    }
+  }
+  return best;
+}
+
+int TrustPolicy::PriorityOfTransaction(const Transaction& txn) const {
+  if (txn.updates.empty()) return 0;
+  int best = 0;
+  for (const Update& u : txn.updates) {
+    const int p = PriorityOf(u);
+    if (p <= 0) return 0;  // any untrusted update poisons the transaction
+    best = std::max(best, p);
+  }
+  return best;
+}
+
+}  // namespace orchestra::core

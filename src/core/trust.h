@@ -1,0 +1,99 @@
+#ifndef ORCHESTRA_CORE_TRUST_H_
+#define ORCHESTRA_CORE_TRUST_H_
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/transaction.h"
+#include "core/update.h"
+
+namespace orchestra::core {
+
+/// Priority assigned to a participant's own transactions; always wins
+/// ("the participant always picks its own version first", Fig. 2).
+inline constexpr int kSelfPriority = std::numeric_limits<int>::max();
+
+/// One acceptance rule (θ, v): a predicate over updates plus the integer
+/// priority v assigned to updates satisfying it (Definition 1). The
+/// predicate θ can constrain the update's origin, its relation, and —
+/// via an arbitrary content predicate — its values.
+class AcceptanceRule {
+ public:
+  AcceptanceRule() = default;
+
+  /// Restricts the rule to updates originating at `origin`.
+  AcceptanceRule& FromOrigin(ParticipantId origin) {
+    origins_.insert(origin);
+    return *this;
+  }
+
+  /// Restricts the rule to updates over `relation`.
+  AcceptanceRule& OverRelation(std::string relation) {
+    relation_ = std::move(relation);
+    return *this;
+  }
+
+  /// Adds an arbitrary content predicate (e.g. "organism = 'rat'").
+  AcceptanceRule& Where(std::function<bool(const Update&)> predicate) {
+    content_predicate_ = std::move(predicate);
+    return *this;
+  }
+
+  /// Sets the priority v (> 0 means trusted).
+  AcceptanceRule& WithPriority(int priority) {
+    priority_ = priority;
+    return *this;
+  }
+
+  int priority() const { return priority_; }
+
+  /// θ(δ): true if the update satisfies every constraint of this rule.
+  bool Matches(const Update& update) const;
+
+ private:
+  std::set<ParticipantId> origins_;         // empty = any origin
+  std::optional<std::string> relation_;     // nullopt = any relation
+  std::function<bool(const Update&)> content_predicate_;  // null = any
+  int priority_ = 0;
+};
+
+/// A(p_i): one participant's full set of acceptance rules, with the
+/// paper's priority semantics (§4):
+///   pri_i(X) = 0 if any δ ∈ X is untrusted (no rule with v > 0 matches)
+///            = max over matching rules otherwise.
+/// The participant's own updates are implicitly trusted at kSelfPriority.
+class TrustPolicy {
+ public:
+  explicit TrustPolicy(ParticipantId self) : self_(self) {}
+
+  ParticipantId self() const { return self_; }
+
+  TrustPolicy& AddRule(AcceptanceRule rule) {
+    rules_.push_back(std::move(rule));
+    return *this;
+  }
+
+  /// Convenience: trust every update from `origin` at `priority`.
+  TrustPolicy& TrustPeer(ParticipantId origin, int priority) {
+    return AddRule(
+        AcceptanceRule().FromOrigin(origin).WithPriority(priority));
+  }
+
+  /// Highest priority any rule assigns to this update; 0 if untrusted.
+  int PriorityOf(const Update& update) const;
+
+  /// pri_i(X) over a whole transaction, per §4.
+  int PriorityOfTransaction(const Transaction& txn) const;
+
+ private:
+  ParticipantId self_;
+  std::vector<AcceptanceRule> rules_;
+};
+
+}  // namespace orchestra::core
+
+#endif  // ORCHESTRA_CORE_TRUST_H_

@@ -1,0 +1,175 @@
+#ifndef ORCHESTRA_CORE_UPDATE_STORE_H_
+#define ORCHESTRA_CORE_UPDATE_STORE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/analysis.h"
+#include "core/ids.h"
+#include "core/reconciler.h"
+#include "core/transaction.h"
+#include "core/trust.h"
+
+namespace orchestra::core {
+
+/// Cumulative cost counters for one participant's interactions with an
+/// update store. `sim_network_micros` is deterministic simulated message
+/// latency + transfer time; `store_cpu_micros` is measured wall time of
+/// store-side computation. Together they make up the "Store Time" bars
+/// of the paper's Figures 10 and 12.
+struct StoreStats {
+  int64_t sim_network_micros = 0;
+  int64_t store_cpu_micros = 0;
+  int64_t messages = 0;
+  int64_t bytes = 0;
+  int64_t calls = 0;
+
+  int64_t TotalStoreMicros() const {
+    return sim_network_micros + store_cpu_micros;
+  }
+
+  friend StoreStats operator-(StoreStats a, const StoreStats& b) {
+    a.sim_network_micros -= b.sim_network_micros;
+    a.store_cpu_micros -= b.store_cpu_micros;
+    a.messages -= b.messages;
+    a.bytes -= b.bytes;
+    a.calls -= b.calls;
+    return a;
+  }
+  friend StoreStats operator+(StoreStats a, const StoreStats& b) {
+    a.sim_network_micros += b.sim_network_micros;
+    a.store_cpu_micros += b.store_cpu_micros;
+    a.messages += b.messages;
+    a.bytes += b.bytes;
+    a.calls += b.calls;
+    return a;
+  }
+};
+
+/// Everything a participant needs from the store to run one
+/// reconciliation: the allocated reconciliation number, the stable epoch
+/// it covers, the fully trusted undecided transactions with their trust
+/// priorities, and a self-contained bundle of transactions covering the
+/// trusted transactions plus their antecedent closures (excluding
+/// transactions the participant already applied).
+struct ReconcileFetch {
+  int64_t recno = 0;
+  Epoch epoch = kNoEpoch;
+  std::vector<std::pair<TransactionId, int>> trusted;
+  std::vector<Transaction> transactions;
+};
+
+/// Everything required to reconstruct a participant that lost its local
+/// state (§5.2: the client holds only soft state — the store can rebuild
+/// it up to the last reconciliation). `applied` is sorted by publication
+/// order; `undecided` covers transactions the peer had fetched but
+/// neither applied nor rejected (i.e. its deferred backlog), along with
+/// their antecedent closures in `closure`.
+struct RecoveryBundle {
+  int64_t recno = 0;
+  Epoch epoch = kNoEpoch;  // the peer's reconciliation watermark
+  std::vector<Transaction> applied;
+  std::vector<TransactionId> rejected;
+  std::vector<std::pair<TransactionId, int>> undecided;
+  std::vector<Transaction> closure;
+};
+
+/// What a network-centric reconciliation ships to the client: the usual
+/// fetch, plus transaction extensions and the flattening/conflict
+/// analysis, all computed inside the store ("across the network" for the
+/// DHT, server-side for the central store). The client merges its
+/// locally cached deferred backlog and runs only the decision phases.
+struct NetworkCentricFetch {
+  ReconcileFetch base;
+  /// Parallel to base.trusted, with extensions computed store-side.
+  std::vector<TrustedTxn> trusted_txns;
+  /// Flattened extensions and direct conflicts over trusted_txns.
+  ReconcileAnalysis analysis;
+};
+
+/// Optional capability interface: stores that can perform the
+/// reconciliation analysis themselves (§5's network-centric mode,
+/// proposed in the paper as future work and implemented here). Both
+/// shipped stores support it; discover it with a dynamic_cast from
+/// UpdateStore.
+class NetworkCentricStore {
+ public:
+  virtual ~NetworkCentricStore() = default;
+
+  /// Like UpdateStore::BeginReconciliation, but the store also computes
+  /// the transaction extensions, flattened update extensions, and direct
+  /// conflicts, charging that work to the store rather than the client.
+  virtual Result<NetworkCentricFetch> BeginNetworkCentricReconciliation(
+      ParticipantId peer) = 0;
+};
+
+/// The update store of §5.2: publishes and retrieves transactions,
+/// associates each published transaction with a client reconciliation,
+/// and durably records which transactions each peer accepted or
+/// rejected. The two implementations — a centralized RDBMS-style store
+/// (§5.2.1) and a distributed DHT-based store (§5.2.2) — live in
+/// src/store.
+class UpdateStore {
+ public:
+  virtual ~UpdateStore() = default;
+
+  /// Registers a peer and its trust policy. The store applies trust
+  /// predicates store-side so that only relevant transactions travel
+  /// over the network (§5.2.1). The policy must outlive the store.
+  virtual Status RegisterParticipant(ParticipantId peer,
+                                     const TrustPolicy* policy) = 0;
+
+  /// Publishes a batch of transactions from `peer` as one epoch and
+  /// records them as already accepted by their publisher. Returns the
+  /// allocated epoch.
+  virtual Result<Epoch> Publish(ParticipantId peer,
+                                std::vector<Transaction> txns) = 0;
+
+  /// Starts a reconciliation for `peer`: allocates a reconciliation
+  /// number, determines the latest stable epoch (§5.2.1), and returns
+  /// the newly relevant transactions. Each published transaction is
+  /// returned to a given peer at most once across reconciliations.
+  virtual Result<ReconcileFetch> BeginReconciliation(ParticipantId peer) = 0;
+
+  /// Durably records the outcome of reconciliation `recno`: the
+  /// transactions applied (accepted roots plus transitively accepted
+  /// antecedents) and those explicitly rejected.
+  virtual Status RecordDecisions(
+      ParticipantId peer, int64_t recno,
+      const std::vector<TransactionId>& applied,
+      const std::vector<TransactionId>& rejected) = 0;
+
+  /// Retrieves the full durable state of `peer` for crash recovery: its
+  /// applied transactions (in publication order), rejected transaction
+  /// ids, and the undecided (deferred) transactions within its
+  /// reconciliation watermark. See RecoveryBundle.
+  virtual Result<RecoveryBundle> FetchRecoveryState(
+      ParticipantId peer) const = 0;
+
+  /// Bootstraps `new_peer` from `source_peer`'s published state (§1:
+  /// participants populate fresh local instances with downloaded data).
+  /// Records, store-side, that `new_peer` has applied exactly what
+  /// `source_peer` applied, moves its epoch watermark to the source's,
+  /// and returns the applied transactions (in publication order) for
+  /// local replay. The new peer's own trust policy governs everything
+  /// *after* the bootstrap point; the source's rejections are
+  /// deliberately not inherited (they reflect the source's policy, not
+  /// the new peer's), and the bundle's `undecided` set — transactions in
+  /// the adopted window that the source neither applied nor the new
+  /// peer's policy distrusts — lets the new peer defer or decide them
+  /// under its own rules.
+  virtual Result<RecoveryBundle> Bootstrap(ParticipantId new_peer,
+                                           ParticipantId source_peer) = 0;
+
+  /// Cumulative interaction costs charged to `peer`.
+  virtual StoreStats StatsFor(ParticipantId peer) const = 0;
+
+  /// Human-readable implementation name ("central", "dht").
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace orchestra::core
+
+#endif  // ORCHESTRA_CORE_UPDATE_STORE_H_

@@ -1,0 +1,56 @@
+#ifndef ORCHESTRA_DB_INSTANCE_H_
+#define ORCHESTRA_DB_INSTANCE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "db/schema.h"
+#include "db/table.h"
+
+namespace orchestra::db {
+
+/// A full database instance I_i(Σ): one Table per relation in the shared
+/// catalog, plus multi-relation integrity checking. Each CDSS participant
+/// owns one Instance; the catalog itself is shared and read-only.
+class Instance {
+ public:
+  /// Creates an empty instance with one table per catalog relation.
+  /// The catalog must outlive the instance.
+  explicit Instance(const Catalog* catalog);
+
+  Instance(const Instance&) = default;
+  Instance& operator=(const Instance&) = default;
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// The table for `relation`; NotFound if the catalog lacks it.
+  Result<Table*> GetTable(std::string_view relation);
+  Result<const Table*> GetTable(std::string_view relation) const;
+
+  /// Total number of tuples across all relations.
+  size_t TotalTuples() const;
+
+  /// Verifies every foreign key over the current contents. Violations are
+  /// reported with the offending child tuple. Used after applying a
+  /// flattened update set, per Definition 5 requirement (2).
+  Status CheckForeignKeys() const;
+
+  /// True if both instances hold exactly the same tuples in every relation.
+  friend bool operator==(const Instance& a, const Instance& b);
+
+  /// Deterministic multi-line rendering (relations in name order, tuples
+  /// in key order); used by tests and the examples.
+  std::string ToString() const;
+
+ private:
+  const Catalog* catalog_;
+  std::map<std::string, Table, std::less<>> tables_;
+};
+
+}  // namespace orchestra::db
+
+#endif  // ORCHESTRA_DB_INSTANCE_H_

@@ -1,0 +1,131 @@
+#include "db/serde.h"
+
+#include <cstring>
+
+namespace orchestra::db {
+
+void PutVarint64(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+Result<uint64_t> GetVarint64(std::string_view data, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (*pos < data.size()) {
+    const uint8_t byte = static_cast<uint8_t>(data[(*pos)++]);
+    if (shift >= 64) {
+      return Status::Corruption("varint too long");
+    }
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return Status::Corruption("truncated varint");
+}
+
+void PutLengthPrefixed(std::string* out, std::string_view value) {
+  PutVarint64(out, value.size());
+  out->append(value);
+}
+
+Result<std::string> GetLengthPrefixed(std::string_view data, size_t* pos) {
+  ORCH_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(data, pos));
+  if (len > data.size() - *pos) {  // written to avoid uint64 overflow
+    return Status::Corruption("truncated length-prefixed field");
+  }
+  std::string out(data.substr(*pos, len));
+  *pos += len;
+  return out;
+}
+
+void EncodeValue(std::string* out, const Value& value) {
+  out->push_back(static_cast<char>(value.type()));
+  switch (value.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt64: {
+      // Zigzag so negative values stay short.
+      const int64_t v = value.AsInt64();
+      PutVarint64(out, (static_cast<uint64_t>(v) << 1) ^
+                           static_cast<uint64_t>(v >> 63));
+      break;
+    }
+    case ValueType::kDouble: {
+      const double d = value.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      char buf[8];
+      std::memcpy(buf, &bits, sizeof(bits));
+      out->append(buf, sizeof(buf));
+      break;
+    }
+    case ValueType::kString:
+      PutLengthPrefixed(out, value.AsString());
+      break;
+  }
+}
+
+Result<Value> DecodeValue(std::string_view data, size_t* pos) {
+  if (*pos >= data.size()) return Status::Corruption("truncated value tag");
+  const auto type = static_cast<ValueType>(data[(*pos)++]);
+  switch (type) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt64: {
+      ORCH_ASSIGN_OR_RETURN(uint64_t zz, GetVarint64(data, pos));
+      const int64_t v =
+          static_cast<int64_t>(zz >> 1) ^ -static_cast<int64_t>(zz & 1);
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      if (*pos + 8 > data.size()) {
+        return Status::Corruption("truncated double");
+      }
+      uint64_t bits;
+      std::memcpy(&bits, data.data() + *pos, sizeof(bits));
+      *pos += 8;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case ValueType::kString: {
+      ORCH_ASSIGN_OR_RETURN(std::string s, GetLengthPrefixed(data, pos));
+      return Value(std::move(s));
+    }
+  }
+  return Status::Corruption("unknown value type tag");
+}
+
+void EncodeTuple(std::string* out, const Tuple& tuple) {
+  PutVarint64(out, tuple.size());
+  for (const Value& v : tuple.values()) EncodeValue(out, v);
+}
+
+Result<Tuple> DecodeTuple(std::string_view data, size_t* pos) {
+  ORCH_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(data, pos));
+  // Every value occupies at least one byte; a larger count is corrupt
+  // input (and must not drive an allocation).
+  if (count > data.size() - *pos) {
+    return Status::Corruption("tuple arity " + std::to_string(count) +
+                              " exceeds the remaining input");
+  }
+  std::vector<Value> values;
+  values.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ORCH_ASSIGN_OR_RETURN(Value v, DecodeValue(data, pos));
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values));
+}
+
+size_t EncodedTupleSize(const Tuple& tuple) {
+  std::string buf;
+  EncodeTuple(&buf, tuple);
+  return buf.size();
+}
+
+}  // namespace orchestra::db

@@ -1,0 +1,44 @@
+#ifndef ORCHESTRA_DB_SERDE_H_
+#define ORCHESTRA_DB_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "db/tuple.h"
+#include "db/value.h"
+
+namespace orchestra::db {
+
+/// Binary encoding for db values/tuples. Used by the WAL (durability of
+/// the central store) and by the simulated network to account message
+/// sizes. The format is length-prefixed and self-describing:
+///   varint  LEB128 unsigned
+///   value   [type:1 byte][payload]
+///   tuple   [varint count][value...]
+
+/// Appends a LEB128-encoded unsigned integer to `out`.
+void PutVarint64(std::string* out, uint64_t value);
+
+/// Reads a varint from data[*pos...], advancing *pos.
+Result<uint64_t> GetVarint64(std::string_view data, size_t* pos);
+
+/// Appends a length-prefixed string.
+void PutLengthPrefixed(std::string* out, std::string_view value);
+Result<std::string> GetLengthPrefixed(std::string_view data, size_t* pos);
+
+void EncodeValue(std::string* out, const Value& value);
+Result<Value> DecodeValue(std::string_view data, size_t* pos);
+
+void EncodeTuple(std::string* out, const Tuple& tuple);
+Result<Tuple> DecodeTuple(std::string_view data, size_t* pos);
+
+/// Size in bytes of the encoded tuple (for message accounting without
+/// materializing the encoding).
+size_t EncodedTupleSize(const Tuple& tuple);
+
+}  // namespace orchestra::db
+
+#endif  // ORCHESTRA_DB_SERDE_H_

@@ -1,0 +1,57 @@
+#include "db/value.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace orchestra::db {
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      return std::to_string(AsDouble());
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+uint64_t Value::Hash() const {
+  const uint64_t tag = static_cast<uint64_t>(type());
+  switch (type()) {
+    case ValueType::kNull:
+      return HashCombine(tag, 0);
+    case ValueType::kInt64:
+      return HashCombine(tag, static_cast<uint64_t>(AsInt64()));
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      if (d == 0.0) d = 0.0;  // collapse -0.0 and +0.0
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return HashCombine(tag, bits);
+    }
+    case ValueType::kString:
+      return HashCombine(tag, Fnv1a64(AsString()));
+  }
+  return 0;
+}
+
+}  // namespace orchestra::db

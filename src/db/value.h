@@ -1,0 +1,66 @@
+#ifndef ORCHESTRA_DB_VALUE_H_
+#define ORCHESTRA_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace orchestra::db {
+
+/// Column type tags for schema declarations.
+enum class ValueType { kNull = 0, kInt64, kDouble, kString };
+
+std::string_view ValueTypeName(ValueType type);
+
+/// SQL-style NULL marker; all NULLs compare equal (simplified semantics —
+/// adequate for the reconciliation workloads, which never branch on the
+/// three-valued logic subtleties).
+struct NullValue {
+  friend bool operator==(NullValue, NullValue) { return true; }
+  friend bool operator<(NullValue, NullValue) { return false; }
+};
+
+/// A single typed attribute value. Small, copyable, totally ordered
+/// (ordered first by type tag, then by payload) so that values can key
+/// ordered and unordered containers alike.
+class Value {
+ public:
+  Value() : data_(NullValue{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; the caller must have checked type().
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Renders the value for logs and error messages ('str', 42, 3.5, NULL).
+  std::string ToString() const;
+
+  /// Stable 64-bit hash (type-tag aware).
+  uint64_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.data_ < b.data_;
+  }
+
+ private:
+  std::variant<NullValue, int64_t, double, std::string> data_;
+};
+
+}  // namespace orchestra::db
+
+#endif  // ORCHESTRA_DB_VALUE_H_

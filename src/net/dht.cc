@@ -1,0 +1,80 @@
+#include "net/dht.h"
+
+#include <algorithm>
+
+namespace orchestra::net {
+
+DhtRing::DhtRing(size_t n) {
+  ORCH_CHECK_GT(n, 0u);
+  ids_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    NodeId id = KeyHash("node:" + std::to_string(i));
+    // Exceedingly unlikely, but ids must be unique for ring ownership to
+    // be well-defined; nudge duplicates.
+    while (std::find(ids_.begin(), ids_.end(), id) != ids_.end()) ++id;
+    ids_.push_back(id);
+  }
+  sorted_.resize(n);
+  for (size_t i = 0; i < n; ++i) sorted_[i] = i;
+  std::sort(sorted_.begin(), sorted_.end(),
+            [this](size_t a, size_t b) { return ids_[a] < ids_[b]; });
+
+  // Finger tables: finger[k] of node x owns id(x) + 2^k.
+  fingers_.assign(n, std::vector<size_t>(64));
+  for (size_t i = 0; i < n; ++i) {
+    for (int k = 0; k < 64; ++k) {
+      const NodeId target = ids_[i] + (NodeId{1} << k);  // wraps mod 2^64
+      fingers_[i][k] = OwnerOf(target);
+    }
+  }
+}
+
+size_t DhtRing::OwnerOf(NodeId key) const {
+  // Successor ownership: the first node id >= key, wrapping to the
+  // smallest id.
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), key,
+      [this](size_t node, NodeId k) { return ids_[node] < k; });
+  if (it == sorted_.end()) it = sorted_.begin();
+  return *it;
+}
+
+bool DhtRing::InInterval(NodeId x, NodeId a, NodeId b) {
+  // Half-open ring interval (a, b]; when a == b the interval is the
+  // whole ring.
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;
+}
+
+RouteResult DhtRing::Route(size_t from, NodeId key) const {
+  RouteResult result;
+  size_t current = from;
+  const size_t owner = OwnerOf(key);
+  // Greedy Chord routing: forward to the farthest finger that does not
+  // overshoot the key, until the current node's successor owns it.
+  while (current != owner) {
+    size_t next = current;
+    for (int k = 63; k >= 0; --k) {
+      const size_t candidate = fingers_[current][k];
+      if (candidate == current) continue;
+      if (InInterval(ids_[candidate], ids_[current], key)) {
+        next = candidate;
+        break;
+      }
+    }
+    if (next == current) {
+      // No finger strictly precedes the key: the successor owns it.
+      next = owner;
+    }
+    ++result.hops;
+    current = next;
+    if (result.hops > static_cast<int64_t>(ids_.size())) {
+      // Defensive: routing must converge within n hops.
+      ORCH_CHECK(false, "DHT routing failed to converge");
+    }
+  }
+  result.owner = owner;
+  return result;
+}
+
+}  // namespace orchestra::net

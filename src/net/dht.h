@@ -1,0 +1,78 @@
+#ifndef ORCHESTRA_NET_DHT_H_
+#define ORCHESTRA_NET_DHT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace orchestra::net {
+
+/// Position on the 64-bit identifier ring.
+using NodeId = uint64_t;
+
+/// Hashes an application-level key ("epoch:7", "txn:3:12") onto the
+/// ring. FNV-1a alone clusters similar short strings in the high bits
+/// (ring position is decided by the most significant bits, so that would
+/// pile node ids and keys onto one arc); a SplitMix64-style finalizer
+/// avalanches the bits first.
+inline NodeId KeyHash(std::string_view key) {
+  uint64_t z = Fnv1a64(key);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Result of routing a key lookup: which node owns the key and how many
+/// overlay hops the lookup message traversed.
+struct RouteResult {
+  size_t owner = 0;  // index into the ring's node list
+  int64_t hops = 0;  // messages sent to reach the owner
+};
+
+/// A Chord-style structured overlay: nodes own the arc of the identifier
+/// ring ending at their id (successor ownership), and each node keeps a
+/// finger table with successors of n + 2^k for greedy O(log n) routing.
+///
+/// This is the stand-in for the paper's FreePastry substrate (§5.2.2):
+/// the reconciliation experiments depend on key→owner placement and
+/// per-message hop counts, both of which a Chord ring reproduces with
+/// the same asymptotics. Fault tolerance is out of scope, as in the
+/// paper ("we assume successful message delivery").
+class DhtRing {
+ public:
+  /// Builds a ring of `n` nodes. Node i gets id hash("node:<i>"), so
+  /// placement is deterministic yet well-spread.
+  explicit DhtRing(size_t n);
+
+  size_t size() const { return ids_.size(); }
+
+  /// Ring id of node `index`.
+  NodeId IdOf(size_t index) const { return ids_[index]; }
+
+  /// Index of the node owning `key` (its successor on the ring).
+  size_t OwnerOf(NodeId key) const;
+
+  /// Routes a lookup for `key` starting at node `from` using finger
+  /// tables; returns the owner and the number of hops taken (0 when
+  /// `from` already owns the key).
+  RouteResult Route(size_t from, NodeId key) const;
+
+  /// The k-th finger of node `index`: the node owning id + 2^k.
+  size_t Finger(size_t index, int k) const { return fingers_[index][k]; }
+
+ private:
+  /// True if `x` lies in the half-open ring interval (a, b].
+  static bool InInterval(NodeId x, NodeId a, NodeId b);
+
+  std::vector<NodeId> ids_;          // per node index
+  std::vector<size_t> sorted_;       // node indices sorted by id
+  std::vector<std::vector<size_t>> fingers_;  // [node][k] -> node index
+};
+
+}  // namespace orchestra::net
+
+#endif  // ORCHESTRA_NET_DHT_H_

@@ -1,0 +1,22 @@
+#include "net/sim_network.h"
+
+namespace orchestra::net {
+
+int64_t SimNetwork::Charge(uint32_t endpoint, int64_t hops, int64_t bytes) {
+  const int64_t micros = hops * MessageCostMicros(bytes);
+  NetStats& stats = per_endpoint_[endpoint];
+  stats.micros += micros;
+  stats.messages += hops;
+  stats.bytes += hops * bytes;
+  global_.micros += micros;
+  global_.messages += hops;
+  global_.bytes += hops * bytes;
+  return micros;
+}
+
+NetStats SimNetwork::StatsFor(uint32_t endpoint) const {
+  auto it = per_endpoint_.find(endpoint);
+  return it == per_endpoint_.end() ? NetStats{} : it->second;
+}
+
+}  // namespace orchestra::net

@@ -1,0 +1,69 @@
+#ifndef ORCHESTRA_NET_SIM_NETWORK_H_
+#define ORCHESTRA_NET_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace orchestra::net {
+
+/// Deterministic network cost model. The paper's experiments add a delay
+/// of at least 500 microseconds to every DHT message (and reply) and run
+/// the central store over switched 100 Mb Ethernet; we reproduce those
+/// costs as simulated time so results do not depend on host load.
+struct NetworkConfig {
+  /// One-way per-message latency (propagation + processing).
+  int64_t one_way_latency_micros = 500;
+  /// Link bandwidth in bytes per microsecond (12.5 = 100 Mb/s).
+  double bytes_per_micro = 12.5;
+};
+
+/// Per-endpoint traffic counters.
+struct NetStats {
+  int64_t micros = 0;
+  int64_t messages = 0;
+  int64_t bytes = 0;
+
+  friend NetStats operator-(NetStats a, const NetStats& b) {
+    a.micros -= b.micros;
+    a.messages -= b.messages;
+    a.bytes -= b.bytes;
+    return a;
+  }
+};
+
+/// Accounts simulated network time, message counts and bytes, per
+/// charged endpoint (participant) and globally.
+class SimNetwork {
+ public:
+  explicit SimNetwork(NetworkConfig config = {}) : config_(config) {}
+
+  const NetworkConfig& config() const { return config_; }
+
+  /// Simulated cost of one message of `bytes` payload over one hop.
+  int64_t MessageCostMicros(int64_t bytes) const {
+    return config_.one_way_latency_micros +
+           static_cast<int64_t>(static_cast<double>(bytes) /
+                                config_.bytes_per_micro);
+  }
+
+  /// Charges `hops` sequential message transmissions of `bytes` each to
+  /// `endpoint` and returns the charged simulated time.
+  int64_t Charge(uint32_t endpoint, int64_t hops, int64_t bytes);
+
+  NetStats StatsFor(uint32_t endpoint) const;
+  const NetStats& global() const { return global_; }
+
+  void Reset() {
+    per_endpoint_.clear();
+    global_ = NetStats{};
+  }
+
+ private:
+  NetworkConfig config_;
+  std::unordered_map<uint32_t, NetStats> per_endpoint_;
+  NetStats global_;
+};
+
+}  // namespace orchestra::net
+
+#endif  // ORCHESTRA_NET_SIM_NETWORK_H_

@@ -1,0 +1,134 @@
+#include "sim/cdss.h"
+
+#include "common/check.h"
+
+namespace orchestra::sim {
+
+using core::ParticipantId;
+
+Result<std::unique_ptr<Cdss>> Cdss::Make(CdssConfig config) {
+  if (config.participants == 0) {
+    return Status::InvalidArgument("need at least one participant");
+  }
+  if (config.transaction_size == 0) {
+    return Status::InvalidArgument("transaction size must be positive");
+  }
+  auto cdss = std::unique_ptr<Cdss>(new Cdss(std::move(config)));
+  const CdssConfig& cfg = cdss->config_;
+
+  ORCH_ASSIGN_OR_RETURN(cdss->catalog_, workload::MakeSwissProtCatalog());
+  cdss->network_ = net::SimNetwork(cfg.network);
+
+  switch (cfg.store) {
+    case StoreKind::kCentral:
+      cdss->engine_ = storage::StorageEngine::InMemory();
+      cdss->store_ = std::make_unique<store::CentralStore>(
+          cdss->engine_.get(), &cdss->network_, store::CentralStoreOptions{},
+          &cdss->catalog_);
+      break;
+    case StoreKind::kDht:
+      cdss->store_ = std::make_unique<store::DhtStore>(
+          cfg.participants, &cdss->network_, &cdss->catalog_);
+      break;
+  }
+
+  // Trust topology (kUniform reproduces §6's equal mutual trust).
+  for (size_t i = 0; i < cfg.participants; ++i) {
+    const ParticipantId id = static_cast<ParticipantId>(i);
+    auto policy = std::make_unique<core::TrustPolicy>(id);
+    for (size_t j = 0; j < cfg.participants; ++j) {
+      if (j == i) continue;
+      int priority = cfg.trust_priority;
+      switch (cfg.topology) {
+        case TrustTopology::kUniform:
+          break;
+        case TrustTopology::kTiered:
+          priority = 1 + static_cast<int>(j % 3);
+          break;
+        case TrustTopology::kStar:
+          priority = j == 0 ? cfg.trust_priority + 1 : cfg.trust_priority;
+          break;
+      }
+      policy->TrustPeer(static_cast<ParticipantId>(j), priority);
+    }
+    cdss->policies_.push_back(std::move(policy));
+  }
+  for (size_t i = 0; i < cfg.participants; ++i) {
+    const ParticipantId id = static_cast<ParticipantId>(i);
+    cdss->participants_.push_back(std::make_unique<core::Participant>(
+        id, &cdss->catalog_, *cdss->policies_[i]));
+    ORCH_RETURN_IF_ERROR(
+        cdss->store_->RegisterParticipant(id, cdss->policies_[i].get()));
+  }
+
+  workload::WorkloadConfig wl = cfg.workload;
+  wl.transaction_size = cfg.transaction_size;
+  wl.seed = cfg.seed;
+  cdss->workload_ = std::make_unique<workload::SwissProtWorkload>(wl);
+  return cdss;
+}
+
+Result<core::ReconcileReport> Cdss::StepParticipant(size_t index) {
+  ORCH_CHECK_LT(index, participants_.size());
+  core::Participant& p = *participants_[index];
+  for (size_t t = 0; t < config_.txns_between_recons; ++t) {
+    std::vector<core::Update> updates =
+        workload_->NextTransaction(p.id(), p.instance());
+    if (updates.empty()) continue;  // the generator had nothing to change
+    auto txn = p.ExecuteTransaction(std::move(updates));
+    if (!txn.ok()) {
+      // Workload raced with its own earlier ops; skip rather than abort.
+      continue;
+    }
+    ++running_.transactions_published;
+  }
+  ORCH_RETURN_IF_ERROR(p.Publish(store_.get()).status());
+  auto report_result = config_.network_centric
+                           ? p.ReconcileNetworkCentric(store_.get())
+                           : p.Reconcile(store_.get());
+  ORCH_ASSIGN_OR_RETURN(core::ReconcileReport report,
+                        std::move(report_result));
+  ++running_.reconciliations;
+  running_.accepted += report.accepted.size();
+  running_.rejected += report.rejected.size();
+  running_.deferred += report.deferred.size();
+  running_.avg_local_micros += static_cast<double>(report.local_micros);
+  running_.avg_store_micros +=
+      static_cast<double>(report.store.TotalStoreMicros());
+  return report;
+}
+
+Result<CdssResult> Cdss::Run() {
+  running_ = CdssResult{};
+  for (size_t round = 0; round < config_.rounds; ++round) {
+    for (size_t i = 0; i < participants_.size(); ++i) {
+      ORCH_RETURN_IF_ERROR(StepParticipant(i).status());
+    }
+  }
+  CdssResult result = running_;
+  if (result.reconciliations > 0) {
+    result.total_local_micros_per_peer =
+        result.avg_local_micros / static_cast<double>(participants_.size());
+    result.total_store_micros_per_peer =
+        result.avg_store_micros / static_cast<double>(participants_.size());
+    result.avg_local_micros /= static_cast<double>(result.reconciliations);
+    result.avg_store_micros /= static_cast<double>(result.reconciliations);
+  }
+  result.state_ratio = CurrentStateRatio();
+  core::StoreStats totals;
+  for (const auto& p : participants_) {
+    totals = totals + store_->StatsFor(p->id());
+  }
+  result.messages = totals.messages;
+  result.bytes = totals.bytes;
+  return result;
+}
+
+double Cdss::CurrentStateRatio() const {
+  std::vector<const core::Participant*> view;
+  view.reserve(participants_.size());
+  for (const auto& p : participants_) view.push_back(p.get());
+  return StateRatio(view, workload::kFunctionRelation);
+}
+
+}  // namespace orchestra::sim

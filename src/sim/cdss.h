@@ -1,0 +1,123 @@
+#ifndef ORCHESTRA_SIM_CDSS_H_
+#define ORCHESTRA_SIM_CDSS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/participant.h"
+#include "core/update_store.h"
+#include "net/sim_network.h"
+#include "sim/metrics.h"
+#include "storage/engine.h"
+#include "store/central_store.h"
+#include "store/dht_store.h"
+#include "workload/swissprot.h"
+
+namespace orchestra::sim {
+
+enum class StoreKind { kCentral, kDht };
+
+/// Shape of the confederation's trust relationships.
+enum class TrustTopology {
+  /// Everyone trusts everyone at the same priority (§6's setup — every
+  /// conflict must be resolved manually).
+  kUniform,
+  /// Peers are striped into three authority tiers; updates from a
+  /// tier-t peer are accepted at priority t. Cross-tier conflicts
+  /// resolve automatically in favor of the higher tier.
+  kTiered,
+  /// Peer 0 is a curated hub trusted at a higher priority by everyone;
+  /// all other peers are mutually trusted at priority 1.
+  kStar,
+};
+
+/// Full-system configuration for one simulated confederation run,
+/// mirroring the experimental setup of §6: N participants who all trust
+/// one another at equal priority (so conflicts defer), publishing and
+/// reconciling in a round-robin epoch schedule.
+struct CdssConfig {
+  size_t participants = 10;
+  StoreKind store = StoreKind::kCentral;
+  /// Use network-centric reconciliation (§5, Fig. 3): the store computes
+  /// extensions, flattening and conflicts; the client only decides.
+  bool network_centric = false;
+  /// Function updates per transaction (Fig. 8's x-axis).
+  size_t transaction_size = 1;
+  /// Transactions published between two reconciliations of the same
+  /// peer — the reconciliation interval RI (Figs. 9-10).
+  size_t txns_between_recons = 4;
+  /// Reconciliations each participant performs over the run.
+  size_t rounds = 10;
+  /// Mutual trust priority (equal everywhere per §6, so that conflicts
+  /// "must be manually rather than automatically resolved").
+  int trust_priority = 1;
+  /// Trust topology; kUniform reproduces the paper's experiments.
+  TrustTopology topology = TrustTopology::kUniform;
+  uint64_t seed = 42;
+  workload::WorkloadConfig workload;
+  net::NetworkConfig network;
+};
+
+/// Aggregated results of a run.
+struct CdssResult {
+  double state_ratio = 1.0;
+  size_t reconciliations = 0;
+  size_t transactions_published = 0;
+  size_t accepted = 0;
+  size_t rejected = 0;
+  size_t deferred = 0;
+  /// Mean per-reconciliation times (microseconds).
+  double avg_local_micros = 0;
+  double avg_store_micros = 0;
+  /// Totals per participant over the whole run (microseconds) — the
+  /// quantity of Fig. 10.
+  double total_local_micros_per_peer = 0;
+  double total_store_micros_per_peer = 0;
+  int64_t messages = 0;
+  int64_t bytes = 0;
+};
+
+/// A whole simulated CDSS: catalog, trust policies, participants, the
+/// chosen update store, and the workload generator. Drives the epoch
+/// schedule and collects the paper's metrics.
+class Cdss {
+ public:
+  /// Builds and wires the confederation. Fails only on configuration
+  /// errors.
+  static Result<std::unique_ptr<Cdss>> Make(CdssConfig config);
+
+  /// Runs the configured number of rounds: in each round every
+  /// participant executes `txns_between_recons` transactions, publishes
+  /// them, and reconciles.
+  Result<CdssResult> Run();
+
+  /// Runs a single peer's turn (used by tests for finer control).
+  Result<core::ReconcileReport> StepParticipant(size_t index);
+
+  core::Participant& participant(size_t index) { return *participants_[index]; }
+  size_t participant_count() const { return participants_.size(); }
+  core::UpdateStore& store() { return *store_; }
+  const CdssConfig& config() const { return config_; }
+
+  /// Current state ratio over the Function relation.
+  double CurrentStateRatio() const;
+
+ private:
+  explicit Cdss(CdssConfig config) : config_(std::move(config)) {}
+
+  CdssConfig config_;
+  db::Catalog catalog_;
+  net::SimNetwork network_;
+  std::unique_ptr<storage::StorageEngine> engine_;
+  std::unique_ptr<core::UpdateStore> store_;
+  std::vector<std::unique_ptr<core::TrustPolicy>> policies_;
+  std::vector<std::unique_ptr<core::Participant>> participants_;
+  std::unique_ptr<workload::SwissProtWorkload> workload_;
+  CdssResult running_;
+};
+
+}  // namespace orchestra::sim
+
+#endif  // ORCHESTRA_SIM_CDSS_H_

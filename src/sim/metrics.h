@@ -1,0 +1,28 @@
+#ifndef ORCHESTRA_SIM_METRICS_H_
+#define ORCHESTRA_SIM_METRICS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/participant.h"
+
+namespace orchestra::sim {
+
+/// The paper's *state ratio* (§6): the average, over every key that
+/// appears in any participant's instance of `relation`, of the number of
+/// distinct states participants hold for that key — where a state is
+/// either the key's full tuple value or the lack of a value. Ranges from
+/// 1 (all peers agree on everything) to the number of peers (no overlap
+/// at all); lower means higher-quality sharing.
+double StateRatio(const std::vector<const core::Participant*>& participants,
+                  std::string_view relation);
+
+/// Fraction of keys on which every participant holds the same value
+/// (complementary agreement metric used by the extension experiments).
+double FullAgreementFraction(
+    const std::vector<const core::Participant*>& participants,
+    std::string_view relation);
+
+}  // namespace orchestra::sim
+
+#endif  // ORCHESTRA_SIM_METRICS_H_

@@ -1,0 +1,111 @@
+#include "storage/wal.h"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "db/serde.h"
+
+namespace orchestra::storage {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t crc = 0xffffffffU;
+  for (unsigned char byte : data) {
+    crc = kTable[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffU;
+}
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(std::string path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab+");
+  if (file == nullptr) {
+    return Status::IOError("cannot open WAL at " + path);
+  }
+  return std::unique_ptr<WriteAheadLog>(
+      new WriteAheadLog(std::move(path), file));
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WriteAheadLog::Append(uint8_t type, std::string_view payload) {
+  std::string body;
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  const uint32_t crc = Crc32(body);
+
+  std::string record;
+  record.resize(4);
+  std::memcpy(record.data(), &crc, 4);
+  db::PutVarint64(&record, payload.size());
+  record.append(body);
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::IOError("short write to WAL " + path_);
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("fflush failed on WAL " + path_);
+  }
+  return Status::OK();
+}
+
+Status WriteAheadLog::Replay(
+    const std::function<Status(uint8_t, std::string_view)>& visitor) const {
+  std::FILE* file = std::fopen(path_.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open WAL for replay at " + path_);
+  }
+  std::string contents;
+  {
+    char buffer[1 << 16];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      contents.append(buffer, n);
+    }
+    std::fclose(file);
+  }
+  size_t pos = 0;
+  while (pos < contents.size()) {
+    const size_t record_start = pos;
+    if (pos + 4 > contents.size()) break;  // torn tail
+    uint32_t stored_crc;
+    std::memcpy(&stored_crc, contents.data() + pos, 4);
+    pos += 4;
+    auto len = db::GetVarint64(contents, &pos);
+    if (!len.ok()) break;  // torn tail
+    if (pos + 1 + *len > contents.size()) break;  // torn tail
+    const std::string_view body(contents.data() + pos, 1 + *len);
+    pos += 1 + *len;
+    if (Crc32(body) != stored_crc) {
+      if (pos >= contents.size()) break;  // torn final record
+      return Status::Corruption("WAL CRC mismatch at offset " +
+                                std::to_string(record_start) + " in " + path_);
+    }
+    const uint8_t type = static_cast<uint8_t>(body[0]);
+    ORCH_RETURN_IF_ERROR(visitor(type, body.substr(1)));
+  }
+  return Status::OK();
+}
+
+}  // namespace orchestra::storage

@@ -1,0 +1,61 @@
+#ifndef ORCHESTRA_STORAGE_WAL_H_
+#define ORCHESTRA_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace orchestra::storage {
+
+/// CRC32 (IEEE polynomial) over `data`; used to validate WAL records.
+uint32_t Crc32(std::string_view data);
+
+/// Append-only write-ahead log. Record format:
+///   [crc32 of (type+payload) : 4 bytes LE]
+///   [payload length          : varint]
+///   [type                    : 1 byte]
+///   [payload                 : length bytes]
+/// A torn tail (partial final record or CRC mismatch at the end) is
+/// tolerated during replay — the log is truncated at the last valid
+/// record, matching standard recovery semantics. A CRC mismatch in the
+/// middle of the log is reported as Corruption.
+class WriteAheadLog {
+ public:
+  /// Opens (creating if needed) the log at `path` for appending.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(std::string path);
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one record. Buffered; call Sync to force it to disk.
+  Status Append(uint8_t type, std::string_view payload);
+
+  /// Flushes buffered appends and fsyncs the file.
+  Status Sync();
+
+  /// Replays every valid record from the start of the file, invoking
+  /// `visitor(type, payload)` for each. Stops cleanly at a torn tail.
+  Status Replay(
+      const std::function<Status(uint8_t, std::string_view)>& visitor) const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadLog(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_;
+};
+
+}  // namespace orchestra::storage
+
+#endif  // ORCHESTRA_STORAGE_WAL_H_

@@ -1,0 +1,440 @@
+#include "store/central_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <deque>
+
+#include "common/clock.h"
+#include "db/serde.h"
+#include "core/extension.h"
+
+namespace orchestra::store {
+
+using core::Epoch;
+using core::ParticipantId;
+using core::ReconcileFetch;
+using core::Transaction;
+using core::TransactionId;
+using core::TxnIdSet;
+
+CentralStore::CentralStore(storage::StorageEngine* engine,
+                           net::SimNetwork* network,
+                           CentralStoreOptions options,
+                           const db::Catalog* catalog)
+    : engine_(engine), network_(network), options_(options),
+      catalog_(catalog) {
+  ORCH_CHECK(engine != nullptr && network != nullptr);
+}
+
+std::string CentralStore::TxnKey(const TransactionId& id) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%010u:%016" PRIu64, id.origin, id.seq);
+  return buf;
+}
+
+std::string CentralStore::EpochKey(Epoch epoch) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRId64, epoch);
+  return buf;
+}
+
+Status CentralStore::RegisterParticipant(ParticipantId peer,
+                                         const core::TrustPolicy* policy) {
+  ORCH_CHECK(policy != nullptr);
+  policies_[peer] = policy;
+  // Re-registration (e.g. after the store recovers from its WAL) must
+  // preserve the peer's durable epoch watermark.
+  if (!engine_->Contains("peers", std::to_string(peer))) {
+    ORCH_RETURN_IF_ERROR(engine_->Put("peers", std::to_string(peer),
+                                      EpochKey(0)));
+  }
+  return Status::OK();
+}
+
+Result<Transaction> CentralStore::LoadTxn(const TransactionId& id) const {
+  ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", TxnKey(id)));
+  size_t pos = 0;
+  return core::DecodeTransaction(blob, &pos);
+}
+
+bool CentralStore::HasDecision(ParticipantId peer,
+                               const TransactionId& id) const {
+  return engine_->Contains("dec:" + std::to_string(peer), TxnKey(id));
+}
+
+bool CentralStore::IsApplied(ParticipantId peer,
+                             const TransactionId& id) const {
+  auto value = engine_->Get("dec:" + std::to_string(peer), TxnKey(id));
+  return value.ok() && *value == "A";
+}
+
+Result<Epoch> CentralStore::Publish(ParticipantId peer,
+                                    std::vector<Transaction> txns) {
+  Stopwatch cpu;
+  // Allocate the publication epoch (the SQL sequence of §5.2.1) and mark
+  // it open so concurrent reconcilers exclude it until we finish.
+  ORCH_ASSIGN_OR_RETURN(int64_t epoch, engine_->NextSequence("epoch"));
+  ORCH_RETURN_IF_ERROR(engine_->Put("epochs", EpochKey(epoch), "open"));
+
+  int64_t bytes = 0;
+  const std::string dec_table = "dec:" + std::to_string(peer);
+  for (Transaction& txn : txns) {
+    txn.epoch = epoch;
+    std::string blob;
+    core::EncodeTransaction(&blob, txn);
+    bytes += static_cast<int64_t>(blob.size());
+    const std::string key = TxnKey(txn.id);
+    if (engine_->Contains("txn", key)) {
+      return Status::AlreadyExists("transaction " + txn.id.ToString() +
+                                   " already published");
+    }
+    ORCH_RETURN_IF_ERROR(engine_->Put("txn", key, blob));
+    ORCH_RETURN_IF_ERROR(
+        engine_->Put("epoch_txns", EpochKey(epoch) + ":" + key, ""));
+    // The publisher has, by definition, already accepted its own work.
+    ORCH_RETURN_IF_ERROR(engine_->Put(dec_table, key, "A"));
+  }
+  ORCH_RETURN_IF_ERROR(engine_->Put("epochs", EpochKey(epoch), "done"));
+  ORCH_RETURN_IF_ERROR(engine_->Sync());
+
+  // One begin-publish round trip, the batch upload, one finish round
+  // trip (§5.2.1 records publish start and finish separately).
+  network_->Charge(peer, 4, bytes / 4);
+  cpu_micros_[peer] += cpu.ElapsedMicros() + options_.procedure_overhead_micros;
+  calls_[peer] += 1;
+  return epoch;
+}
+
+Result<ReconcileFetch> CentralStore::BeginReconciliation(ParticipantId peer) {
+  Stopwatch cpu;
+  auto policy_it = policies_.find(peer);
+  if (policy_it == policies_.end()) {
+    return Status::NotFound("peer " + std::to_string(peer) +
+                            " is not registered");
+  }
+  const core::TrustPolicy& policy = *policy_it->second;
+
+  ReconcileFetch fetch;
+  ORCH_ASSIGN_OR_RETURN(fetch.recno,
+                        engine_->NextSequence("recno:" + std::to_string(peer)));
+
+  // Latest stable epoch: largest epoch not preceded by an open one.
+  ORCH_ASSIGN_OR_RETURN(std::string last_epoch_key,
+                        engine_->Get("peers", std::to_string(peer)));
+  Epoch stable = 0;
+  for (const auto& [key, state] : engine_->ScanRange("epochs", "", "")) {
+    if (state != "done") break;
+    stable = std::strtoll(key.c_str(), nullptr, 10);
+  }
+  fetch.epoch = stable;
+  const Epoch prev = std::strtoll(last_epoch_key.c_str(), nullptr, 10);
+
+  // Record the reconciliation and advance the peer's epoch watermark
+  // immediately (releasing the conceptual epochs-table lock, §5.2.1).
+  ORCH_RETURN_IF_ERROR(engine_->Put("recons:" + std::to_string(peer),
+                                    EpochKey(fetch.recno), EpochKey(stable)));
+  ORCH_RETURN_IF_ERROR(
+      engine_->Put("peers", std::to_string(peer), EpochKey(stable)));
+
+  // Relevant transactions: everything published in (prev, stable].
+  std::vector<Transaction> relevant;
+  for (const auto& [key, unused] :
+       engine_->ScanRange("epoch_txns", EpochKey(prev + 1),
+                          EpochKey(stable + 1))) {
+    (void)unused;
+    const size_t sep = key.find(':');
+    const std::string txn_key = key.substr(sep + 1);
+    ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", txn_key));
+    size_t pos = 0;
+    ORCH_ASSIGN_OR_RETURN(Transaction txn, core::DecodeTransaction(blob, &pos));
+    relevant.push_back(std::move(txn));
+  }
+
+  // Trust predicates are evaluated inside the store so that only fully
+  // trusted transactions and their antecedent closures are shipped.
+  TxnIdSet shipped;
+  std::deque<TransactionId> pending;
+  for (const Transaction& txn : relevant) {
+    if (HasDecision(peer, txn.id)) continue;  // own or already decided
+    const int priority = policy.PriorityOfTransaction(txn);
+    if (priority <= 0) continue;
+    fetch.trusted.emplace_back(txn.id, priority);
+    if (shipped.insert(txn.id).second) {
+      fetch.transactions.push_back(txn);
+      for (const TransactionId& ante : txn.antecedents) {
+        pending.push_back(ante);
+      }
+    }
+  }
+  // Antecedent closure, stopping at transactions the peer has already
+  // applied (their effects are in the peer's instance).
+  while (!pending.empty()) {
+    const TransactionId id = pending.front();
+    pending.pop_front();
+    if (shipped.count(id) != 0) continue;
+    if (IsApplied(peer, id)) continue;
+    ORCH_ASSIGN_OR_RETURN(Transaction txn, LoadTxn(id));
+    shipped.insert(id);
+    for (const TransactionId& ante : txn.antecedents) pending.push_back(ante);
+    fetch.transactions.push_back(std::move(txn));
+  }
+
+  int64_t bytes = 0;
+  for (const Transaction& txn : fetch.transactions) {
+    bytes += static_cast<int64_t>(core::EncodedTransactionSize(txn));
+  }
+  // Begin-reconciliation round trip plus the bulk reply.
+  network_->Charge(peer, 2, bytes / 2);
+  cpu_micros_[peer] += cpu.ElapsedMicros() + options_.procedure_overhead_micros;
+  calls_[peer] += 1;
+  return fetch;
+}
+
+Status CentralStore::RecordDecisions(
+    ParticipantId peer, int64_t recno,
+    const std::vector<TransactionId>& applied,
+    const std::vector<TransactionId>& rejected) {
+  (void)recno;
+  Stopwatch cpu;
+  const std::string dec_table = "dec:" + std::to_string(peer);
+  for (const TransactionId& id : applied) {
+    ORCH_RETURN_IF_ERROR(engine_->Put(dec_table, TxnKey(id), "A"));
+  }
+  for (const TransactionId& id : rejected) {
+    ORCH_RETURN_IF_ERROR(engine_->Put(dec_table, TxnKey(id), "R"));
+  }
+  ORCH_RETURN_IF_ERROR(engine_->Sync());
+  const int64_t bytes =
+      static_cast<int64_t>((applied.size() + rejected.size()) * 16);
+  network_->Charge(peer, 2, bytes / 2);
+  cpu_micros_[peer] += cpu.ElapsedMicros() + options_.procedure_overhead_micros;
+  calls_[peer] += 1;
+  return Status::OK();
+}
+
+Result<core::RecoveryBundle> CentralStore::FetchRecoveryState(
+    ParticipantId peer) const {
+  Stopwatch cpu;
+  auto policy_it = policies_.find(peer);
+  if (policy_it == policies_.end()) {
+    return Status::NotFound("peer " + std::to_string(peer) +
+                            " is not registered");
+  }
+  const core::TrustPolicy& policy = *policy_it->second;
+  core::RecoveryBundle bundle;
+  bundle.recno = engine_->CurrentSequence("recno:" + std::to_string(peer));
+  ORCH_ASSIGN_OR_RETURN(std::string watermark,
+                        engine_->Get("peers", std::to_string(peer)));
+  bundle.epoch = std::strtoll(watermark.c_str(), nullptr, 10);
+
+  // Recorded decisions.
+  int64_t bytes = 0;
+  for (const auto& [txn_key, decision] :
+       engine_->ScanRange("dec:" + std::to_string(peer), "", "")) {
+    ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", txn_key));
+    size_t pos = 0;
+    ORCH_ASSIGN_OR_RETURN(Transaction txn, core::DecodeTransaction(blob, &pos));
+    if (decision == "A") {
+      bytes += static_cast<int64_t>(blob.size());
+      bundle.applied.push_back(std::move(txn));
+    } else {
+      bundle.rejected.push_back(txn.id);
+      bytes += 16;
+    }
+  }
+  std::sort(bundle.applied.begin(), bundle.applied.end(),
+            [](const Transaction& a, const Transaction& b) {
+              if (a.epoch != b.epoch) return a.epoch < b.epoch;
+              return a.id < b.id;
+            });
+
+  // Undecided trusted transactions within the watermark: the deferred
+  // backlog, plus the antecedent closures needed to re-reconcile them.
+  TxnIdSet shipped;
+  std::deque<TransactionId> pending;
+  for (const auto& [key, unused] :
+       engine_->ScanRange("epoch_txns", EpochKey(1),
+                          EpochKey(bundle.epoch + 1))) {
+    (void)unused;
+    const std::string txn_key = key.substr(key.find(':') + 1);
+    ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", txn_key));
+    size_t pos = 0;
+    ORCH_ASSIGN_OR_RETURN(Transaction txn, core::DecodeTransaction(blob, &pos));
+    if (HasDecision(peer, txn.id)) continue;
+    const int priority = policy.PriorityOfTransaction(txn);
+    if (priority <= 0) continue;
+    bundle.undecided.emplace_back(txn.id, priority);
+    if (shipped.insert(txn.id).second) {
+      bytes += static_cast<int64_t>(blob.size());
+      for (const TransactionId& ante : txn.antecedents) pending.push_back(ante);
+      bundle.closure.push_back(std::move(txn));
+    }
+  }
+  while (!pending.empty()) {
+    const TransactionId id = pending.front();
+    pending.pop_front();
+    if (shipped.count(id) != 0) continue;
+    if (IsApplied(peer, id)) continue;
+    ORCH_ASSIGN_OR_RETURN(Transaction txn, LoadTxn(id));
+    shipped.insert(id);
+    bytes += static_cast<int64_t>(core::EncodedTransactionSize(txn));
+    for (const TransactionId& ante : txn.antecedents) pending.push_back(ante);
+    bundle.closure.push_back(std::move(txn));
+  }
+
+  network_->Charge(peer, 2, bytes / 2);
+  cpu_micros_[peer] += cpu.ElapsedMicros() + options_.procedure_overhead_micros;
+  calls_[peer] += 1;
+  return bundle;
+}
+
+Result<core::NetworkCentricFetch> CentralStore::BeginNetworkCentricReconciliation(
+    ParticipantId peer) {
+  if (catalog_ == nullptr) {
+    return Status::NotSupported(
+        "central store was built without a catalog; network-centric "
+        "reconciliation needs the shared schema");
+  }
+  core::NetworkCentricFetch fetch;
+  ORCH_ASSIGN_OR_RETURN(fetch.base, BeginReconciliation(peer));
+
+  // Server-side analysis: one more stored procedure's worth of work.
+  Stopwatch cpu;
+  core::TransactionMap bundle;
+  for (const Transaction& txn : fetch.base.transactions) bundle.Put(txn);
+  for (const auto& [txn_id, priority] : fetch.base.trusted) {
+    core::TrustedTxn t;
+    t.id = txn_id;
+    t.priority = priority;
+    t.extension = core::ComputeExtensionFromBundle(bundle, txn_id);
+    fetch.trusted_txns.push_back(std::move(t));
+  }
+  fetch.analysis =
+      core::AnalyzeExtensions(*catalog_, bundle, fetch.trusted_txns);
+
+  // The analysis rides in the reply: flattened updates plus one fixed
+  // record per conflicting pair.
+  int64_t bytes = 0;
+  for (const auto& up_ex : fetch.analysis.up_ex) {
+    for (const core::Update& u : up_ex) {
+      std::string buf;
+      core::EncodeUpdate(&buf, u);
+      bytes += static_cast<int64_t>(buf.size());
+    }
+  }
+  bytes += static_cast<int64_t>(fetch.analysis.conflicts.size()) * 48;
+  network_->Charge(peer, 1, bytes);
+  cpu_micros_[peer] += cpu.ElapsedMicros() + options_.procedure_overhead_micros;
+  calls_[peer] += 1;
+  return fetch;
+}
+
+Result<core::RecoveryBundle> CentralStore::Bootstrap(
+    ParticipantId new_peer, ParticipantId source_peer) {
+  Stopwatch cpu;
+  auto policy_it = policies_.find(new_peer);
+  if (policy_it == policies_.end()) {
+    return Status::NotFound("peer " + std::to_string(new_peer) +
+                            " is not registered");
+  }
+  if (policies_.count(source_peer) == 0) {
+    return Status::NotFound("source peer " + std::to_string(source_peer) +
+                            " is not registered");
+  }
+  const core::TrustPolicy& policy = *policy_it->second;
+
+  core::RecoveryBundle bundle;
+  ORCH_ASSIGN_OR_RETURN(std::string watermark,
+                        engine_->Get("peers", std::to_string(source_peer)));
+  bundle.epoch = std::strtoll(watermark.c_str(), nullptr, 10);
+  bundle.recno =
+      engine_->CurrentSequence("recno:" + std::to_string(new_peer));
+
+  // Adopt the source's applied set as the new peer's own decisions.
+  const std::string source_dec = "dec:" + std::to_string(source_peer);
+  const std::string new_dec = "dec:" + std::to_string(new_peer);
+  int64_t bytes = 0;
+  for (const auto& [txn_key, decision] :
+       engine_->ScanRange(source_dec, "", "")) {
+    if (decision != "A") continue;
+    ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", txn_key));
+    size_t pos = 0;
+    ORCH_ASSIGN_OR_RETURN(Transaction txn, core::DecodeTransaction(blob, &pos));
+    ORCH_RETURN_IF_ERROR(engine_->Put(new_dec, txn_key, "A"));
+    bytes += static_cast<int64_t>(blob.size());
+    bundle.applied.push_back(std::move(txn));
+  }
+  std::sort(bundle.applied.begin(), bundle.applied.end(),
+            [](const Transaction& a, const Transaction& b) {
+              if (a.epoch != b.epoch) return a.epoch < b.epoch;
+              return a.id < b.id;
+            });
+  // Advance the watermark so the adopted window is not re-fetched.
+  ORCH_RETURN_IF_ERROR(engine_->Put("peers", std::to_string(new_peer),
+                                    EpochKey(bundle.epoch)));
+
+  // Transactions in the adopted window the source did not apply and the
+  // new peer's own policy trusts: handed over as the undecided backlog,
+  // with antecedent closures.
+  TxnIdSet shipped;
+  std::deque<TransactionId> pending;
+  for (const auto& [key, unused] :
+       engine_->ScanRange("epoch_txns", EpochKey(1),
+                          EpochKey(bundle.epoch + 1))) {
+    (void)unused;
+    const std::string txn_key = key.substr(key.find(':') + 1);
+    ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", txn_key));
+    size_t pos = 0;
+    ORCH_ASSIGN_OR_RETURN(Transaction txn, core::DecodeTransaction(blob, &pos));
+    if (HasDecision(new_peer, txn.id)) continue;  // adopted above
+    const int priority = policy.PriorityOfTransaction(txn);
+    if (priority <= 0) continue;
+    bundle.undecided.emplace_back(txn.id, priority);
+    if (shipped.insert(txn.id).second) {
+      bytes += static_cast<int64_t>(blob.size());
+      for (const TransactionId& ante : txn.antecedents) pending.push_back(ante);
+      bundle.closure.push_back(std::move(txn));
+    }
+  }
+  while (!pending.empty()) {
+    const TransactionId id = pending.front();
+    pending.pop_front();
+    if (shipped.count(id) != 0) continue;
+    if (IsApplied(new_peer, id)) continue;
+    ORCH_ASSIGN_OR_RETURN(Transaction txn, LoadTxn(id));
+    shipped.insert(id);
+    bytes += static_cast<int64_t>(core::EncodedTransactionSize(txn));
+    for (const TransactionId& ante : txn.antecedents) pending.push_back(ante);
+    bundle.closure.push_back(std::move(txn));
+  }
+  ORCH_RETURN_IF_ERROR(engine_->Sync());
+
+  network_->Charge(new_peer, 2, bytes / 2);
+  cpu_micros_[new_peer] +=
+      cpu.ElapsedMicros() + options_.procedure_overhead_micros;
+  calls_[new_peer] += 1;
+  return bundle;
+}
+
+core::StoreStats CentralStore::StatsFor(ParticipantId peer) const {
+
+
+
+  const net::NetStats net = network_->StatsFor(peer);
+  core::StoreStats stats;
+  stats.sim_network_micros = net.micros;
+  stats.messages = net.messages;
+  stats.bytes = net.bytes;
+  auto cpu_it = cpu_micros_.find(peer);
+  stats.store_cpu_micros = cpu_it == cpu_micros_.end() ? 0 : cpu_it->second;
+  auto call_it = calls_.find(peer);
+  stats.calls = call_it == calls_.end() ? 0 : call_it->second;
+  return stats;
+}
+
+size_t CentralStore::TransactionCount() const {
+  return engine_->TableSize("txn");
+}
+
+}  // namespace orchestra::store

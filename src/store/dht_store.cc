@@ -1,0 +1,531 @@
+#include "store/dht_store.h"
+
+#include <deque>
+
+#include "common/check.h"
+#include "common/clock.h"
+#include "core/extension.h"
+
+namespace orchestra::store {
+
+using core::Epoch;
+using core::ParticipantId;
+using core::ReconcileFetch;
+using core::Transaction;
+using core::TransactionId;
+using core::TxnIdSet;
+
+DhtStore::DhtStore(size_t nodes, net::SimNetwork* network,
+                   const db::Catalog* catalog)
+    : ring_(nodes), network_(network), catalog_(catalog), nodes_(nodes) {
+  ORCH_CHECK(network != nullptr);
+}
+
+size_t DhtStore::RoutedSend(ParticipantId peer, size_t from_node,
+                            net::NodeId key, int64_t bytes) {
+  const net::RouteResult route = ring_.Route(from_node, key);
+  if (route.hops > 0) network_->Charge(peer, route.hops, bytes);
+  return route.owner;
+}
+
+void DhtStore::DirectSend(ParticipantId peer, int64_t bytes) {
+  network_->Charge(peer, 1, bytes);
+}
+
+Status DhtStore::RegisterParticipant(ParticipantId peer,
+                                     const core::TrustPolicy* policy) {
+  ORCH_CHECK(policy != nullptr);
+  policies_[peer] = policy;
+  nodes_[CoordinatorNode(peer)].coordinated.emplace(
+      peer, std::pair<int64_t, Epoch>{0, 0});
+  return Status::OK();
+}
+
+Result<Epoch> DhtStore::Publish(ParticipantId peer,
+                                std::vector<Transaction> txns) {
+  Stopwatch cpu;
+  const size_t my_node = NodeOfPeer(peer);
+
+  // Fig. 6 message sequence.
+  // (1) request epoch -> allocator.
+  const size_t allocator =
+      RoutedSend(peer, my_node, net::KeyHash("epoch-allocator"), 16);
+  const Epoch epoch = ++nodes_[allocator].epoch_counter;
+  // (2) allocator -> epoch controller: begin epoch e.
+  const size_t controller = RoutedSend(
+      peer, allocator, net::KeyHash("epoch:" + std::to_string(epoch)), 16);
+  nodes_[controller].epoch_contents[epoch];  // mark as begun (open)
+  // (3) controller -> allocator: confirm epoch begun.
+  DirectSend(peer, 8);
+  // (4) allocator -> publishing peer: begin publishing at epoch e.
+  DirectSend(peer, 16);
+
+  // (5) publish transaction IDs for epoch e -> epoch controller.
+  std::vector<TransactionId> ids;
+  ids.reserve(txns.size());
+  for (Transaction& txn : txns) {
+    txn.epoch = epoch;
+    ids.push_back(txn.id);
+  }
+  RoutedSend(peer, my_node, net::KeyHash("epoch:" + std::to_string(epoch)),
+             static_cast<int64_t>(16 * ids.size() + 16));
+  nodes_[controller].epoch_contents[epoch] = ids;
+  // (6) controller confirms the epoch finished.
+  nodes_[controller].epoch_done.insert(epoch);
+  DirectSend(peer, 8);
+
+  // Then the peer sends each transaction to its transaction controller,
+  // which records the publisher's implicit self-acceptance.
+  for (Transaction& txn : txns) {
+    const int64_t size =
+        static_cast<int64_t>(core::EncodedTransactionSize(txn));
+    const TransactionId id = txn.id;
+    const size_t txn_node =
+        RoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()), size);
+    if (nodes_[txn_node].txns.count(id) != 0) {
+      return Status::AlreadyExists("transaction " + id.ToString() +
+                                   " already published");
+    }
+    nodes_[txn_node].txns.emplace(id, std::move(txn));
+    nodes_[txn_node].decisions[id][peer] = 'A';
+    DirectSend(peer, 8);  // ack
+  }
+  cpu_micros_[peer] += cpu.ElapsedMicros();
+  calls_[peer] += 1;
+  return epoch;
+}
+
+Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
+  Stopwatch cpu;
+  auto policy_it = policies_.find(peer);
+  if (policy_it == policies_.end()) {
+    return Status::NotFound("peer " + std::to_string(peer) +
+                            " is not registered");
+  }
+  const core::TrustPolicy& policy = *policy_it->second;
+  const size_t my_node = NodeOfPeer(peer);
+  ReconcileFetch fetch;
+
+  // Most recent epoch from the allocator (request + reply).
+  const size_t allocator =
+      RoutedSend(peer, my_node, net::KeyHash("epoch-allocator"), 16);
+  const Epoch latest = nodes_[allocator].epoch_counter;
+  DirectSend(peer, 16);
+
+  // Prior watermark from this peer's coordinator.
+  const size_t coordinator =
+      RoutedSend(peer, my_node, net::KeyHash("peer:" + std::to_string(peer)),
+                 16);
+  auto& coord_entry = nodes_[coordinator].coordinated[peer];
+  const Epoch prev = coord_entry.second;
+  DirectSend(peer, 16);
+
+  // Fetch the contents of every epoch since the previous reconciliation
+  // from the epoch controllers, and find the latest stable epoch (no
+  // unfinished epoch preceding it).
+  Epoch stable = prev;
+  std::vector<TransactionId> published;
+  for (Epoch e = prev + 1; e <= latest; ++e) {
+    const size_t controller =
+        RoutedSend(peer, my_node, net::KeyHash("epoch:" + std::to_string(e)),
+                   16);
+    const bool done = nodes_[controller].epoch_done.count(e) != 0;
+    const auto contents_it = nodes_[controller].epoch_contents.find(e);
+    const size_t count =
+        contents_it == nodes_[controller].epoch_contents.end()
+            ? 0
+            : contents_it->second.size();
+    DirectSend(peer, static_cast<int64_t>(16 * count + 16));
+    if (!done) break;  // everything after an unfinished epoch is unstable
+    stable = e;
+    if (contents_it != nodes_[controller].epoch_contents.end()) {
+      for (const TransactionId& id : contents_it->second) {
+        published.push_back(id);
+      }
+    }
+  }
+
+  // Record the reconciliation number and new watermark at the
+  // coordinator.
+  coord_entry.first += 1;
+  coord_entry.second = stable;
+  fetch.recno = coord_entry.first;
+  fetch.epoch = stable;
+  RoutedSend(peer, my_node, net::KeyHash("peer:" + std::to_string(peer)), 24);
+  DirectSend(peer, 8);
+
+  // Request every published transaction from its transaction controller,
+  // following antecedent chains through a pending set (Fig. 7). The
+  // controller evaluates the peer's trust predicates and decision log:
+  // decided or (top-level) untrusted transactions yield a small
+  // "not relevant" reply; everything else is shipped with its priority
+  // and antecedent ids.
+  TxnIdSet requested;
+  std::deque<std::pair<TransactionId, bool>> pending;  // (id, as_antecedent)
+  for (const TransactionId& id : published) pending.emplace_back(id, false);
+  while (!pending.empty()) {
+    const auto [id, as_antecedent] = pending.front();
+    pending.pop_front();
+    if (!requested.insert(id).second) continue;
+    const size_t txn_node =
+        RoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()), 24);
+    const NodeState& node = nodes_[txn_node];
+    auto txn_it = node.txns.find(id);
+    if (txn_it == node.txns.end()) {
+      return Status::Internal("transaction controller lost " + id.ToString());
+    }
+    const Transaction& txn = txn_it->second;
+    // Decision check at the controller.
+    char decided = 0;
+    auto dec_it = node.decisions.find(id);
+    if (dec_it != node.decisions.end()) {
+      auto peer_it = dec_it->second.find(peer);
+      if (peer_it != dec_it->second.end()) decided = peer_it->second;
+    }
+    if (decided == 'A' || (!as_antecedent && decided != 0)) {
+      DirectSend(peer, 8);  // "not relevant"
+      continue;
+    }
+    const int priority = policy.PriorityOfTransaction(txn);
+    if (!as_antecedent && priority <= 0) {
+      DirectSend(peer, 8);  // "untrusted"
+      continue;
+    }
+    // Ship the transaction, its priority, and its antecedents.
+    DirectSend(peer,
+               static_cast<int64_t>(core::EncodedTransactionSize(txn)) + 8);
+    if (!as_antecedent) fetch.trusted.emplace_back(id, priority);
+    fetch.transactions.push_back(txn);
+    for (const TransactionId& ante : txn.antecedents) {
+      pending.emplace_back(ante, true);
+    }
+  }
+  cpu_micros_[peer] += cpu.ElapsedMicros();
+  calls_[peer] += 1;
+  return fetch;
+}
+
+Status DhtStore::RecordDecisions(ParticipantId peer, int64_t recno,
+                                 const std::vector<TransactionId>& applied,
+                                 const std::vector<TransactionId>& rejected) {
+  (void)recno;
+  Stopwatch cpu;
+  const size_t my_node = NodeOfPeer(peer);
+  // Notify each transaction's controller (no ack required).
+  for (const TransactionId& id : applied) {
+    const size_t node =
+        RoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()), 24);
+    nodes_[node].decisions[id][peer] = 'A';
+  }
+  for (const TransactionId& id : rejected) {
+    const size_t node =
+        RoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()), 24);
+    nodes_[node].decisions[id][peer] = 'R';
+  }
+  cpu_micros_[peer] += cpu.ElapsedMicros();
+  calls_[peer] += 1;
+  return Status::OK();
+}
+
+Result<core::RecoveryBundle> DhtStore::FetchRecoveryState(
+    ParticipantId peer) const {
+  Stopwatch cpu;
+  auto policy_it = policies_.find(peer);
+  if (policy_it == policies_.end()) {
+    return Status::NotFound("peer " + std::to_string(peer) +
+                            " is not registered");
+  }
+  const core::TrustPolicy& policy = *policy_it->second;
+  core::RecoveryBundle bundle;
+
+  // Watermark and recno from the peer coordinator (one round trip).
+  {
+    const size_t coordinator = CoordinatorNode(peer);
+    auto it = nodes_[coordinator].coordinated.find(peer);
+    if (it != nodes_[coordinator].coordinated.end()) {
+      bundle.recno = it->second.first;
+      bundle.epoch = it->second.second;
+    }
+    const auto route = ring_.Route(NodeOfPeer(peer), ring_.IdOf(coordinator));
+    network_->Charge(peer, route.hops + 1, 24);
+  }
+
+  // Without its soft state the peer cannot know which transaction
+  // controllers hold its decisions, so recovery sweeps every node: one
+  // request per node, one bulk reply carrying that node's transactions
+  // and this peer's decisions on them.
+  core::TxnIdSet decided;
+  for (size_t node = 0; node < nodes_.size(); ++node) {
+    int64_t bytes = 16;
+    for (const auto& [id, txn] : nodes_[node].txns) {
+      auto dec_it = nodes_[node].decisions.find(id);
+      if (dec_it == nodes_[node].decisions.end()) continue;
+      auto peer_it = dec_it->second.find(peer);
+      if (peer_it == dec_it->second.end()) continue;
+      decided.insert(id);
+      if (peer_it->second == 'A') {
+        bundle.applied.push_back(txn);
+        bytes += static_cast<int64_t>(core::EncodedTransactionSize(txn));
+      } else {
+        bundle.rejected.push_back(id);
+        bytes += 16;
+      }
+    }
+    const auto route = ring_.Route(NodeOfPeer(peer), ring_.IdOf(node));
+    network_->Charge(peer, route.hops, 16);
+    network_->Charge(peer, 1, bytes);  // reply
+  }
+  std::sort(bundle.applied.begin(), bundle.applied.end(),
+            [](const Transaction& a, const Transaction& b) {
+              if (a.epoch != b.epoch) return a.epoch < b.epoch;
+              return a.id < b.id;
+            });
+
+  // Undecided trusted transactions within the watermark, from the epoch
+  // controllers, plus antecedent closures from their controllers.
+  core::TxnIdSet applied_ids;
+  for (const Transaction& txn : bundle.applied) applied_ids.insert(txn.id);
+  core::TxnIdSet shipped;
+  std::deque<std::pair<TransactionId, bool>> pending;
+  for (Epoch e = 1; e <= bundle.epoch; ++e) {
+    const size_t controller = EpochControllerNode(e);
+    const auto contents = nodes_[controller].epoch_contents.find(e);
+    const auto route = ring_.Route(NodeOfPeer(peer), ring_.IdOf(controller));
+    const size_t count = contents == nodes_[controller].epoch_contents.end()
+                             ? 0
+                             : contents->second.size();
+    network_->Charge(peer, route.hops + 1,
+                     static_cast<int64_t>(16 * count + 16));
+    if (contents == nodes_[controller].epoch_contents.end()) continue;
+    for (const TransactionId& id : contents->second) {
+      if (decided.count(id) == 0) pending.emplace_back(id, false);
+    }
+  }
+  while (!pending.empty()) {
+    const auto [id, as_antecedent] = pending.front();
+    pending.pop_front();
+    if (!shipped.insert(id).second) continue;
+    if (applied_ids.count(id) != 0) continue;
+    const size_t node = TxnControllerNode(id);
+    const auto route = ring_.Route(NodeOfPeer(peer), ring_.IdOf(node));
+    auto txn_it = nodes_[node].txns.find(id);
+    if (txn_it == nodes_[node].txns.end()) {
+      return Status::Internal("transaction controller lost " + id.ToString());
+    }
+    const Transaction& txn = txn_it->second;
+    const int priority = policy.PriorityOfTransaction(txn);
+    if (!as_antecedent && priority <= 0) {
+      network_->Charge(peer, route.hops + 1, 24);
+      continue;
+    }
+    network_->Charge(
+        peer, route.hops + 1,
+        static_cast<int64_t>(core::EncodedTransactionSize(txn)) + 8);
+    if (!as_antecedent) bundle.undecided.emplace_back(id, priority);
+    bundle.closure.push_back(txn);
+    for (const TransactionId& ante : txn.antecedents) {
+      pending.emplace_back(ante, true);
+    }
+  }
+  cpu_micros_[peer] += cpu.ElapsedMicros();
+  calls_[peer] += 1;
+  return bundle;
+}
+
+Result<core::NetworkCentricFetch> DhtStore::BeginNetworkCentricReconciliation(
+    ParticipantId peer) {
+  if (catalog_ == nullptr) {
+    return Status::NotSupported(
+        "DHT store was built without a catalog; network-centric "
+        "reconciliation needs the shared schema");
+  }
+  core::NetworkCentricFetch fetch;
+  ORCH_ASSIGN_OR_RETURN(fetch.base, BeginReconciliation(peer));
+
+  Stopwatch cpu;
+  const size_t my_node = NodeOfPeer(peer);
+  core::TransactionMap bundle;
+  for (const Transaction& txn : fetch.base.transactions) bundle.Put(txn);
+
+  // Each trusted transaction's controller assembles its extension by
+  // querying the antecedents' controllers (controller-to-controller
+  // traffic charged per edge), then flattens it locally.
+  for (const auto& [txn_id, priority] : fetch.base.trusted) {
+    core::TrustedTxn t;
+    t.id = txn_id;
+    t.priority = priority;
+    t.extension = core::ComputeExtensionFromBundle(bundle, txn_id);
+    const size_t controller = TxnControllerNode(txn_id);
+    for (const TransactionId& member : t.extension) {
+      if (member == txn_id) continue;
+      const auto route =
+          ring_.Route(controller, net::KeyHash("txn:" + member.ToString()));
+      int64_t sz = 64;
+      if (auto txn = bundle.Get(member); txn.ok()) {
+        sz = static_cast<int64_t>(core::EncodedTransactionSize(**txn));
+      }
+      network_->Charge(peer, route.hops + 1, sz);
+    }
+    fetch.trusted_txns.push_back(std::move(t));
+  }
+  fetch.analysis =
+      core::AnalyzeExtensions(*catalog_, bundle, fetch.trusted_txns);
+
+  // Conflict detection is distributed by key: every flattened update is
+  // forwarded to the owner of its key, and each detected conflicting
+  // pair is reported to the reconciling peer.
+  for (size_t i = 0; i < fetch.analysis.up_ex.size(); ++i) {
+    const size_t controller = TxnControllerNode(fetch.trusted_txns[i].id);
+    for (const core::Update& u : fetch.analysis.up_ex[i]) {
+      const db::RelationSchema& schema =
+          *catalog_->GetRelation(u.relation()).value();
+      for (const core::RelKey& rk : u.TouchedKeys(schema)) {
+        const auto route =
+            ring_.Route(controller, net::KeyHash(rk.ToString()));
+        network_->Charge(peer, route.hops > 0 ? route.hops : 1, 48);
+      }
+    }
+  }
+  for (const auto& pair : fetch.analysis.conflicts) {
+    (void)pair;
+    network_->Charge(peer, 1 + static_cast<int64_t>(
+                                  ring_.Route(my_node, ring_.IdOf(my_node))
+                                      .hops),
+                     64);
+  }
+  // Ship the extensions and analysis to the peer in one bulk message.
+  int64_t bytes = 0;
+  for (const auto& up_ex : fetch.analysis.up_ex) {
+    for (const core::Update& u : up_ex) {
+      std::string buf;
+      core::EncodeUpdate(&buf, u);
+      bytes += static_cast<int64_t>(buf.size());
+    }
+  }
+  bytes += static_cast<int64_t>(fetch.analysis.conflicts.size()) * 48;
+  DirectSend(peer, bytes);
+  cpu_micros_[peer] += cpu.ElapsedMicros();
+  calls_[peer] += 1;
+  return fetch;
+}
+
+Result<core::RecoveryBundle> DhtStore::Bootstrap(ParticipantId new_peer,
+                                                 ParticipantId source_peer) {
+  Stopwatch cpu;
+  auto policy_it = policies_.find(new_peer);
+  if (policy_it == policies_.end() ||
+      policies_.count(source_peer) == 0) {
+    return Status::NotFound("bootstrap peers must both be registered");
+  }
+  const core::TrustPolicy& policy = *policy_it->second;
+  const size_t my_node = NodeOfPeer(new_peer);
+  core::RecoveryBundle bundle;
+
+  // Watermark from the source's coordinator; record it as the new
+  // peer's watermark at its own coordinator.
+  {
+    const size_t src_coord = CoordinatorNode(source_peer);
+    auto it = nodes_[src_coord].coordinated.find(source_peer);
+    if (it != nodes_[src_coord].coordinated.end()) {
+      bundle.epoch = it->second.second;
+    }
+    const auto route = ring_.Route(my_node, ring_.IdOf(src_coord));
+    network_->Charge(new_peer, route.hops + 1, 24);
+    nodes_[CoordinatorNode(new_peer)].coordinated[new_peer] = {0,
+                                                               bundle.epoch};
+    const auto route2 =
+        ring_.Route(my_node, ring_.IdOf(CoordinatorNode(new_peer)));
+    network_->Charge(new_peer, route2.hops + 1, 24);
+  }
+
+  // Sweep every node: copy the source's accept decisions onto the new
+  // peer (one bulk round trip per node, as in recovery).
+  core::TxnIdSet adopted;
+  for (size_t node = 0; node < nodes_.size(); ++node) {
+    int64_t bytes = 16;
+    for (auto& [id, decisions] : nodes_[node].decisions) {
+      auto src_it = decisions.find(source_peer);
+      if (src_it == decisions.end() || src_it->second != 'A') continue;
+      decisions[new_peer] = 'A';
+      adopted.insert(id);
+      auto txn_it = nodes_[node].txns.find(id);
+      ORCH_CHECK(txn_it != nodes_[node].txns.end());
+      bundle.applied.push_back(txn_it->second);
+      bytes +=
+          static_cast<int64_t>(core::EncodedTransactionSize(txn_it->second));
+    }
+    const auto route = ring_.Route(my_node, ring_.IdOf(node));
+    network_->Charge(new_peer, route.hops, 16);
+    network_->Charge(new_peer, 1, bytes);
+  }
+  std::sort(bundle.applied.begin(), bundle.applied.end(),
+            [](const Transaction& a, const Transaction& b) {
+              if (a.epoch != b.epoch) return a.epoch < b.epoch;
+              return a.id < b.id;
+            });
+
+  // Undecided trusted transactions within the adopted window.
+  core::TxnIdSet shipped;
+  std::deque<std::pair<TransactionId, bool>> pending;
+  for (Epoch e = 1; e <= bundle.epoch; ++e) {
+    const size_t controller = EpochControllerNode(e);
+    const auto contents = nodes_[controller].epoch_contents.find(e);
+    const auto route = ring_.Route(my_node, ring_.IdOf(controller));
+    const size_t count = contents == nodes_[controller].epoch_contents.end()
+                             ? 0
+                             : contents->second.size();
+    network_->Charge(new_peer, route.hops + 1,
+                     static_cast<int64_t>(16 * count + 16));
+    if (contents == nodes_[controller].epoch_contents.end()) continue;
+    for (const TransactionId& id : contents->second) {
+      if (adopted.count(id) == 0) pending.emplace_back(id, false);
+    }
+  }
+  while (!pending.empty()) {
+    const auto [id, as_antecedent] = pending.front();
+    pending.pop_front();
+    if (!shipped.insert(id).second) continue;
+    if (adopted.count(id) != 0) continue;
+    const size_t node = TxnControllerNode(id);
+    const auto route = ring_.Route(my_node, ring_.IdOf(node));
+    auto txn_it = nodes_[node].txns.find(id);
+    if (txn_it == nodes_[node].txns.end()) {
+      return Status::Internal("transaction controller lost " + id.ToString());
+    }
+    const Transaction& txn = txn_it->second;
+    const int priority = policy.PriorityOfTransaction(txn);
+    if (!as_antecedent && priority <= 0) {
+      network_->Charge(new_peer, route.hops + 1, 24);
+      continue;
+    }
+    network_->Charge(
+        new_peer, route.hops + 1,
+        static_cast<int64_t>(core::EncodedTransactionSize(txn)) + 8);
+    if (!as_antecedent) bundle.undecided.emplace_back(id, priority);
+    bundle.closure.push_back(txn);
+    for (const TransactionId& ante : txn.antecedents) {
+      pending.emplace_back(ante, true);
+    }
+  }
+  cpu_micros_[new_peer] += cpu.ElapsedMicros();
+  calls_[new_peer] += 1;
+  return bundle;
+}
+
+core::StoreStats DhtStore::StatsFor(ParticipantId peer) const {
+
+
+
+  const net::NetStats net = network_->StatsFor(peer);
+  core::StoreStats stats;
+  stats.sim_network_micros = net.micros;
+  stats.messages = net.messages;
+  stats.bytes = net.bytes;
+  auto cpu_it = cpu_micros_.find(peer);
+  stats.store_cpu_micros = cpu_it == cpu_micros_.end() ? 0 : cpu_it->second;
+  auto call_it = calls_.find(peer);
+  stats.calls = call_it == calls_.end() ? 0 : call_it->second;
+  return stats;
+}
+
+}  // namespace orchestra::store

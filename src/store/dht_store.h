@@ -1,0 +1,127 @@
+#ifndef ORCHESTRA_STORE_DHT_STORE_H_
+#define ORCHESTRA_STORE_DHT_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/update_store.h"
+#include "net/dht.h"
+#include "net/sim_network.h"
+
+namespace orchestra::store {
+
+/// The distributed, DHT-based update store of §5.2.2, realized over the
+/// Chord-style ring in src/net (standing in for FreePastry). State and
+/// work are spread across the peers themselves:
+///
+///  - the *epoch allocator* (owner of a well-known key) hands out epoch
+///    numbers (Fig. 6);
+///  - an *epoch controller* (owner of hash("epoch:<e>")) records which
+///    transactions were published in epoch e and whether the epoch is
+///    complete;
+///  - a *transaction controller* (owner of hash("txn:<id>")) stores one
+///    transaction, evaluates the requesting peer's trust predicates, and
+///    tracks that peer's accept/reject decisions (Fig. 7);
+///  - a *peer coordinator* (owner of hash("peer:<p>")) records peer p's
+///    reconciliation numbers and epoch watermark.
+///
+/// Every key-addressed message is routed over the overlay and charged
+/// hop-by-hop to the initiating peer; replies take one direct hop.
+/// Requests to follow antecedent chains dominate reconciliation cost,
+/// exactly as the paper reports. Message delivery is assumed reliable
+/// (as in the paper; fault tolerance is future work there and here).
+class DhtStore : public core::UpdateStore,
+                 public core::NetworkCentricStore {
+ public:
+  /// Creates a store whose ring has `nodes` DHT nodes. Peers must be
+  /// registered before use; peer p runs on node p % nodes.
+  /// `catalog` enables network-centric reconciliation (controllers must
+  /// know the shared schema Σ to flatten and compare updates); pass
+  /// nullptr to run client-centric only.
+  DhtStore(size_t nodes, net::SimNetwork* network,
+           const db::Catalog* catalog = nullptr);
+
+  Status RegisterParticipant(core::ParticipantId peer,
+                             const core::TrustPolicy* policy) override;
+  Result<core::Epoch> Publish(core::ParticipantId peer,
+                              std::vector<core::Transaction> txns) override;
+  Result<core::ReconcileFetch> BeginReconciliation(
+      core::ParticipantId peer) override;
+  Status RecordDecisions(
+      core::ParticipantId peer, int64_t recno,
+      const std::vector<core::TransactionId>& applied,
+      const std::vector<core::TransactionId>& rejected) override;
+  Result<core::RecoveryBundle> FetchRecoveryState(
+      core::ParticipantId peer) const override;
+  Result<core::NetworkCentricFetch> BeginNetworkCentricReconciliation(
+      core::ParticipantId peer) override;
+  Result<core::RecoveryBundle> Bootstrap(
+      core::ParticipantId new_peer, core::ParticipantId source_peer) override;
+  core::StoreStats StatsFor(core::ParticipantId peer) const override;
+  std::string_view name() const override { return "dht"; }
+
+  const net::DhtRing& ring() const { return ring_; }
+
+ private:
+  /// Per-DHT-node state; the role a node plays for a given key follows
+  /// from ring ownership.
+  struct NodeState {
+    /// Epoch allocator state (meaningful only on the allocator node).
+    int64_t epoch_counter = 0;
+    /// Epoch controller state: epoch -> published transaction ids, and
+    /// whether the epoch is complete.
+    std::map<core::Epoch, std::vector<core::TransactionId>> epoch_contents;
+    std::unordered_set<core::Epoch> epoch_done;
+    /// Transaction controller state.
+    std::unordered_map<core::TransactionId, core::Transaction,
+                       core::TransactionIdHash>
+        txns;
+    /// Decisions recorded per transaction: peer -> 'A'/'R'.
+    std::unordered_map<core::TransactionId,
+                       std::unordered_map<core::ParticipantId, char>,
+                       core::TransactionIdHash>
+        decisions;
+    /// Peer coordinator state: peer -> (recno, last reconciled epoch).
+    std::unordered_map<core::ParticipantId, std::pair<int64_t, core::Epoch>>
+        coordinated;
+  };
+
+  size_t NodeOfPeer(core::ParticipantId peer) const {
+    return static_cast<size_t>(peer) % ring_.size();
+  }
+  size_t AllocatorNode() const {
+    return ring_.OwnerOf(net::KeyHash("epoch-allocator"));
+  }
+  size_t EpochControllerNode(core::Epoch epoch) const {
+    return ring_.OwnerOf(net::KeyHash("epoch:" + std::to_string(epoch)));
+  }
+  size_t TxnControllerNode(const core::TransactionId& id) const {
+    return ring_.OwnerOf(net::KeyHash("txn:" + id.ToString()));
+  }
+  size_t CoordinatorNode(core::ParticipantId peer) const {
+    return ring_.OwnerOf(net::KeyHash("peer:" + std::to_string(peer)));
+  }
+
+  /// Routes one key-addressed message from `from_node` to the owner of
+  /// `key`, charging `bytes` per hop to `peer`; returns the owner.
+  size_t RoutedSend(core::ParticipantId peer, size_t from_node,
+                    net::NodeId key, int64_t bytes);
+  /// One direct (already-located) message.
+  void DirectSend(core::ParticipantId peer, int64_t bytes);
+
+  net::DhtRing ring_;
+  net::SimNetwork* network_;
+  const db::Catalog* catalog_ = nullptr;
+  std::vector<NodeState> nodes_;
+  std::unordered_map<core::ParticipantId, const core::TrustPolicy*> policies_;
+  mutable std::unordered_map<core::ParticipantId, int64_t> cpu_micros_;
+  mutable std::unordered_map<core::ParticipantId, int64_t> calls_;
+};
+
+}  // namespace orchestra::store
+
+#endif  // ORCHESTRA_STORE_DHT_STORE_H_

@@ -1,0 +1,36 @@
+#ifndef ORCHESTRA_WORKLOAD_ZIPF_H_
+#define ORCHESTRA_WORKLOAD_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+
+namespace orchestra::workload {
+
+/// Zipfian distribution over {0, ..., n-1} with characteristic exponent
+/// s: P(k) ∝ 1 / (k+1)^s. The paper's synthetic workload samples update
+/// values "according to a heavy-tailed Zipfian distribution with
+/// characteristic s = 1.5" (§6). Sampling is by inversion over a
+/// precomputed CDF (O(log n) per sample, exact).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  size_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+  /// Draws one rank; rank 0 is the most popular.
+  size_t Sample(Rng& rng) const;
+
+  /// Probability of rank k.
+  double Pmf(size_t k) const;
+
+ private:
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace orchestra::workload
+
+#endif  // ORCHESTRA_WORKLOAD_ZIPF_H_

@@ -1,0 +1,23 @@
+# DHT store session: network-centric reconciliation + bootstrap.
+peers 4 dht
+trust 1 2 1
+trust 1 3 1
+trust 2 1 1
+trust 2 3 1
+trust 3 1 1
+trust 3 2 1
+trust 4 1 1
+trust 4 2 1
+trust 4 3 1
+exec 1 insert rat prot1 dna-repair
+publish 1
+reconcile 2 nc
+show 2
+exec 2 modify rat prot1 dna-repair rna-splicing
+publish 2
+reconcile 3 nc
+show 3
+bootstrap 4 3
+show 4
+stats 3
+quit

@@ -1,0 +1,22 @@
+# Figure 2 walkthrough via the CLI.
+peers 3
+trust 1 2 1
+trust 1 3 1
+trust 2 1 2
+trust 2 3 1
+trust 3 2 1
+exec 3 insert rat prot1 cell-metab
+exec 3 modify rat prot1 cell-metab immune
+publish 3
+reconcile 3
+exec 2 insert mouse prot2 immune
+exec 2 insert rat prot1 cell-resp
+publish 2
+reconcile 2
+reconcile 3
+reconcile 1
+conflicts 1
+resolve 1 0 0
+show 1
+ratio
+quit

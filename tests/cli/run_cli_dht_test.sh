@@ -1,0 +1,11 @@
+#!/bin/bash
+set -e
+CLI="$1"; SCRIPT="$2"
+OUT=$("$CLI" < "$SCRIPT")
+echo "$OUT"
+echo "$OUT" | grep -q "confederation of 4 peers over the dht store" || { echo "FAIL: store kind"; exit 1; }
+echo "$OUT" | grep -q "('rat', 'prot1', 'rna-splicing')" || { echo "FAIL: chain result missing"; exit 1; }
+echo "$OUT" | grep -q "bootstrapped from peer 3" || { echo "FAIL: bootstrap missing"; exit 1; }
+COUNT=$(echo "$OUT" | grep -c "('rat', 'prot1', 'rna-splicing')")
+[ "$COUNT" -ge 2 ] || { echo "FAIL: bootstrap did not adopt tuple"; exit 1; }
+echo "CLI DHT smoke test passed"

@@ -1,0 +1,14 @@
+#!/bin/bash
+# Smoke test: drive the CLI through the Figure 2 walkthrough and check
+# the key outcomes appear in the output.
+set -e
+CLI="$1"
+SCRIPT="$2"
+OUT=$("$CLI" < "$SCRIPT")
+echo "$OUT"
+echo "$OUT" | grep -q "confederation of 3 peers" || { echo "FAIL: no confederation"; exit 1; }
+echo "$OUT" | grep -q "3 deferred (1 open conflict groups)" || { echo "FAIL: p1 deferral missing"; exit 1; }
+echo "$OUT" | grep -q "insert/insert on Function('rat', 'prot1')" || { echo "FAIL: conflict group missing"; exit 1; }
+echo "$OUT" | grep -q "('rat', 'prot1', 'immune')" || { echo "FAIL: resolved tuple missing"; exit 1; }
+echo "$OUT" | grep -q "state ratio" || { echo "FAIL: ratio missing"; exit 1; }
+echo "CLI smoke test passed"

@@ -1,0 +1,55 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace orchestra {
+namespace {
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"", ""}, "-"), "-");
+}
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("trailing,", ','),
+            (std::vector<std::string>{"trailing", ""}));
+}
+
+TEST(SplitTest, RoundTripsWithJoin) {
+  const std::vector<std::string> parts{"x", "yy", "zzz"};
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+}
+
+TEST(Fnv1a64Test, KnownValues) {
+  // FNV-1a 64 test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64Test, DistinctInputsDistinctHashes) {
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("acb"));
+}
+
+TEST(HashCombineTest, OrderSensitive) {
+  const uint64_t a = Fnv1a64("a");
+  const uint64_t b = Fnv1a64("b");
+  EXPECT_NE(HashCombine(a, b), HashCombine(b, a));
+}
+
+TEST(HashCombineTest, DiffersFromInputs) {
+  const uint64_t a = Fnv1a64("a");
+  const uint64_t b = Fnv1a64("b");
+  const uint64_t combined = HashCombine(a, b);
+  EXPECT_NE(combined, a);
+  EXPECT_NE(combined, b);
+}
+
+}  // namespace
+}  // namespace orchestra

@@ -1,0 +1,113 @@
+#include "core/extension.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace orchestra::core {
+namespace {
+
+using orchestra::testing::Ins;
+using orchestra::testing::Mod;
+using orchestra::testing::Txn;
+
+class ExtensionTest : public ::testing::Test {
+ protected:
+  void Put(Transaction txn) { map_.Put(std::move(txn)); }
+
+  std::vector<TransactionId> Ext(TransactionId root,
+                                 TxnIdSet applied = {}) {
+    auto result = ComputeExtension(map_, root, applied);
+    ORCH_CHECK(result.ok(), "%s", result.status().ToString().c_str());
+    return *std::move(result);
+  }
+
+  TransactionMap map_;
+};
+
+TEST_F(ExtensionTest, NoAntecedentsYieldsSelf) {
+  Put(Txn(1, 0, {Ins("rat", "p1", "x", 1)}, {}, 1));
+  EXPECT_EQ(Ext({1, 0}), (std::vector<TransactionId>{{1, 0}}));
+}
+
+TEST_F(ExtensionTest, DirectAntecedentIncluded) {
+  Put(Txn(1, 0, {Ins("rat", "p1", "x", 1)}, {}, 1));
+  Put(Txn(2, 0, {Mod("rat", "p1", "x", "y", 2)}, {{1, 0}}, 2));
+  EXPECT_EQ(Ext({2, 0}), (std::vector<TransactionId>{{1, 0}, {2, 0}}));
+}
+
+TEST_F(ExtensionTest, TransitiveClosure) {
+  Put(Txn(1, 0, {Ins("rat", "p1", "a", 1)}, {}, 1));
+  Put(Txn(2, 0, {Mod("rat", "p1", "a", "b", 2)}, {{1, 0}}, 2));
+  Put(Txn(3, 0, {Mod("rat", "p1", "b", "c", 3)}, {{2, 0}}, 3));
+  EXPECT_EQ(Ext({3, 0}),
+            (std::vector<TransactionId>{{1, 0}, {2, 0}, {3, 0}}));
+}
+
+TEST_F(ExtensionTest, StopsAtAppliedTransactions) {
+  // Definition 3: antecedents already accepted by p_i are excluded.
+  Put(Txn(1, 0, {Ins("rat", "p1", "a", 1)}, {}, 1));
+  Put(Txn(2, 0, {Mod("rat", "p1", "a", "b", 2)}, {{1, 0}}, 2));
+  Put(Txn(3, 0, {Mod("rat", "p1", "b", "c", 3)}, {{2, 0}}, 3));
+  TxnIdSet applied{{2, 0}};
+  // Stopping at X2:0 also cuts off X1:0 (reachable only through it).
+  EXPECT_EQ(Ext({3, 0}, applied), (std::vector<TransactionId>{{3, 0}}));
+}
+
+TEST_F(ExtensionTest, DiamondDependenciesDeduplicated) {
+  Put(Txn(1, 0, {Ins("rat", "p1", "a", 1)}, {}, 1));
+  Put(Txn(2, 0, {Mod("rat", "p1", "a", "b", 2)}, {{1, 0}}, 2));
+  Put(Txn(2, 1, {Ins("rat", "p2", "c", 2)}, {{1, 0}}, 2));
+  Put(Txn(3, 0, {Mod("rat", "p1", "b", "d", 3), Mod("rat", "p2", "c", "e", 3)},
+          {{2, 0}, {2, 1}}, 3));
+  const auto ext = Ext({3, 0});
+  EXPECT_EQ(ext.size(), 4u);
+  EXPECT_EQ(ext.front(), (TransactionId{1, 0}));
+  EXPECT_EQ(ext.back(), (TransactionId{3, 0}));
+}
+
+TEST_F(ExtensionTest, SortedByEpochThenId) {
+  Put(Txn(5, 0, {Ins("rat", "p1", "a", 5)}, {}, 3));
+  Put(Txn(2, 0, {Ins("rat", "p2", "b", 2)}, {}, 1));
+  Put(Txn(1, 9, {Mod("rat", "p1", "a", "c", 1), Mod("rat", "p2", "b", "d", 1)},
+          {{5, 0}, {2, 0}}, 5));
+  EXPECT_EQ(Ext({1, 9}),
+            (std::vector<TransactionId>{{2, 0}, {5, 0}, {1, 9}}));
+}
+
+TEST_F(ExtensionTest, MissingAntecedentFails) {
+  Put(Txn(2, 0, {Mod("rat", "p1", "a", "b", 2)}, {{1, 0}}, 2));
+  EXPECT_TRUE(ComputeExtension(map_, {2, 0}, {}).status().IsNotFound());
+}
+
+TEST_F(ExtensionTest, SubsumptionChecks) {
+  const std::vector<TransactionId> big{{1, 0}, {2, 0}, {3, 0}};
+  const std::vector<TransactionId> small{{1, 0}, {3, 0}};
+  const std::vector<TransactionId> other{{1, 0}, {4, 0}};
+  EXPECT_TRUE(Subsumes(big, small));
+  EXPECT_TRUE(Subsumes(big, big));
+  EXPECT_FALSE(Subsumes(small, big));
+  EXPECT_FALSE(Subsumes(big, other));
+  EXPECT_TRUE(Subsumes(small, {}));
+}
+
+TEST_F(ExtensionTest, UpdateFootprintConcatenatesInOrder) {
+  Put(Txn(1, 0, {Ins("rat", "p1", "a", 1)}, {}, 1));
+  Put(Txn(2, 0, {Mod("rat", "p1", "a", "b", 2)}, {{1, 0}}, 2));
+  const auto footprint = UpdateFootprint(map_, Ext({2, 0}));
+  ASSERT_EQ(footprint.size(), 2u);
+  EXPECT_EQ(footprint[0], Ins("rat", "p1", "a", 1));
+  EXPECT_EQ(footprint[1], Mod("rat", "p1", "a", "b", 2));
+}
+
+TEST_F(ExtensionTest, UpdateFootprintHonorsExcludeSet) {
+  Put(Txn(1, 0, {Ins("rat", "p1", "a", 1)}, {}, 1));
+  Put(Txn(2, 0, {Mod("rat", "p1", "a", "b", 2)}, {{1, 0}}, 2));
+  TxnIdSet exclude{{1, 0}};
+  const auto footprint = UpdateFootprint(map_, Ext({2, 0}), exclude);
+  ASSERT_EQ(footprint.size(), 1u);
+  EXPECT_EQ(footprint[0], Mod("rat", "p1", "a", "b", 2));
+}
+
+}  // namespace
+}  // namespace orchestra::core

@@ -1,0 +1,206 @@
+// End-to-end reproduction of the paper's Figure 2: three participants
+// sharing F(organism, protein, function) with key (organism, protein),
+// reconciling over four epochs under the trust policies of Figure 1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/participant.h"
+#include "net/sim_network.h"
+#include "storage/engine.h"
+#include "store/central_store.h"
+#include "test_util.h"
+
+namespace orchestra::core {
+namespace {
+
+using orchestra::testing::Ins;
+using orchestra::testing::InstanceHasExactly;
+using orchestra::testing::MakeProteinCatalog;
+using orchestra::testing::Mod;
+using orchestra::testing::T;
+
+class Figure2Test : public ::testing::Test {
+ protected:
+  Figure2Test()
+      : catalog_(MakeProteinCatalog()),
+        engine_(storage::StorageEngine::InMemory()),
+        store_(engine_.get(), &network_),
+        policy1_(MakePolicy1()),
+        policy2_(MakePolicy2()),
+        policy3_(MakePolicy3()),
+        p1_(1, &catalog_, policy1_),
+        p2_(2, &catalog_, policy2_),
+        p3_(3, &catalog_, policy3_) {
+    ORCH_CHECK(store_.RegisterParticipant(1, &policy1_).ok());
+    ORCH_CHECK(store_.RegisterParticipant(2, &policy2_).ok());
+    ORCH_CHECK(store_.RegisterParticipant(3, &policy3_).ok());
+  }
+
+  // Figure 1 policies: p1 trusts p2 and p3 equally at 1; p2 prefers p1
+  // (2) over p3 (1); p3 accepts only updates from p2.
+  static TrustPolicy MakePolicy1() {
+    TrustPolicy policy(1);
+    policy.TrustPeer(2, 1).TrustPeer(3, 1);
+    return policy;
+  }
+  static TrustPolicy MakePolicy2() {
+    TrustPolicy policy(2);
+    policy.TrustPeer(1, 2).TrustPeer(3, 1);
+    return policy;
+  }
+  static TrustPolicy MakePolicy3() {
+    TrustPolicy policy(3);
+    policy.TrustPeer(2, 1);
+    return policy;
+  }
+
+  static bool Contains(const std::vector<TransactionId>& v,
+                       TransactionId id) {
+    return std::find(v.begin(), v.end(), id) != v.end();
+  }
+
+  db::Catalog catalog_;
+  net::SimNetwork network_;
+  std::unique_ptr<storage::StorageEngine> engine_;
+  store::CentralStore store_;
+  TrustPolicy policy1_, policy2_, policy3_;
+  Participant p1_, p2_, p3_;
+};
+
+TEST_F(Figure2Test, FourEpochWalkthrough) {
+  // --- Epoch 1: p3 inserts and revises, then publishes and reconciles.
+  auto x30 = p3_.ExecuteTransaction({Ins("rat", "prot1", "cell-metab", 3)});
+  ASSERT_TRUE(x30.ok());
+  auto x31 = p3_.ExecuteTransaction(
+      {Mod("rat", "prot1", "cell-metab", "immune", 3)});
+  ASSERT_TRUE(x31.ok());
+  auto r3a = p3_.PublishAndReconcile(&store_);
+  ASSERT_TRUE(r3a.ok());
+  EXPECT_TRUE(
+      InstanceHasExactly(p3_.instance(), {T({"rat", "prot1", "immune"})}));
+
+  // --- Epoch 2: p2 inserts mouse and a conflicting rat tuple.
+  auto x20 = p2_.ExecuteTransaction({Ins("mouse", "prot2", "immune", 2)});
+  ASSERT_TRUE(x20.ok());
+  auto x21 = p2_.ExecuteTransaction({Ins("rat", "prot1", "cell-resp", 2)});
+  ASSERT_TRUE(x21.ok());
+  auto r2 = p2_.PublishAndReconcile(&store_);
+  ASSERT_TRUE(r2.ok());
+  // p2 rejects p3's rat transactions — they conflict with its own updates.
+  EXPECT_EQ(r2->rejected.size(), 2u);
+  EXPECT_TRUE(Contains(r2->rejected, *x30));
+  EXPECT_TRUE(Contains(r2->rejected, *x31));
+  EXPECT_TRUE(InstanceHasExactly(
+      p2_.instance(),
+      {T({"mouse", "prot2", "immune"}), T({"rat", "prot1", "cell-resp"})}));
+
+  // --- Epoch 3: p3 reconciles again; applies the mouse update, rejects
+  // the rat tuple incompatible with its local state.
+  auto r3b = p3_.Reconcile(&store_);
+  ASSERT_TRUE(r3b.ok());
+  EXPECT_TRUE(Contains(r3b->accepted, *x20));
+  EXPECT_TRUE(Contains(r3b->rejected, *x21));
+  EXPECT_TRUE(InstanceHasExactly(
+      p3_.instance(),
+      {T({"mouse", "prot2", "immune"}), T({"rat", "prot1", "immune"})}));
+
+  // --- Epoch 4: p1 reconciles; trusts p2 and p3 equally, so it accepts
+  // the non-conflicting mouse update and defers all three rat
+  // transactions.
+  auto r1 = p1_.Reconcile(&store_);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(Contains(r1->accepted, *x20));
+  EXPECT_EQ(r1->deferred.size(), 3u);
+  EXPECT_TRUE(Contains(r1->deferred, *x30));
+  EXPECT_TRUE(Contains(r1->deferred, *x31));
+  EXPECT_TRUE(Contains(r1->deferred, *x21));
+  EXPECT_TRUE(
+      InstanceHasExactly(p1_.instance(), {T({"mouse", "prot2", "immune"})}));
+  EXPECT_EQ(p1_.pending_conflicts().size(), 1u);
+}
+
+TEST_F(Figure2Test, ResolutionAfterDeferral) {
+  // Run the walkthrough, then have p1's user resolve the rat conflict in
+  // favor of p3's version (immune).
+  ASSERT_TRUE(
+      p3_.ExecuteTransaction({Ins("rat", "prot1", "cell-metab", 3)}).ok());
+  ASSERT_TRUE(
+      p3_.ExecuteTransaction({Mod("rat", "prot1", "cell-metab", "immune", 3)})
+          .ok());
+  ASSERT_TRUE(p3_.PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(
+      p2_.ExecuteTransaction({Ins("mouse", "prot2", "immune", 2)}).ok());
+  ASSERT_TRUE(
+      p2_.ExecuteTransaction({Ins("rat", "prot1", "cell-resp", 2)}).ok());
+  ASSERT_TRUE(p2_.PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(p3_.Reconcile(&store_).ok());
+  ASSERT_TRUE(p1_.Reconcile(&store_).ok());
+
+  ASSERT_EQ(p1_.pending_conflicts().size(), 1u);
+  const ConflictGroup group = p1_.pending_conflicts()[0];
+  ASSERT_EQ(group.options.size(), 2u);
+  // Find the option whose effect mentions "immune" (p3's version).
+  size_t immune_option = group.options.size();
+  for (size_t i = 0; i < group.options.size(); ++i) {
+    if (group.options[i].effect.find("immune") != std::string::npos) {
+      immune_option = i;
+    }
+  }
+  ASSERT_LT(immune_option, group.options.size());
+
+  auto resolved = p1_.ResolveConflict(&store_, 0, immune_option);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_TRUE(InstanceHasExactly(
+      p1_.instance(),
+      {T({"mouse", "prot2", "immune"}), T({"rat", "prot1", "immune"})}));
+  EXPECT_TRUE(p1_.pending_conflicts().empty());
+  EXPECT_EQ(p1_.deferred_count(), 0u);
+}
+
+TEST_F(Figure2Test, ResolutionRejectingAllOptions) {
+  ASSERT_TRUE(
+      p3_.ExecuteTransaction({Ins("rat", "prot1", "cell-metab", 3)}).ok());
+  ASSERT_TRUE(p3_.PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(
+      p2_.ExecuteTransaction({Ins("rat", "prot1", "cell-resp", 2)}).ok());
+  ASSERT_TRUE(p2_.PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(p1_.Reconcile(&store_).ok());
+  ASSERT_EQ(p1_.pending_conflicts().size(), 1u);
+
+  auto resolved = p1_.ResolveConflict(&store_, 0, std::nullopt);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_TRUE(InstanceHasExactly(p1_.instance(), {}));
+  EXPECT_EQ(p1_.deferred_count(), 0u);
+  EXPECT_EQ(p1_.rejected_count(), 2u);
+}
+
+TEST_F(Figure2Test, UntrustedPeerIsIgnoredButChainsSurvive) {
+  // p3 trusts only p2. p1's updates reach p3 only when p2 builds on them
+  // (the exception discussed in §3.2: p2 revising p1's data forces p3 to
+  // transitively accept that portion of p1's data).
+  ASSERT_TRUE(
+      p1_.ExecuteTransaction({Ins("rat", "prot9", "original", 1)}).ok());
+  ASSERT_TRUE(p1_.PublishAndReconcile(&store_).ok());
+  // p3 reconciles: p1 is untrusted, nothing arrives.
+  auto r3 = p3_.Reconcile(&store_);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(InstanceHasExactly(p3_.instance(), {}));
+
+  // p2 imports p1's tuple and revises it.
+  ASSERT_TRUE(p2_.Reconcile(&store_).ok());
+  ASSERT_TRUE(
+      p2_.ExecuteTransaction({Mod("rat", "prot9", "original", "revised", 2)})
+          .ok());
+  ASSERT_TRUE(p2_.PublishAndReconcile(&store_).ok());
+
+  // Now p3 accepts p2's revision, transitively accepting p1's insert.
+  auto r3b = p3_.Reconcile(&store_);
+  ASSERT_TRUE(r3b.ok());
+  EXPECT_EQ(r3b->accepted.size(), 1u);
+  EXPECT_TRUE(
+      InstanceHasExactly(p3_.instance(), {T({"rat", "prot9", "revised"})}));
+}
+
+}  // namespace
+}  // namespace orchestra::core

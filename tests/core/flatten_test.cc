@@ -1,0 +1,168 @@
+#include "core/flatten.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace orchestra::core {
+namespace {
+
+using orchestra::testing::Del;
+using orchestra::testing::Ins;
+using orchestra::testing::MakeProteinCatalog;
+using orchestra::testing::Mod;
+using orchestra::testing::T;
+
+class FlattenTest : public ::testing::Test {
+ protected:
+  db::Catalog catalog_ = MakeProteinCatalog();
+
+  std::vector<Update> Flat(std::vector<Update> seq) {
+    auto result = Flatten(catalog_, seq);
+    ORCH_CHECK(result.ok(), "%s", result.status().ToString().c_str());
+    return *std::move(result);
+  }
+};
+
+TEST_F(FlattenTest, EmptySequence) {
+  EXPECT_TRUE(Flat({}).empty());
+}
+
+TEST_F(FlattenTest, SingleUpdatePassesThrough) {
+  auto out = Flat({Ins("rat", "p1", "immune", 1)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Ins("rat", "p1", "immune", 1));
+}
+
+TEST_F(FlattenTest, InsertThenModifyBecomesInsert) {
+  // The paper's example: [X3:2, X3:3] minimizes to a single insert.
+  auto out = Flat({Ins("mouse", "p2", "cell-resp", 3),
+                   Mod("mouse", "p2", "cell-resp", "immune", 3)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Ins("mouse", "p2", "immune", 3));
+}
+
+TEST_F(FlattenTest, InsertThenModifyKeyChangeFollowsChain) {
+  // +F(mouse,p2,..) then F((mouse,p2,..) -> (mouse,p3,..)) = +F(mouse,p3,..)
+  auto out = Flat({Ins("mouse", "p2", "cell-resp", 3),
+                   Update::Modify("F", T({"mouse", "p2", "cell-resp"}),
+                                  T({"mouse", "p3", "cell-resp"}), 3)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Ins("mouse", "p3", "cell-resp", 3));
+}
+
+TEST_F(FlattenTest, InsertThenDeleteVanishes) {
+  EXPECT_TRUE(
+      Flat({Ins("rat", "p1", "x", 1), Del("rat", "p1", "x", 1)}).empty());
+}
+
+TEST_F(FlattenTest, ModifyChainComposes) {
+  auto out = Flat({Mod("rat", "p1", "a", "b", 1), Mod("rat", "p1", "b", "c", 2)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Mod("rat", "p1", "a", "c", 2));
+}
+
+TEST_F(FlattenTest, ModifyBackToOriginalVanishes) {
+  EXPECT_TRUE(
+      Flat({Mod("rat", "p1", "a", "b", 1), Mod("rat", "p1", "b", "a", 2)})
+          .empty());
+}
+
+TEST_F(FlattenTest, ModifyThenDeleteBecomesDeleteOfOriginal) {
+  auto out = Flat({Mod("rat", "p1", "a", "b", 1), Del("rat", "p1", "b", 2)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Del("rat", "p1", "a", 2));
+}
+
+TEST_F(FlattenTest, DeleteThenReinsertBecomesModify) {
+  auto out = Flat({Del("rat", "p1", "a", 1), Ins("rat", "p1", "b", 2)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Mod("rat", "p1", "a", "b", 2));
+}
+
+TEST_F(FlattenTest, DeleteThenIdenticalReinsertVanishes) {
+  EXPECT_TRUE(
+      Flat({Del("rat", "p1", "a", 1), Ins("rat", "p1", "a", 2)}).empty());
+}
+
+TEST_F(FlattenTest, IndependentKeysPassThrough) {
+  auto out = Flat({Ins("rat", "p1", "a", 1), Ins("mouse", "p2", "b", 1),
+                   Del("rat", "p3", "c", 1)});
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST_F(FlattenTest, OutputOrderIsDeterministic) {
+  auto a = Flat({Ins("rat", "p2", "x", 1), Ins("rat", "p1", "y", 1)});
+  auto b = Flat({Ins("rat", "p1", "y", 1), Ins("rat", "p2", "x", 1)});
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(FlattenTest, LastWriterOriginIsKept) {
+  auto out = Flat({Ins("rat", "p1", "a", 1), Mod("rat", "p1", "a", "b", 2)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].origin(), 2u);
+}
+
+TEST_F(FlattenTest, DoubleInsertFails) {
+  auto result = Flatten(catalog_, {Ins("rat", "p1", "a", 1),
+                                   Ins("rat", "p1", "b", 2)});
+  EXPECT_TRUE(result.status().IsConflict());
+}
+
+TEST_F(FlattenTest, DoubleDeleteFails) {
+  auto result =
+      Flatten(catalog_, {Del("rat", "p1", "a", 1), Del("rat", "p1", "a", 2)});
+  EXPECT_TRUE(result.status().IsConflict());
+}
+
+TEST_F(FlattenTest, ModifyAfterDeleteFails) {
+  auto result = Flatten(
+      catalog_, {Del("rat", "p1", "a", 1), Mod("rat", "p1", "a", "b", 2)});
+  EXPECT_TRUE(result.status().IsConflict());
+}
+
+TEST_F(FlattenTest, MoveOntoLiveKeyFails) {
+  // Two different tuples moved to the same key.
+  auto result = Flatten(
+      catalog_, {Ins("rat", "p1", "a", 1),
+                 Update::Modify("F", T({"rat", "p2", "b"}),
+                                T({"rat", "p1", "b"}), 1)});
+  EXPECT_TRUE(result.status().IsConflict());
+}
+
+TEST_F(FlattenTest, UnknownRelationFails) {
+  auto result =
+      Flatten(catalog_, {Update::Insert("Nope", T({"a", "b", "c"}), 1)});
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST_F(FlattenTest, MixedChainThroughKeyMove) {
+  // Pre-existing (rat,p1,a) is moved to (rat,p2,a), then a fresh insert
+  // occupies (rat,p1); both survive flattening.
+  auto out = Flat({Update::Modify("F", T({"rat", "p1", "a"}),
+                                  T({"rat", "p2", "a"}), 1),
+                   Ins("rat", "p1", "fresh", 1)});
+  ASSERT_EQ(out.size(), 2u);
+}
+
+TEST_F(FlattenTest, LongChainCollapsesToOneUpdate) {
+  std::vector<Update> seq = {Ins("rat", "p1", "v0", 1)};
+  for (int i = 1; i <= 20; ++i) {
+    seq.push_back(Mod("rat", "p1", ("v" + std::to_string(i - 1)).c_str(),
+                      ("v" + std::to_string(i)).c_str(), 1));
+  }
+  auto out = Flat(seq);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Ins("rat", "p1", "v20", 1));
+}
+
+TEST_F(FlattenTest, ModifiedThenDeletedThenReinsertedComposes) {
+  // modify a->b, delete b, insert c on the same key: net modify a->c.
+  auto out = Flat({Mod("rat", "p1", "a", "b", 1), Del("rat", "p1", "b", 1),
+                   Ins("rat", "p1", "c", 1)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Mod("rat", "p1", "a", "c", 1));
+}
+
+}  // namespace
+}  // namespace orchestra::core

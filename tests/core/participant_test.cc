@@ -1,0 +1,233 @@
+#include "core/participant.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/sim_network.h"
+#include "storage/engine.h"
+#include "store/central_store.h"
+#include "test_util.h"
+
+namespace orchestra::core {
+namespace {
+
+using orchestra::testing::Del;
+using orchestra::testing::Ins;
+using orchestra::testing::InstanceHasExactly;
+using orchestra::testing::MakeProteinCatalog;
+using orchestra::testing::Mod;
+using orchestra::testing::T;
+
+class ParticipantTest : public ::testing::Test {
+ protected:
+  ParticipantTest()
+      : catalog_(MakeProteinCatalog()),
+        engine_(storage::StorageEngine::InMemory()),
+        store_(engine_.get(), &network_) {
+    for (ParticipantId id = 1; id <= 3; ++id) {
+      auto policy = std::make_unique<TrustPolicy>(id);
+      for (ParticipantId other = 1; other <= 3; ++other) {
+        if (other != id) policy->TrustPeer(other, 1);
+      }
+      policies_.push_back(std::move(policy));
+      participants_.push_back(
+          std::make_unique<Participant>(id, &catalog_, *policies_.back()));
+      ORCH_CHECK(store_.RegisterParticipant(id, policies_.back().get()).ok());
+    }
+  }
+
+  Participant& P(size_t i) { return *participants_[i - 1]; }
+
+  db::Catalog catalog_;
+  net::SimNetwork network_;
+  std::unique_ptr<storage::StorageEngine> engine_;
+  store::CentralStore store_;
+  std::vector<std::unique_ptr<TrustPolicy>> policies_;
+  std::vector<std::unique_ptr<Participant>> participants_;
+};
+
+TEST_F(ParticipantTest, ExecuteAppliesLocally) {
+  auto id = P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id->origin, 1u);
+  EXPECT_EQ(id->seq, 0u);
+  EXPECT_TRUE(InstanceHasExactly(P(1).instance(), {T({"rat", "p1", "x"})}));
+  EXPECT_EQ(P(1).applied_count(), 1u);
+}
+
+TEST_F(ParticipantTest, ExecuteAssignsIncreasingSequence) {
+  auto a = P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)});
+  auto b = P(1).ExecuteTransaction({Ins("rat", "p2", "y", 1)});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a->seq, b->seq);
+}
+
+TEST_F(ParticipantTest, ExecuteRejectsEmptyTransaction) {
+  EXPECT_FALSE(P(1).ExecuteTransaction({}).ok());
+}
+
+TEST_F(ParticipantTest, ExecuteRejectsLocallyInvalidTransaction) {
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  // Conflicting re-insert of the same key fails and changes nothing.
+  EXPECT_FALSE(P(1).ExecuteTransaction({Ins("rat", "p1", "y", 1)}).ok());
+  EXPECT_TRUE(InstanceHasExactly(P(1).instance(), {T({"rat", "p1", "x"})}));
+}
+
+TEST_F(ParticipantTest, ExecuteStampsOriginOntoUpdates) {
+  // Updates passed with a wrong origin are re-stamped with the executing
+  // participant's identity.
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 99)}).ok());
+  ASSERT_TRUE(P(1).Publish(&store_).ok());
+  auto report = P(2).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->accepted.size(), 1u);  // trusted as peer 1, not 99
+}
+
+TEST_F(ParticipantTest, PublishEmptyQueueIsNoop) {
+  auto epoch = P(1).Publish(&store_);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, kNoEpoch);
+}
+
+TEST_F(ParticipantTest, PublishAssignsEpochsInOrder) {
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  auto e1 = P(1).Publish(&store_);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(P(2).ExecuteTransaction({Ins("rat", "p2", "y", 2)}).ok());
+  auto e2 = P(2).Publish(&store_);
+  ASSERT_TRUE(e2.ok());
+  EXPECT_LT(*e1, *e2);
+}
+
+TEST_F(ParticipantTest, UpdatesFlowBetweenPeers) {
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  auto report = P(2).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->accepted.size(), 1u);
+  EXPECT_TRUE(InstanceHasExactly(P(2).instance(), {T({"rat", "p1", "x"})}));
+}
+
+TEST_F(ParticipantTest, RevisionChainsCarryAntecedents) {
+  // p1 inserts; p2 imports and revises; p3 imports the revision and must
+  // receive p1's insert as its antecedent.
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "a", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(2).Reconcile(&store_).ok());
+  ASSERT_TRUE(P(2).ExecuteTransaction({Mod("rat", "p1", "a", "b", 2)}).ok());
+  ASSERT_TRUE(P(2).PublishAndReconcile(&store_).ok());
+  auto report = P(3).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(InstanceHasExactly(P(3).instance(), {T({"rat", "p1", "b"})}));
+}
+
+TEST_F(ParticipantTest, SelfRevisionWithinOneTransactionHasNoAntecedent) {
+  // Insert + modify in one transaction: the modify's antecedent is the
+  // same transaction, so none is recorded; the chain still flattens.
+  ASSERT_TRUE(P(1)
+                  .ExecuteTransaction({Ins("rat", "p1", "a", 1),
+                                       Mod("rat", "p1", "a", "b", 1)})
+                  .ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  auto report = P(2).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(InstanceHasExactly(P(2).instance(), {T({"rat", "p1", "b"})}));
+}
+
+TEST_F(ParticipantTest, OwnDeltaWinsOverIncomingConflicts) {
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "theirs", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(2).ExecuteTransaction({Ins("rat", "p1", "mine", 2)}).ok());
+  auto report = P(2).PublishAndReconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rejected.size(), 1u);
+  EXPECT_TRUE(InstanceHasExactly(P(2).instance(), {T({"rat", "p1", "mine"})}));
+}
+
+TEST_F(ParticipantTest, OwnDeltaClearsAfterReconcile) {
+  // A conflict arriving after the peer's next reconciliation is rejected
+  // through instance incompatibility rather than the delta, with the
+  // same outcome: never roll back local state.
+  ASSERT_TRUE(P(2).ExecuteTransaction({Ins("rat", "p1", "mine", 2)}).ok());
+  ASSERT_TRUE(P(2).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "late", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  auto report = P(2).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rejected.size(), 1u);
+  EXPECT_TRUE(InstanceHasExactly(P(2).instance(), {T({"rat", "p1", "mine"})}));
+}
+
+TEST_F(ParticipantTest, DeferredTransactionsReconsideredNextReconcile) {
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "a", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(2).ExecuteTransaction({Ins("rat", "p1", "b", 2)}).ok());
+  ASSERT_TRUE(P(2).PublishAndReconcile(&store_).ok());
+  // p3 sees both: equal trust, conflict, defer.
+  auto r1 = P(3).Reconcile(&store_);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->deferred.size(), 2u);
+  EXPECT_EQ(P(3).deferred_count(), 2u);
+  // Nothing new published; reconciling again reconsiders and re-defers.
+  auto r2 = P(3).Reconcile(&store_);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->reconsidered, 2u);
+  EXPECT_EQ(r2->deferred.size(), 2u);
+  EXPECT_EQ(P(3).deferred_count(), 2u);
+}
+
+TEST_F(ParticipantTest, FreshUpdateTouchingDeferredKeyDefers) {
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "a", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(2).ExecuteTransaction({Ins("rat", "p1", "b", 2)}).ok());
+  ASSERT_TRUE(P(2).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(3).Reconcile(&store_).ok());
+  ASSERT_EQ(P(3).deferred_count(), 2u);
+  // p1 revises its version; p3 must defer the revision too (dirty key).
+  ASSERT_TRUE(P(1).ExecuteTransaction({Mod("rat", "p1", "a", "c", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  auto report = P(3).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(P(3).deferred_count(), 3u);
+  EXPECT_TRUE(InstanceHasExactly(P(3).instance(), {}));
+}
+
+TEST_F(ParticipantTest, ResolveConflictOutOfRangeFails) {
+  EXPECT_TRUE(P(1).ResolveConflict(&store_, 0, std::nullopt)
+                  .status()
+                  .code() == StatusCode::kOutOfRange);
+}
+
+TEST_F(ParticipantTest, DeleteSpreadsBetweenPeers) {
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(2).Reconcile(&store_).ok());
+  ASSERT_TRUE(InstanceHasExactly(P(2).instance(), {T({"rat", "p1", "x"})}));
+  ASSERT_TRUE(P(1).ExecuteTransaction({Del("rat", "p1", "x", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(2).Reconcile(&store_).ok());
+  EXPECT_TRUE(InstanceHasExactly(P(2).instance(), {}));
+}
+
+TEST_F(ParticipantTest, StoreStatsAccumulate) {
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  const StoreStats stats = store_.StatsFor(1);
+  EXPECT_GT(stats.messages, 0);
+  EXPECT_GT(stats.sim_network_micros, 0);
+  EXPECT_GE(stats.calls, 2);  // publish + begin-reconciliation (+ record)
+}
+
+TEST_F(ParticipantTest, ReportTimingsAreSplit) {
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  ASSERT_TRUE(P(1).Publish(&store_).ok());
+  auto report = P(2).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->local_micros, 0);
+  EXPECT_GT(report->store.sim_network_micros, 0);
+}
+
+}  // namespace
+}  // namespace orchestra::core

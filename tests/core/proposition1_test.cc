@@ -1,0 +1,221 @@
+// Randomized check of Proposition 1: a solution to the general
+// reconciliation problem always accepts transactions (and their
+// antecedents) for which no directly conflicting, non-subsumed
+// transaction of equal or higher priority exists.
+//
+// The scenario family has an exact oracle: K transactions from distinct
+// peers all insert the contested key with pairwise-distinct values, at
+// random priorities. If the maximum priority is unique, exactly that
+// transaction is accepted and every other is rejected; if the maximum is
+// tied, every transaction defers (certain-answers semantics). A second
+// family adds agreement (identical values) at the top priority.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "core/extension.h"
+#include "core/reconciler.h"
+#include "test_util.h"
+
+namespace orchestra::core {
+namespace {
+
+using orchestra::testing::MakeProteinCatalog;
+using orchestra::testing::T;
+using orchestra::testing::Txn;
+
+class Proposition1Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Proposition1Test, UniqueHighestPriorityAlwaysWins) {
+  Rng rng(GetParam());
+  db::Catalog catalog = MakeProteinCatalog();
+  Reconciler reconciler(&catalog);
+
+  for (int scenario = 0; scenario < 40; ++scenario) {
+    const size_t k = 2 + rng.NextBounded(6);
+    TransactionMap map;
+    std::vector<TrustedTxn> txns;
+    std::vector<int> priorities;
+    for (size_t i = 0; i < k; ++i) {
+      const auto origin = static_cast<ParticipantId>(i + 1);
+      const std::string value = "v" + std::to_string(i);  // all distinct
+      map.Put(Txn(origin, 0,
+                  {Update::Insert("F", T({"rat", "p1", value.c_str()}),
+                                  origin)},
+                  {}, static_cast<Epoch>(i + 1)));
+      TrustedTxn t;
+      t.id = {origin, 0};
+      t.priority = 1 + static_cast<int>(rng.NextBounded(4));
+      priorities.push_back(t.priority);
+      t.extension = {t.id};
+      txns.push_back(std::move(t));
+    }
+    const int max_priority =
+        *std::max_element(priorities.begin(), priorities.end());
+    const size_t at_max = static_cast<size_t>(
+        std::count(priorities.begin(), priorities.end(), max_priority));
+
+    db::Instance instance(&catalog);
+    TxnIdSet applied, rejected;
+    RelKeySet dirty;
+    ReconcileInput input;
+    input.recno = 1;
+    input.txns = txns;
+    input.provider = &map;
+    input.applied = &applied;
+    input.rejected = &rejected;
+    input.dirty = &dirty;
+    auto outcome = reconciler.Run(input, &instance);
+    ASSERT_TRUE(outcome.ok());
+
+    if (at_max == 1) {
+      // Proposition 1: the unique highest-priority transaction has no
+      // equal-or-higher conflicting rival, so it must be accepted; all
+      // rivals conflict with an accepted higher transaction: rejected.
+      ASSERT_EQ(outcome->accepted_roots.size(), 1u)
+          << "scenario " << scenario << " k=" << k;
+      EXPECT_EQ(outcome->rejected_roots.size(), k - 1);
+      EXPECT_TRUE(outcome->deferred_roots.empty());
+      const size_t winner = static_cast<size_t>(
+          std::max_element(priorities.begin(), priorities.end()) -
+          priorities.begin());
+      EXPECT_EQ(outcome->accepted_roots[0], txns[winner].id);
+      // And its update is in the instance.
+      auto table = instance.GetTable("F");
+      EXPECT_TRUE((*table)->ContainsTuple(
+          T({"rat", "p1", ("v" + std::to_string(winner)).c_str()})));
+    } else {
+      // Tie at the top: every transaction (the tied ones directly, the
+      // lower ones through conflicts with deferred work) defers.
+      EXPECT_TRUE(outcome->accepted_roots.empty())
+          << "scenario " << scenario << " k=" << k << " at_max=" << at_max;
+      EXPECT_EQ(outcome->deferred_roots.size(), k);
+      EXPECT_EQ(instance.TotalTuples(), 0u);
+    }
+  }
+}
+
+TEST_P(Proposition1Test, AgreementAtTopPriorityIsAccepted) {
+  Rng rng(GetParam() + 1000);
+  db::Catalog catalog = MakeProteinCatalog();
+  Reconciler reconciler(&catalog);
+
+  for (int scenario = 0; scenario < 40; ++scenario) {
+    // m transactions agree on the winning value at priority 5; r rivals
+    // propose distinct values at lower priorities. The agreeing group
+    // conflicts with nothing at its level (identical updates agree), so
+    // all of it is accepted and all rivals are rejected.
+    const size_t m = 1 + rng.NextBounded(3);
+    const size_t r = 1 + rng.NextBounded(4);
+    TransactionMap map;
+    std::vector<TrustedTxn> txns;
+    for (size_t i = 0; i < m + r; ++i) {
+      const auto origin = static_cast<ParticipantId>(i + 1);
+      const std::string value =
+          i < m ? "agreed" : "rival" + std::to_string(i);
+      map.Put(Txn(origin, 0,
+                  {Update::Insert("F", T({"rat", "p1", value.c_str()}),
+                                  origin)},
+                  {}, static_cast<Epoch>(i + 1)));
+      TrustedTxn t;
+      t.id = {origin, 0};
+      t.priority = i < m ? 5 : 1 + static_cast<int>(rng.NextBounded(4));
+      t.extension = {t.id};
+      txns.push_back(std::move(t));
+    }
+
+    db::Instance instance(&catalog);
+    TxnIdSet applied, rejected;
+    RelKeySet dirty;
+    ReconcileInput input;
+    input.recno = 1;
+    input.txns = txns;
+    input.provider = &map;
+    input.applied = &applied;
+    input.rejected = &rejected;
+    input.dirty = &dirty;
+    auto outcome = reconciler.Run(input, &instance);
+    ASSERT_TRUE(outcome.ok());
+
+    EXPECT_EQ(outcome->accepted_roots.size(), m);
+    EXPECT_EQ(outcome->rejected_roots.size(), r);
+    EXPECT_TRUE(outcome->deferred_roots.empty());
+    auto table = instance.GetTable("F");
+    EXPECT_TRUE((*table)->ContainsTuple(T({"rat", "p1", "agreed"})));
+    EXPECT_EQ((*table)->size(), 1u);
+  }
+}
+
+TEST_P(Proposition1Test, RevisionChainWinnerCarriesAntecedents) {
+  // A chain X -> X' at random priority against one rival: whenever the
+  // chain's priority is strictly higher, both chain members are applied
+  // (the antecedent is transitively accepted), else see oracle below.
+  Rng rng(GetParam() + 2000);
+  db::Catalog catalog = MakeProteinCatalog();
+  Reconciler reconciler(&catalog);
+
+  for (int scenario = 0; scenario < 40; ++scenario) {
+    TransactionMap map;
+    map.Put(Txn(1, 0, {Update::Insert("F", T({"rat", "p1", "base"}), 1)}, {},
+                1));
+    map.Put(Txn(1, 1,
+                {Update::Modify("F", T({"rat", "p1", "base"}),
+                                T({"rat", "p1", "revised"}), 1)},
+                {{1, 0}}, 2));
+    map.Put(Txn(2, 0, {Update::Insert("F", T({"rat", "p1", "rival"}), 2)},
+                {}, 3));
+    const int chain_priority = 1 + static_cast<int>(rng.NextBounded(3));
+    const int rival_priority = 1 + static_cast<int>(rng.NextBounded(3));
+
+    std::vector<TrustedTxn> txns;
+    {
+      TrustedTxn t;
+      t.id = {1, 0};
+      t.priority = chain_priority;
+      t.extension = {{1, 0}};
+      txns.push_back(t);
+      TrustedTxn t2;
+      t2.id = {1, 1};
+      t2.priority = chain_priority;
+      t2.extension = {{1, 0}, {1, 1}};
+      txns.push_back(t2);
+      TrustedTxn t3;
+      t3.id = {2, 0};
+      t3.priority = rival_priority;
+      t3.extension = {{2, 0}};
+      txns.push_back(t3);
+    }
+
+    db::Instance instance(&catalog);
+    TxnIdSet applied, rejected;
+    RelKeySet dirty;
+    ReconcileInput input;
+    input.recno = 1;
+    input.txns = txns;
+    input.provider = &map;
+    input.applied = &applied;
+    input.rejected = &rejected;
+    input.dirty = &dirty;
+    auto outcome = reconciler.Run(input, &instance);
+    ASSERT_TRUE(outcome.ok());
+
+    auto table = instance.GetTable("F");
+    if (chain_priority > rival_priority) {
+      EXPECT_EQ(outcome->accepted_roots.size(), 2u);
+      EXPECT_TRUE((*table)->ContainsTuple(T({"rat", "p1", "revised"})));
+    } else if (rival_priority > chain_priority) {
+      EXPECT_EQ(outcome->accepted_roots.size(), 1u);
+      EXPECT_TRUE((*table)->ContainsTuple(T({"rat", "p1", "rival"})));
+    } else {
+      EXPECT_EQ(outcome->deferred_roots.size(), 3u);
+      EXPECT_EQ((*table)->size(), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Proposition1Test,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace orchestra::core

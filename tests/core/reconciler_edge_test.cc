@@ -1,0 +1,214 @@
+// Edge cases of reconciliation exercised end-to-end through the full
+// stack: key-changing replacements, multi-relation atomicity, long
+// revision chains, and interleavings across reconciliations.
+#include <gtest/gtest.h>
+
+#include "core/participant.h"
+#include "net/sim_network.h"
+#include "storage/engine.h"
+#include "store/central_store.h"
+#include "test_util.h"
+
+namespace orchestra::core {
+namespace {
+
+using orchestra::testing::Del;
+using orchestra::testing::Ins;
+using orchestra::testing::InstanceHasExactly;
+using orchestra::testing::T;
+
+db::Catalog MakeTwoRelationCatalog() {
+  db::Catalog catalog;
+  for (const char* name : {"F", "G"}) {
+    auto schema = db::RelationSchema::Make(
+        name,
+        {{"organism", db::ValueType::kString, false},
+         {"protein", db::ValueType::kString, false},
+         {"function", db::ValueType::kString, false}},
+        {0, 1});
+    ORCH_CHECK(schema.ok());
+    ORCH_CHECK(catalog.AddRelation(*std::move(schema)).ok());
+  }
+  return catalog;
+}
+
+class ReconcilerEdgeTest : public ::testing::Test {
+ protected:
+  ReconcilerEdgeTest()
+      : catalog_(MakeTwoRelationCatalog()),
+        engine_(storage::StorageEngine::InMemory()),
+        store_(engine_.get(), &network_) {
+    for (ParticipantId id = 1; id <= 4; ++id) {
+      auto policy = std::make_unique<TrustPolicy>(id);
+      for (ParticipantId other = 1; other <= 4; ++other) {
+        if (other != id) policy->TrustPeer(other, 1);
+      }
+      ORCH_CHECK(store_.RegisterParticipant(id, policy.get()).ok());
+      policies_.push_back(std::move(policy));
+      participants_.push_back(
+          std::make_unique<Participant>(id, &catalog_, *policies_.back()));
+    }
+  }
+
+  Participant& P(size_t i) { return *participants_[i - 1]; }
+
+  db::Catalog catalog_;
+  net::SimNetwork network_;
+  std::unique_ptr<storage::StorageEngine> engine_;
+  store::CentralStore store_;
+  std::vector<std::unique_ptr<TrustPolicy>> policies_;
+  std::vector<std::unique_ptr<Participant>> participants_;
+};
+
+TEST_F(ReconcilerEdgeTest, KeyChangingReplacementPropagates) {
+  // The Figure-2-adjacent case of §4.2: a replacement that corrects the
+  // *protein* (a key attribute), X3:3-style.
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("mouse", "prot2", "cell-resp", 1)})
+                  .ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(1).ExecuteTransaction(
+                      {Update::Modify("F", T({"mouse", "prot2", "cell-resp"}),
+                                      T({"mouse", "prot3", "cell-resp"}), 1)})
+                  .ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(2).Reconcile(&store_).ok());
+  EXPECT_TRUE(InstanceHasExactly(P(2).instance(),
+                                 {T({"mouse", "prot3", "cell-resp"})}));
+}
+
+TEST_F(ReconcilerEdgeTest, KeyChangeRemovesConflictWithLaterInsert) {
+  // §4.2's motivating example: X3:2 conflicts with a mouse/prot2 insert,
+  // but X3:3 moves it to prot3 — the flattened extension no longer
+  // conflicts, so the other peer's insert is accepted.
+  ASSERT_TRUE(P(3).ExecuteTransaction({Ins("mouse", "prot2", "cell-resp", 3)})
+                  .ok());
+  ASSERT_TRUE(P(3).ExecuteTransaction(
+                      {Update::Modify("F", T({"mouse", "prot2", "cell-resp"}),
+                                      T({"mouse", "prot3", "cell-resp"}), 3)})
+                  .ok());
+  ASSERT_TRUE(P(3).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(2).ExecuteTransaction({Ins("mouse", "prot2", "immune", 2)})
+                  .ok());
+  ASSERT_TRUE(P(2).PublishAndReconcile(&store_).ok());
+  // p2 accepted p3's chain: its flattened form only claims prot3.
+  EXPECT_TRUE(InstanceHasExactly(
+      P(2).instance(),
+      {T({"mouse", "prot2", "immune"}), T({"mouse", "prot3", "cell-resp"})}));
+  // And p3, reconciling later, accepts p2's insert for the vacated key.
+  ASSERT_TRUE(P(3).Reconcile(&store_).ok());
+  EXPECT_TRUE(InstanceHasExactly(
+      P(3).instance(),
+      {T({"mouse", "prot2", "immune"}), T({"mouse", "prot3", "cell-resp"})}));
+}
+
+TEST_F(ReconcilerEdgeTest, MultiRelationTransactionIsAtomic) {
+  // One transaction touches F and G; a conflict on F defers the whole
+  // transaction, so the G tuple must not appear either.
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "mine", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(
+      P(2).ExecuteTransaction(
+              {Ins("rat", "p1", "theirs", 2),
+               Update::Insert("G", T({"rat", "p1", "note"}), 2)})
+          .ok());
+  ASSERT_TRUE(P(2).PublishAndReconcile(&store_).ok());
+  auto report = P(3).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->deferred.size(), 2u);
+  auto g_table = P(3).instance().GetTable("G");
+  EXPECT_EQ((*g_table)->size(), 0u);
+}
+
+TEST_F(ReconcilerEdgeTest, FourPeerRevisionChain) {
+  // v1 -> v2 -> v3 -> v4, each revision by a different peer; a fresh
+  // observer receives the whole chain transitively and applies it once.
+  const char* values[] = {"v1", "v2", "v3", "v4"};
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", values[0], 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  for (size_t step = 1; step < 3; ++step) {
+    Participant& peer = P(step + 1);
+    ASSERT_TRUE(peer.Reconcile(&store_).ok());
+    ASSERT_TRUE(peer.ExecuteTransaction(
+                        {Update::Modify("F", T({"rat", "p1", values[step - 1]}),
+                                        T({"rat", "p1", values[step]}),
+                                        peer.id())})
+                    .ok());
+    ASSERT_TRUE(peer.PublishAndReconcile(&store_).ok());
+  }
+  auto report = P(4).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(InstanceHasExactly(P(4).instance(), {T({"rat", "p1", "v3"})}));
+  // The chain has three transactions; all were applied.
+  EXPECT_EQ(P(4).applied_count(), 3u);
+}
+
+TEST_F(ReconcilerEdgeTest, EmptyReconcileIsCheapNoop) {
+  auto report = P(1).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->fetched, 0u);
+  EXPECT_TRUE(report->accepted.empty());
+  // Repeated no-op reconciles keep working and advance recno.
+  auto again = P(1).Reconcile(&store_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_GT(again->recno, report->recno);
+}
+
+TEST_F(ReconcilerEdgeTest, DeleteAndReinsertAcrossReconciliations) {
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "old", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(2).Reconcile(&store_).ok());
+  // p1 retires the tuple and later re-curates the key with a new value.
+  ASSERT_TRUE(P(1).ExecuteTransaction({Del("rat", "p1", "old", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "new", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(2).Reconcile(&store_).ok());
+  EXPECT_TRUE(InstanceHasExactly(P(2).instance(), {T({"rat", "p1", "new"})}));
+}
+
+TEST_F(ReconcilerEdgeTest, AgreementAfterIndependentIdenticalCuration) {
+  // All four peers insert the identical tuple independently; everyone
+  // converges with zero conflicts.
+  for (size_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(P(i).ExecuteTransaction(
+                        {Ins("rat", "p1", "consensus",
+                             static_cast<ParticipantId>(i))})
+                    .ok());
+    ASSERT_TRUE(P(i).PublishAndReconcile(&store_).ok());
+  }
+  for (size_t i = 1; i <= 4; ++i) {
+    auto report = P(i).Reconcile(&store_);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->deferred.empty());
+    EXPECT_TRUE(
+        InstanceHasExactly(P(i).instance(), {T({"rat", "p1", "consensus"})}));
+  }
+}
+
+TEST_F(ReconcilerEdgeTest, InterleavedRevisionsOfDistinctKeysStaySeparate) {
+  ASSERT_TRUE(
+      P(1).ExecuteTransaction({Ins("rat", "a", "x", 1), Ins("rat", "b", "y", 1)})
+          .ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(2).Reconcile(&store_).ok());
+  ASSERT_TRUE(P(3).Reconcile(&store_).ok());
+  // p2 revises key a while p3 revises key b: no conflicts anywhere.
+  ASSERT_TRUE(P(2).ExecuteTransaction(
+                      {Update::Modify("F", T({"rat", "a", "x"}),
+                                      T({"rat", "a", "x2"}), 2)})
+                  .ok());
+  ASSERT_TRUE(P(2).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(3).ExecuteTransaction(
+                      {Update::Modify("F", T({"rat", "b", "y"}),
+                                      T({"rat", "b", "y2"}), 3)})
+                  .ok());
+  ASSERT_TRUE(P(3).PublishAndReconcile(&store_).ok());
+  auto report = P(4).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->deferred.empty());
+  EXPECT_TRUE(InstanceHasExactly(
+      P(4).instance(), {T({"rat", "a", "x2"}), T({"rat", "b", "y2"})}));
+}
+
+}  // namespace
+}  // namespace orchestra::core

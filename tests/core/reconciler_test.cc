@@ -1,0 +1,326 @@
+#include "core/reconciler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/extension.h"
+#include "test_util.h"
+
+namespace orchestra::core {
+namespace {
+
+using orchestra::testing::Del;
+using orchestra::testing::Ins;
+using orchestra::testing::InstanceHasExactly;
+using orchestra::testing::MakeProteinCatalog;
+using orchestra::testing::Mod;
+using orchestra::testing::T;
+using orchestra::testing::Txn;
+
+class ReconcilerTest : public ::testing::Test {
+ protected:
+  ReconcilerTest() : instance_(&catalog_), reconciler_(&catalog_) {}
+
+  void Put(Transaction txn) { map_.Put(std::move(txn)); }
+
+  TrustedTxn Trusted(TransactionId id, int priority,
+                     bool previously_deferred = false) {
+    TrustedTxn t;
+    t.id = id;
+    t.priority = priority;
+    t.previously_deferred = previously_deferred;
+    auto ext = ComputeExtension(map_, id, applied_);
+    ORCH_CHECK(ext.ok());
+    t.extension = *std::move(ext);
+    return t;
+  }
+
+  ReconcileOutcome Run(std::vector<TrustedTxn> txns,
+                       std::vector<Update> own_delta = {}) {
+    ReconcileInput input;
+    input.recno = ++recno_;
+    input.txns = std::move(txns);
+    input.provider = &map_;
+    input.own_delta = std::move(own_delta);
+    input.applied = &applied_;
+    input.rejected = &rejected_;
+    input.dirty = &dirty_;
+    auto outcome = reconciler_.Run(input, &instance_);
+    ORCH_CHECK(outcome.ok(), "%s", outcome.status().ToString().c_str());
+    return *std::move(outcome);
+  }
+
+  static bool Contains(const std::vector<TransactionId>& v,
+                       TransactionId id) {
+    return std::find(v.begin(), v.end(), id) != v.end();
+  }
+
+  db::Catalog catalog_ = MakeProteinCatalog();
+  db::Instance instance_;
+  Reconciler reconciler_;
+  TransactionMap map_;
+  TxnIdSet applied_;
+  TxnIdSet rejected_;
+  RelKeySet dirty_;
+  int64_t recno_ = 0;
+};
+
+TEST_F(ReconcilerTest, AcceptsSingleTrustedTransaction) {
+  Put(Txn(2, 0, {Ins("rat", "p1", "x", 2)}, {}, 1));
+  auto outcome = Run({Trusted({2, 0}, 1)});
+  EXPECT_EQ(outcome.accepted_roots.size(), 1u);
+  EXPECT_TRUE(outcome.rejected_roots.empty());
+  EXPECT_TRUE(outcome.deferred_roots.empty());
+  EXPECT_TRUE(InstanceHasExactly(instance_, {T({"rat", "p1", "x"})}));
+  EXPECT_TRUE(Contains(outcome.applied_txns, {2, 0}));
+}
+
+TEST_F(ReconcilerTest, RejectsConflictWithOwnDelta) {
+  // CheckState line 7: the participant always keeps its own version.
+  auto table = instance_.GetTable("F");
+  ASSERT_TRUE((*table)->Insert(T({"rat", "p1", "mine"})).ok());
+  Put(Txn(2, 0, {Ins("rat", "p1", "theirs", 2)}, {}, 1));
+  auto outcome =
+      Run({Trusted({2, 0}, 1)}, {Ins("rat", "p1", "mine", 9)});
+  EXPECT_TRUE(Contains(outcome.rejected_roots, {2, 0}));
+  EXPECT_TRUE(InstanceHasExactly(instance_, {T({"rat", "p1", "mine"})}));
+}
+
+TEST_F(ReconcilerTest, RejectsIncompatibleWithInstance) {
+  auto table = instance_.GetTable("F");
+  ASSERT_TRUE((*table)->Insert(T({"rat", "p1", "settled"})).ok());
+  Put(Txn(2, 0, {Ins("rat", "p1", "other", 2)}, {}, 1));
+  auto outcome = Run({Trusted({2, 0}, 1)});
+  EXPECT_TRUE(Contains(outcome.rejected_roots, {2, 0}));
+}
+
+TEST_F(ReconcilerTest, EqualPriorityConflictDefersBoth) {
+  Put(Txn(2, 0, {Ins("rat", "p1", "immune", 2)}, {}, 1));
+  Put(Txn(3, 0, {Ins("rat", "p1", "metab", 3)}, {}, 1));
+  auto outcome = Run({Trusted({2, 0}, 1), Trusted({3, 0}, 1)});
+  EXPECT_EQ(outcome.deferred_roots.size(), 2u);
+  EXPECT_TRUE(InstanceHasExactly(instance_, {}));
+  // Soft state: the contested key is dirty, one conflict group with two
+  // options exists.
+  EXPECT_EQ(outcome.dirty_values.count(RelKey{"F", T({"rat", "p1"})}), 1u);
+  ASSERT_EQ(outcome.conflict_groups.size(), 1u);
+  EXPECT_EQ(outcome.conflict_groups[0].point.type,
+            ConflictType::kInsertInsert);
+  EXPECT_EQ(outcome.conflict_groups[0].options.size(), 2u);
+}
+
+TEST_F(ReconcilerTest, HigherPriorityWinsLowerRejected) {
+  Put(Txn(2, 0, {Ins("rat", "p1", "immune", 2)}, {}, 1));
+  Put(Txn(3, 0, {Ins("rat", "p1", "metab", 3)}, {}, 1));
+  auto outcome = Run({Trusted({2, 0}, 5), Trusted({3, 0}, 1)});
+  EXPECT_TRUE(Contains(outcome.accepted_roots, {2, 0}));
+  EXPECT_TRUE(Contains(outcome.rejected_roots, {3, 0}));
+  EXPECT_TRUE(InstanceHasExactly(instance_, {T({"rat", "p1", "immune"})}));
+}
+
+TEST_F(ReconcilerTest, IdenticalUpdatesFromTwoPeersBothAccepted) {
+  Put(Txn(2, 0, {Ins("rat", "p1", "x", 2)}, {}, 1));
+  Put(Txn(3, 0, {Ins("rat", "p1", "x", 3)}, {}, 1));
+  auto outcome = Run({Trusted({2, 0}, 1), Trusted({3, 0}, 1)});
+  EXPECT_EQ(outcome.accepted_roots.size(), 2u);
+  EXPECT_TRUE(InstanceHasExactly(instance_, {T({"rat", "p1", "x"})}));
+}
+
+TEST_F(ReconcilerTest, SubsumedTransactionIsNotAConflict) {
+  // X3:1 revises X3:0; their flattened extensions "conflict" textually
+  // but te(X3:1) ⊇ te(X3:0), so both are accepted and applied once.
+  Put(Txn(3, 0, {Ins("rat", "p1", "cell-metab", 3)}, {}, 1));
+  Put(Txn(3, 1, {Mod("rat", "p1", "cell-metab", "immune", 3)}, {{3, 0}}, 1));
+  auto outcome = Run({Trusted({3, 0}, 1), Trusted({3, 1}, 1)});
+  EXPECT_EQ(outcome.accepted_roots.size(), 2u);
+  EXPECT_TRUE(InstanceHasExactly(instance_, {T({"rat", "p1", "immune"})}));
+}
+
+TEST_F(ReconcilerTest, AntecedentsTransitivelyAcceptedAndApplied) {
+  // The peer trusts only X2:0 but must transitively accept the untrusted
+  // antecedent X9:0 (§4.2).
+  Put(Txn(9, 0, {Ins("rat", "p1", "base", 9)}, {}, 1));
+  Put(Txn(2, 0, {Mod("rat", "p1", "base", "revised", 2)}, {{9, 0}}, 2));
+  auto outcome = Run({Trusted({2, 0}, 1)});
+  EXPECT_TRUE(Contains(outcome.accepted_roots, {2, 0}));
+  EXPECT_TRUE(Contains(outcome.applied_txns, {9, 0}));
+  EXPECT_TRUE(InstanceHasExactly(instance_, {T({"rat", "p1", "revised"})}));
+}
+
+TEST_F(ReconcilerTest, SharedAntecedentAppliedExactlyOnce) {
+  Put(Txn(9, 0, {Ins("rat", "p1", "base", 9)}, {}, 1));
+  Put(Txn(2, 0, {Mod("rat", "p1", "base", "a", 2)}, {{9, 0}}, 2));
+  Put(Txn(3, 0, {Ins("mouse", "p2", "b", 3)}, {{9, 0}}, 2));
+  auto outcome = Run({Trusted({2, 0}, 1), Trusted({3, 0}, 1)});
+  EXPECT_EQ(outcome.accepted_roots.size(), 2u);
+  // X9:0 appears once in applied_txns.
+  EXPECT_EQ(std::count(outcome.applied_txns.begin(),
+                       outcome.applied_txns.end(), TransactionId{9, 0}),
+            1);
+  EXPECT_TRUE(InstanceHasExactly(
+      instance_, {T({"rat", "p1", "a"}), T({"mouse", "p2", "b"})}));
+}
+
+TEST_F(ReconcilerTest, RejectedAntecedentRejectsDependent) {
+  Put(Txn(9, 0, {Ins("rat", "p1", "base", 9)}, {}, 1));
+  Put(Txn(2, 0, {Mod("rat", "p1", "base", "a", 2)}, {{9, 0}}, 2));
+  rejected_.insert({9, 0});
+  auto outcome = Run({Trusted({2, 0}, 1)});
+  EXPECT_TRUE(Contains(outcome.rejected_roots, {2, 0}));
+  EXPECT_TRUE(InstanceHasExactly(instance_, {}));
+}
+
+TEST_F(ReconcilerTest, DependentOnDeferredIsDeferred) {
+  // X2:0 and X3:0 conflict (defer); X2:1 depends on X2:0 so it defers too.
+  Put(Txn(2, 0, {Ins("rat", "p1", "immune", 2)}, {}, 1));
+  Put(Txn(3, 0, {Ins("rat", "p1", "metab", 3)}, {}, 1));
+  Put(Txn(2, 1, {Mod("rat", "p1", "immune", "other", 2)}, {{2, 0}}, 2));
+  auto outcome =
+      Run({Trusted({2, 0}, 1), Trusted({3, 0}, 1), Trusted({2, 1}, 1)});
+  EXPECT_EQ(outcome.deferred_roots.size(), 3u);
+  EXPECT_TRUE(InstanceHasExactly(instance_, {}));
+}
+
+TEST_F(ReconcilerTest, FreshTransactionTouchingDirtyValueDefers) {
+  dirty_.insert(RelKey{"F", T({"rat", "p1"})});
+  Put(Txn(2, 0, {Ins("rat", "p1", "x", 2)}, {}, 5));
+  auto outcome = Run({Trusted({2, 0}, 1)});
+  EXPECT_TRUE(Contains(outcome.deferred_roots, {2, 0}));
+}
+
+TEST_F(ReconcilerTest, HighPriorityFreshTransactionStillDefersOnDirty) {
+  // §3.1: future updates that might conflict with an unresolved conflict
+  // are deferred regardless of priority, so user resolution stays valid.
+  dirty_.insert(RelKey{"F", T({"rat", "p1"})});
+  Put(Txn(2, 0, {Ins("rat", "p1", "x", 2)}, {}, 5));
+  auto outcome = Run({Trusted({2, 0}, 100)});
+  EXPECT_TRUE(Contains(outcome.deferred_roots, {2, 0}));
+}
+
+TEST_F(ReconcilerTest, PreviouslyDeferredSkipsDirtyCheck) {
+  dirty_.insert(RelKey{"F", T({"rat", "p1"})});
+  Put(Txn(2, 0, {Ins("rat", "p1", "x", 2)}, {}, 1));
+  auto outcome = Run({Trusted({2, 0}, 1, /*previously_deferred=*/true)});
+  EXPECT_TRUE(Contains(outcome.accepted_roots, {2, 0}));
+}
+
+TEST_F(ReconcilerTest, ResolutionScenarioAcceptsSurvivor) {
+  // Round 1: conflict defers both. User rejects X3:0; round 2 reconsiders
+  // X2:0 (previously deferred) and accepts it.
+  Put(Txn(2, 0, {Ins("rat", "p1", "immune", 2)}, {}, 1));
+  Put(Txn(3, 0, {Ins("rat", "p1", "metab", 3)}, {}, 1));
+  auto round1 = Run({Trusted({2, 0}, 1), Trusted({3, 0}, 1)});
+  EXPECT_EQ(round1.deferred_roots.size(), 2u);
+  rejected_.insert({3, 0});
+  dirty_ = round1.dirty_values;
+  auto round2 = Run({Trusted({2, 0}, 1, /*previously_deferred=*/true)});
+  EXPECT_TRUE(Contains(round2.accepted_roots, {2, 0}));
+  EXPECT_TRUE(InstanceHasExactly(instance_, {T({"rat", "p1", "immune"})}));
+  EXPECT_TRUE(round2.conflict_groups.empty());
+  EXPECT_TRUE(round2.dirty_values.empty());
+}
+
+TEST_F(ReconcilerTest, LowerPriorityConflictingWithDeferredDefers) {
+  // DoGroup: equal/lower-priority transactions conflicting with a
+  // deferred higher-priority transaction defer rather than apply.
+  dirty_.insert(RelKey{"F", T({"rat", "p1"})});
+  Put(Txn(2, 0, {Ins("rat", "p1", "a", 2)}, {}, 5));
+  Put(Txn(3, 0, {Ins("rat", "p1", "b", 3)}, {}, 5));
+  auto outcome = Run({Trusted({2, 0}, 3), Trusted({3, 0}, 1)});
+  // Both touch the dirty key: both defer (the higher via dirty, the lower
+  // via dirty as well).
+  EXPECT_EQ(outcome.deferred_roots.size(), 2u);
+}
+
+TEST_F(ReconcilerTest, ConflictGroupMergesIdenticalEffects) {
+  // Two peers propose the same value; a third proposes another. The
+  // group has two options, one holding both agreeing transactions.
+  Put(Txn(2, 0, {Ins("rat", "p1", "immune", 2)}, {}, 1));
+  Put(Txn(3, 0, {Ins("rat", "p1", "immune", 3)}, {}, 1));
+  Put(Txn(4, 0, {Ins("rat", "p1", "metab", 4)}, {}, 1));
+  auto outcome =
+      Run({Trusted({2, 0}, 1), Trusted({3, 0}, 1), Trusted({4, 0}, 1)});
+  EXPECT_EQ(outcome.deferred_roots.size(), 3u);
+  ASSERT_EQ(outcome.conflict_groups.size(), 1u);
+  const ConflictGroup& group = outcome.conflict_groups[0];
+  ASSERT_EQ(group.options.size(), 2u);
+  const size_t sizes[2] = {group.options[0].txns.size(),
+                           group.options[1].txns.size()};
+  EXPECT_EQ(std::max(sizes[0], sizes[1]), 2u);
+  EXPECT_EQ(std::min(sizes[0], sizes[1]), 1u);
+}
+
+TEST_F(ReconcilerTest, SubsumedMemberRidesInSubsumersOption) {
+  // X3:1 revises X3:0 and conflicts with X2:1; resolving in favor of
+  // X3:1 must not reject its antecedent X3:0.
+  Put(Txn(3, 0, {Ins("rat", "p1", "cell-metab", 3)}, {}, 1));
+  Put(Txn(3, 1, {Mod("rat", "p1", "cell-metab", "immune", 3)}, {{3, 0}}, 1));
+  Put(Txn(2, 1, {Ins("rat", "p1", "cell-resp", 2)}, {}, 2));
+  auto outcome =
+      Run({Trusted({3, 0}, 1), Trusted({3, 1}, 1), Trusted({2, 1}, 1)});
+  EXPECT_EQ(outcome.deferred_roots.size(), 3u);
+  ASSERT_EQ(outcome.conflict_groups.size(), 1u);
+  const ConflictGroup& group = outcome.conflict_groups[0];
+  ASSERT_EQ(group.options.size(), 2u);
+  // One option holds {X3:0, X3:1}, the other {X2:1}.
+  for (const ConflictOption& option : group.options) {
+    if (option.txns.size() == 2) {
+      EXPECT_TRUE(Contains(option.txns, {3, 0}));
+      EXPECT_TRUE(Contains(option.txns, {3, 1}));
+    } else {
+      ASSERT_EQ(option.txns.size(), 1u);
+      EXPECT_EQ(option.txns[0], (TransactionId{2, 1}));
+    }
+  }
+}
+
+TEST_F(ReconcilerTest, MonotonicityAcceptedNeverRolledBack) {
+  Put(Txn(2, 0, {Ins("rat", "p1", "x", 2)}, {}, 1));
+  auto outcome1 = Run({Trusted({2, 0}, 1)});
+  for (const TransactionId& id : outcome1.applied_txns) applied_.insert(id);
+  // A later, higher-priority conflicting transaction is rejected because
+  // it is incompatible with the instance — the accepted update stays.
+  Put(Txn(3, 0, {Ins("rat", "p1", "y", 3)}, {}, 2));
+  auto outcome2 = Run({Trusted({3, 0}, 100)});
+  EXPECT_TRUE(Contains(outcome2.rejected_roots, {3, 0}));
+  EXPECT_TRUE(InstanceHasExactly(instance_, {T({"rat", "p1", "x"})}));
+}
+
+TEST_F(ReconcilerTest, MalformedExtensionIsRejected) {
+  // An extension that double-inserts a key cannot flatten; it is
+  // rejected rather than crashing the reconciliation.
+  Put(Txn(2, 0, {Ins("rat", "p1", "x", 2), Ins("rat", "p1", "y", 2)}, {}, 1));
+  auto outcome = Run({Trusted({2, 0}, 1)});
+  EXPECT_TRUE(Contains(outcome.rejected_roots, {2, 0}));
+}
+
+TEST_F(ReconcilerTest, DeleteVsModifyConflictDefersBoth) {
+  auto table = instance_.GetTable("F");
+  ASSERT_TRUE((*table)->Insert(T({"rat", "p1", "x"})).ok());
+  Put(Txn(2, 0, {Del("rat", "p1", "x", 2)}, {}, 1));
+  Put(Txn(3, 0, {Mod("rat", "p1", "x", "y", 3)}, {}, 1));
+  auto outcome = Run({Trusted({2, 0}, 1), Trusted({3, 0}, 1)});
+  EXPECT_EQ(outcome.deferred_roots.size(), 2u);
+  ASSERT_EQ(outcome.conflict_groups.size(), 1u);
+  EXPECT_EQ(outcome.conflict_groups[0].point.type,
+            ConflictType::kDeleteVsWrite);
+  EXPECT_TRUE(InstanceHasExactly(instance_, {T({"rat", "p1", "x"})}));
+}
+
+TEST_F(ReconcilerTest, NonConflictingBatchAllAccepted) {
+  std::vector<TrustedTxn> txns;
+  for (uint64_t i = 0; i < 20; ++i) {
+    Put(Txn(2, i,
+            {Update::Insert(
+                "F", T({"rat", ("p" + std::to_string(i)).c_str(), "fn"}), 2)},
+            {}, 1));
+    txns.push_back(Trusted({2, i}, 1));
+  }
+  auto outcome = Run(std::move(txns));
+  EXPECT_EQ(outcome.accepted_roots.size(), 20u);
+  EXPECT_EQ((*instance_.GetTable("F"))->size(), 20u);
+}
+
+}  // namespace
+}  // namespace orchestra::core

@@ -1,0 +1,141 @@
+#include "core/resolution.h"
+
+#include <gtest/gtest.h>
+
+#include "net/sim_network.h"
+#include "storage/engine.h"
+#include "store/central_store.h"
+#include "test_util.h"
+
+namespace orchestra::core {
+namespace {
+
+using orchestra::testing::Ins;
+using orchestra::testing::InstanceHasExactly;
+using orchestra::testing::MakeProteinCatalog;
+using orchestra::testing::T;
+
+class ResolutionTest : public ::testing::Test {
+ protected:
+  ResolutionTest()
+      : catalog_(MakeProteinCatalog()),
+        engine_(storage::StorageEngine::InMemory()),
+        store_(engine_.get(), &network_) {
+    for (ParticipantId id = 1; id <= 4; ++id) {
+      auto policy = std::make_unique<TrustPolicy>(id);
+      for (ParticipantId other = 1; other <= 4; ++other) {
+        if (other != id) policy->TrustPeer(other, 1);
+      }
+      ORCH_CHECK(store_.RegisterParticipant(id, policy.get()).ok());
+      policies_.push_back(std::move(policy));
+      participants_.push_back(
+          std::make_unique<Participant>(id, &catalog_, *policies_.back()));
+    }
+  }
+
+  Participant& P(size_t i) { return *participants_[i - 1]; }
+
+  // Creates an equal-priority conflict on (rat, pX) between peers 1
+  // and 2, observed (and deferred) by peer 4.
+  void MakeConflict(const char* protein) {
+    ORCH_CHECK(P(1).ExecuteTransaction({Ins("rat", protein, "one", 1)}).ok());
+    ORCH_CHECK(P(1).PublishAndReconcile(&store_).ok());
+    ORCH_CHECK(P(2).ExecuteTransaction({Ins("rat", protein, "two", 2)}).ok());
+    ORCH_CHECK(P(2).PublishAndReconcile(&store_).ok());
+  }
+
+  db::Catalog catalog_;
+  net::SimNetwork network_;
+  std::unique_ptr<storage::StorageEngine> engine_;
+  store::CentralStore store_;
+  std::vector<std::unique_ptr<TrustPolicy>> policies_;
+  std::vector<std::unique_ptr<Participant>> participants_;
+};
+
+TEST_F(ResolutionTest, PreferPeersPicksRankedOrigin) {
+  MakeConflict("p1");
+  ASSERT_TRUE(P(4).Reconcile(&store_).ok());
+  ASSERT_EQ(P(4).pending_conflicts().size(), 1u);
+
+  auto summary =
+      ResolveConflicts(&P(4), &store_, PreferPeers({2, 1}));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->groups_resolved, 1u);
+  EXPECT_EQ(summary->groups_skipped, 0u);
+  EXPECT_TRUE(InstanceHasExactly(P(4).instance(), {T({"rat", "p1", "two"})}));
+  EXPECT_TRUE(P(4).pending_conflicts().empty());
+}
+
+TEST_F(ResolutionTest, PreferPeersSkipsGroupsWithoutRankedPeer) {
+  MakeConflict("p1");
+  ASSERT_TRUE(P(4).Reconcile(&store_).ok());
+  auto summary = ResolveConflicts(&P(4), &store_, PreferPeers({3}));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->groups_resolved, 0u);
+  EXPECT_EQ(summary->groups_skipped, 1u);
+  EXPECT_EQ(P(4).pending_conflicts().size(), 1u);
+  EXPECT_EQ(P(4).deferred_count(), 2u);
+}
+
+TEST_F(ResolutionTest, PreferEffectMatchesRenderedOption) {
+  MakeConflict("p1");
+  ASSERT_TRUE(P(4).Reconcile(&store_).ok());
+  auto summary = ResolveConflicts(
+      &P(4), &store_, PreferEffect([](const std::string& effect) {
+        return effect.find("'one'") != std::string::npos;
+      }));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->groups_resolved, 1u);
+  EXPECT_TRUE(InstanceHasExactly(P(4).instance(), {T({"rat", "p1", "one"})}));
+}
+
+TEST_F(ResolutionTest, RejectAllKeepsNeitherVersion) {
+  MakeConflict("p1");
+  ASSERT_TRUE(P(4).Reconcile(&store_).ok());
+  auto summary = ResolveConflicts(&P(4), &store_, RejectAll());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->groups_resolved, 1u);
+  EXPECT_TRUE(InstanceHasExactly(P(4).instance(), {}));
+  EXPECT_EQ(P(4).deferred_count(), 0u);
+  EXPECT_EQ(P(4).rejected_count(), 2u);
+}
+
+TEST_F(ResolutionTest, MultipleGroupsResolvedInOnePass) {
+  MakeConflict("p1");
+  MakeConflict("p2");
+  MakeConflict("p3");
+  ASSERT_TRUE(P(4).Reconcile(&store_).ok());
+  ASSERT_EQ(P(4).pending_conflicts().size(), 3u);
+  auto summary = ResolveConflicts(&P(4), &store_, PreferPeers({1}));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->groups_resolved, 3u);
+  EXPECT_TRUE(InstanceHasExactly(
+      P(4).instance(), {T({"rat", "p1", "one"}), T({"rat", "p2", "one"}),
+                        T({"rat", "p3", "one"})}));
+}
+
+TEST_F(ResolutionTest, MixedStrategySkipsAndResolves) {
+  MakeConflict("p1");
+  MakeConflict("p2");
+  ASSERT_TRUE(P(4).Reconcile(&store_).ok());
+  // Only resolve the p1 group; leave p2 deferred.
+  auto summary = ResolveConflicts(
+      &P(4), &store_, PreferEffect([](const std::string& effect) {
+        return effect.find("'p1'") != std::string::npos &&
+               effect.find("'one'") != std::string::npos;
+      }));
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->groups_resolved, 1u);
+  EXPECT_EQ(summary->groups_skipped, 1u);
+  EXPECT_EQ(P(4).pending_conflicts().size(), 1u);
+}
+
+TEST_F(ResolutionTest, NoConflictsIsANoop) {
+  auto summary = ResolveConflicts(&P(4), &store_, RejectAll());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->groups_resolved, 0u);
+  EXPECT_EQ(summary->groups_skipped, 0u);
+}
+
+}  // namespace
+}  // namespace orchestra::core

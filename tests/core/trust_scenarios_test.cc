@@ -1,0 +1,172 @@
+// Content- and relation-scoped acceptance rules exercised through the
+// full publish/reconcile stack (the paper's θ predicates go beyond
+// origin: "predicates over the content as well as the origin", §3.1).
+#include <gtest/gtest.h>
+
+#include "core/participant.h"
+#include "net/sim_network.h"
+#include "storage/engine.h"
+#include "store/central_store.h"
+#include "test_util.h"
+
+namespace orchestra::core {
+namespace {
+
+using orchestra::testing::Ins;
+using orchestra::testing::InstanceHasExactly;
+using orchestra::testing::MakeProteinCatalog;
+using orchestra::testing::T;
+
+class TrustScenarioTest : public ::testing::Test {
+ protected:
+  TrustScenarioTest()
+      : catalog_(MakeProteinCatalog()),
+        engine_(storage::StorageEngine::InMemory()),
+        store_(engine_.get(), &network_) {}
+
+  Participant MakePeer(ParticipantId id, TrustPolicy policy) {
+    ORCH_CHECK(store_.RegisterParticipant(id, Keep(std::move(policy))).ok());
+    return Participant(id, &catalog_, *kept_.back());
+  }
+
+  TrustPolicy* Keep(TrustPolicy policy) {
+    kept_.push_back(std::make_unique<TrustPolicy>(std::move(policy)));
+    return kept_.back().get();
+  }
+
+  db::Catalog catalog_;
+  net::SimNetwork network_;
+  std::unique_ptr<storage::StorageEngine> engine_;
+  store::CentralStore store_;
+  std::vector<std::unique_ptr<TrustPolicy>> kept_;
+};
+
+TEST_F(TrustScenarioTest, OrganismScopedTrust) {
+  // Peer 1 trusts peer 2's conclusions about rat only.
+  TrustPolicy p1(1);
+  p1.AddRule(AcceptanceRule()
+                 .FromOrigin(2)
+                 .Where([](const Update& u) {
+                   const db::Tuple& t =
+                       u.is_delete() ? u.old_tuple() : u.new_tuple();
+                   return !t.empty() && t[0] == db::Value("rat");
+                 })
+                 .WithPriority(1));
+  Participant alice = MakePeer(1, std::move(p1));
+  TrustPolicy p2(2);
+  Participant bob = MakePeer(2, std::move(p2));
+
+  ASSERT_TRUE(bob.ExecuteTransaction({Ins("rat", "pA", "x", 2)}).ok());
+  ASSERT_TRUE(bob.ExecuteTransaction({Ins("mouse", "pB", "y", 2)}).ok());
+  ASSERT_TRUE(bob.PublishAndReconcile(&store_).ok());
+
+  auto report = alice.Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->accepted.size(), 1u);
+  EXPECT_TRUE(InstanceHasExactly(alice.instance(), {T({"rat", "pA", "x"})}));
+}
+
+TEST_F(TrustScenarioTest, MixedContentTransactionIsPoisoned) {
+  // A transaction containing one untrusted update is wholly untrusted
+  // (pri_i(X) = 0, §4) — alice gets neither tuple.
+  TrustPolicy p1(1);
+  p1.AddRule(AcceptanceRule()
+                 .FromOrigin(2)
+                 .Where([](const Update& u) {
+                   return u.new_tuple()[0] == db::Value("rat");
+                 })
+                 .WithPriority(1));
+  Participant alice = MakePeer(1, std::move(p1));
+  Participant bob = MakePeer(2, TrustPolicy(2));
+
+  ASSERT_TRUE(bob.ExecuteTransaction(
+                     {Ins("rat", "pA", "x", 2), Ins("mouse", "pB", "y", 2)})
+                  .ok());
+  ASSERT_TRUE(bob.PublishAndReconcile(&store_).ok());
+
+  auto report = alice.Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->fetched, 0u);  // filtered store-side as untrusted
+  EXPECT_TRUE(InstanceHasExactly(alice.instance(), {}));
+}
+
+TEST_F(TrustScenarioTest, ContentRulesModulatePriority) {
+  // Alice trusts bob generally at 1, but his rat curation at 3 and
+  // carol's everything at 2: a rat conflict resolves for bob, any other
+  // conflict resolves for carol.
+  TrustPolicy p1(1);
+  p1.TrustPeer(2, 1).TrustPeer(3, 2);
+  p1.AddRule(AcceptanceRule()
+                 .FromOrigin(2)
+                 .Where([](const Update& u) {
+                   return u.new_tuple()[0] == db::Value("rat");
+                 })
+                 .WithPriority(3));
+  Participant alice = MakePeer(1, std::move(p1));
+  Participant bob = MakePeer(2, TrustPolicy(2));
+  Participant carol = MakePeer(3, TrustPolicy(3));
+
+  ASSERT_TRUE(bob.ExecuteTransaction({Ins("rat", "pA", "bob", 2)}).ok());
+  ASSERT_TRUE(bob.ExecuteTransaction({Ins("mouse", "pB", "bob", 2)}).ok());
+  ASSERT_TRUE(bob.PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(carol.ExecuteTransaction({Ins("rat", "pA", "carol", 3)}).ok());
+  ASSERT_TRUE(carol.ExecuteTransaction({Ins("mouse", "pB", "carol", 3)}).ok());
+  ASSERT_TRUE(carol.PublishAndReconcile(&store_).ok());
+
+  auto report = alice.Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->accepted.size(), 2u);
+  EXPECT_EQ(report->rejected.size(), 2u);
+  EXPECT_TRUE(InstanceHasExactly(
+      alice.instance(),
+      {T({"rat", "pA", "bob"}), T({"mouse", "pB", "carol"})}));
+}
+
+TEST_F(TrustScenarioTest, RelationScopedRule) {
+  db::Catalog catalog;
+  {
+    auto f = db::RelationSchema::Make(
+        "F",
+        {{"organism", db::ValueType::kString, false},
+         {"protein", db::ValueType::kString, false},
+         {"function", db::ValueType::kString, false}},
+        {0, 1});
+    ASSERT_TRUE(catalog.AddRelation(*std::move(f)).ok());
+    auto g = db::RelationSchema::Make(
+        "G",
+        {{"organism", db::ValueType::kString, false},
+         {"protein", db::ValueType::kString, false},
+         {"note", db::ValueType::kString, false}},
+        {0, 1});
+    ASSERT_TRUE(catalog.AddRelation(*std::move(g)).ok());
+  }
+  net::SimNetwork network;
+  auto engine = storage::StorageEngine::InMemory();
+  store::CentralStore store(engine.get(), &network);
+
+  TrustPolicy p1(1);
+  p1.AddRule(AcceptanceRule().FromOrigin(2).OverRelation("F").WithPriority(1));
+  TrustPolicy p2(2);
+  ASSERT_TRUE(store.RegisterParticipant(1, Keep(std::move(p1))).ok());
+  ASSERT_TRUE(store.RegisterParticipant(2, Keep(std::move(p2))).ok());
+  Participant alice(1, &catalog, *kept_[kept_.size() - 2]);
+  Participant bob(2, &catalog, *kept_.back());
+
+  ASSERT_TRUE(bob.ExecuteTransaction(
+                     {Update::Insert("F", T({"rat", "pA", "fn"}), 2)})
+                  .ok());
+  ASSERT_TRUE(bob.ExecuteTransaction(
+                     {Update::Insert("G", T({"rat", "pA", "note"}), 2)})
+                  .ok());
+  ASSERT_TRUE(bob.PublishAndReconcile(&store).ok());
+  auto report = alice.Reconcile(&store);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->accepted.size(), 1u);
+  auto f_table = alice.instance().GetTable("F");
+  auto g_table = alice.instance().GetTable("G");
+  EXPECT_EQ((*f_table)->size(), 1u);
+  EXPECT_EQ((*g_table)->size(), 0u);
+}
+
+}  // namespace
+}  // namespace orchestra::core

@@ -1,0 +1,121 @@
+#include "core/trust.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace orchestra::core {
+namespace {
+
+using orchestra::testing::Ins;
+using orchestra::testing::Mod;
+using orchestra::testing::Txn;
+
+TEST(AcceptanceRuleTest, EmptyRuleMatchesEverything) {
+  AcceptanceRule rule;
+  rule.WithPriority(2);
+  EXPECT_TRUE(rule.Matches(Ins("rat", "p1", "x", 5)));
+  EXPECT_EQ(rule.priority(), 2);
+}
+
+TEST(AcceptanceRuleTest, OriginFilter) {
+  AcceptanceRule rule;
+  rule.FromOrigin(2).FromOrigin(3).WithPriority(1);
+  EXPECT_TRUE(rule.Matches(Ins("rat", "p1", "x", 2)));
+  EXPECT_TRUE(rule.Matches(Ins("rat", "p1", "x", 3)));
+  EXPECT_FALSE(rule.Matches(Ins("rat", "p1", "x", 4)));
+}
+
+TEST(AcceptanceRuleTest, RelationFilter) {
+  AcceptanceRule rule;
+  rule.OverRelation("F").WithPriority(1);
+  EXPECT_TRUE(rule.Matches(Ins("rat", "p1", "x", 1)));
+  EXPECT_FALSE(
+      rule.Matches(Update::Insert("G", orchestra::testing::T({"a"}), 1)));
+}
+
+TEST(AcceptanceRuleTest, ContentPredicate) {
+  AcceptanceRule rule;
+  rule.Where([](const Update& u) {
+        return u.new_tuple().size() == 3 &&
+               u.new_tuple()[0].AsString() == "rat";
+      })
+      .WithPriority(1);
+  EXPECT_TRUE(rule.Matches(Ins("rat", "p1", "x", 1)));
+  EXPECT_FALSE(rule.Matches(Ins("mouse", "p1", "x", 1)));
+}
+
+TEST(TrustPolicyTest, SelfIsAlwaysMaximallyTrusted) {
+  TrustPolicy policy(7);
+  EXPECT_EQ(policy.PriorityOf(Ins("rat", "p1", "x", 7)), kSelfPriority);
+}
+
+TEST(TrustPolicyTest, UnmatchedOriginIsUntrusted) {
+  TrustPolicy policy(1);
+  policy.TrustPeer(2, 5);
+  EXPECT_EQ(policy.PriorityOf(Ins("rat", "p1", "x", 3)), 0);
+  EXPECT_EQ(policy.PriorityOf(Ins("rat", "p1", "x", 2)), 5);
+}
+
+TEST(TrustPolicyTest, HighestMatchingRuleWins) {
+  TrustPolicy policy(1);
+  policy.TrustPeer(2, 1);
+  policy.AddRule(AcceptanceRule().FromOrigin(2).OverRelation("F").WithPriority(4));
+  EXPECT_EQ(policy.PriorityOf(Ins("rat", "p1", "x", 2)), 4);
+}
+
+TEST(TrustPolicyTest, TransactionPriorityIsMaxOverUpdates) {
+  TrustPolicy policy(1);
+  policy.TrustPeer(2, 1);
+  policy.AddRule(AcceptanceRule()
+                     .FromOrigin(2)
+                     .Where([](const Update& u) {
+                       return u.is_insert() &&
+                              u.new_tuple()[0].AsString() == "rat";
+                     })
+                     .WithPriority(3));
+  const Transaction txn =
+      Txn(2, 0, {Ins("mouse", "p1", "x", 2), Ins("rat", "p2", "y", 2)});
+  EXPECT_EQ(policy.PriorityOfTransaction(txn), 3);
+}
+
+TEST(TrustPolicyTest, AnyUntrustedUpdatePoisonsTransaction) {
+  // Per §4: pri_i(X) = 0 if any update in X is untrusted.
+  TrustPolicy policy(1);
+  policy.AddRule(AcceptanceRule()
+                     .FromOrigin(2)
+                     .Where([](const Update& u) {
+                       return u.new_tuple()[0].AsString() == "rat";
+                     })
+                     .WithPriority(3));
+  const Transaction txn =
+      Txn(2, 0, {Ins("rat", "p1", "x", 2), Ins("mouse", "p2", "y", 2)});
+  EXPECT_EQ(policy.PriorityOfTransaction(txn), 0);
+}
+
+TEST(TrustPolicyTest, EmptyTransactionIsUntrusted) {
+  TrustPolicy policy(1);
+  EXPECT_EQ(policy.PriorityOfTransaction(Transaction{}), 0);
+}
+
+TEST(TrustPolicyTest, ZeroOrNegativePriorityRulesDoNotTrust) {
+  TrustPolicy policy(1);
+  policy.TrustPeer(2, 0);
+  policy.TrustPeer(3, -1);
+  EXPECT_EQ(policy.PriorityOf(Ins("rat", "p1", "x", 2)), 0);
+  EXPECT_EQ(policy.PriorityOf(Ins("rat", "p1", "x", 3)), 0);
+}
+
+TEST(TrustPolicyTest, MixedOriginTransactionUsesPerUpdateOrigins) {
+  // Updates within one transaction can have different origins (a revision
+  // chain); each update is judged by its own origin.
+  TrustPolicy policy(1);
+  policy.TrustPeer(2, 2);
+  policy.TrustPeer(3, 5);
+  const Transaction txn =
+      Txn(2, 0, {Ins("rat", "p1", "x", 2), Mod("rat", "p1", "x", "y", 3)});
+  EXPECT_EQ(policy.PriorityOfTransaction(txn), 5);
+}
+
+}  // namespace
+}  // namespace orchestra::core

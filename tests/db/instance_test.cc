@@ -1,0 +1,105 @@
+#include "db/instance.h"
+
+#include <gtest/gtest.h>
+
+namespace orchestra::db {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  auto parent = RelationSchema::Make(
+      "F",
+      {{"organism", ValueType::kString, false},
+       {"protein", ValueType::kString, false},
+       {"function", ValueType::kString, false}},
+      {0, 1});
+  ORCH_CHECK(parent.ok());
+  ORCH_CHECK(catalog.AddRelation(*std::move(parent)).ok());
+  auto child = RelationSchema::Make(
+      "X",
+      {{"organism", ValueType::kString, false},
+       {"protein", ValueType::kString, false},
+       {"db", ValueType::kString, false}},
+      {0, 1, 2});
+  ORCH_CHECK(child.ok());
+  ORCH_CHECK(catalog.AddRelation(*std::move(child)).ok());
+  ORCH_CHECK(catalog.AddForeignKey({"X", {0, 1}, "F"}).ok());
+  return catalog;
+}
+
+TEST(InstanceTest, StartsEmptyWithAllRelations) {
+  Catalog catalog = MakeCatalog();
+  Instance instance(&catalog);
+  EXPECT_EQ(instance.TotalTuples(), 0u);
+  ASSERT_TRUE(instance.GetTable("F").ok());
+  ASSERT_TRUE(instance.GetTable("X").ok());
+  EXPECT_FALSE(instance.GetTable("Y").ok());
+}
+
+TEST(InstanceTest, TotalTuplesCountsAllRelations) {
+  Catalog catalog = MakeCatalog();
+  Instance instance(&catalog);
+  ASSERT_TRUE((*instance.GetTable("F"))
+                  ->Insert(Tuple{Value("rat"), Value("p1"), Value("f")})
+                  .ok());
+  ASSERT_TRUE(
+      (*instance.GetTable("X"))
+          ->Insert(Tuple{Value("rat"), Value("p1"), Value("EMBL")})
+          .ok());
+  EXPECT_EQ(instance.TotalTuples(), 2u);
+}
+
+TEST(InstanceTest, ForeignKeysSatisfied) {
+  Catalog catalog = MakeCatalog();
+  Instance instance(&catalog);
+  ASSERT_TRUE((*instance.GetTable("F"))
+                  ->Insert(Tuple{Value("rat"), Value("p1"), Value("f")})
+                  .ok());
+  ASSERT_TRUE(
+      (*instance.GetTable("X"))
+          ->Insert(Tuple{Value("rat"), Value("p1"), Value("EMBL")})
+          .ok());
+  EXPECT_TRUE(instance.CheckForeignKeys().ok());
+}
+
+TEST(InstanceTest, ForeignKeyViolationDetected) {
+  Catalog catalog = MakeCatalog();
+  Instance instance(&catalog);
+  ASSERT_TRUE(
+      (*instance.GetTable("X"))
+          ->Insert(Tuple{Value("rat"), Value("p1"), Value("EMBL")})
+          .ok());
+  EXPECT_TRUE(instance.CheckForeignKeys().IsConstraintViolation());
+}
+
+TEST(InstanceTest, CopyIsIndependent) {
+  Catalog catalog = MakeCatalog();
+  Instance a(&catalog);
+  ASSERT_TRUE((*a.GetTable("F"))
+                  ->Insert(Tuple{Value("rat"), Value("p1"), Value("f")})
+                  .ok());
+  Instance b = a;
+  EXPECT_TRUE(a == b);
+  ASSERT_TRUE((*b.GetTable("F"))
+                  ->Insert(Tuple{Value("rat"), Value("p2"), Value("g")})
+                  .ok());
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.TotalTuples(), 1u);
+  EXPECT_EQ(b.TotalTuples(), 2u);
+}
+
+TEST(InstanceTest, ToStringIsDeterministic) {
+  Catalog catalog = MakeCatalog();
+  Instance instance(&catalog);
+  ASSERT_TRUE((*instance.GetTable("F"))
+                  ->Insert(Tuple{Value("rat"), Value("p2"), Value("b")})
+                  .ok());
+  ASSERT_TRUE((*instance.GetTable("F"))
+                  ->Insert(Tuple{Value("rat"), Value("p1"), Value("a")})
+                  .ok());
+  const std::string s = instance.ToString();
+  EXPECT_LT(s.find("'p1'"), s.find("'p2'"));
+}
+
+}  // namespace
+}  // namespace orchestra::db

@@ -1,0 +1,154 @@
+#include "db/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace orchestra::db {
+namespace {
+
+RelationSchema MakeF() {
+  auto schema = RelationSchema::Make(
+      "F",
+      {{"organism", ValueType::kString, false},
+       {"protein", ValueType::kString, false},
+       {"function", ValueType::kString, true}},
+      {0, 1});
+  ORCH_CHECK(schema.ok());
+  return *std::move(schema);
+}
+
+TEST(RelationSchemaTest, MakeValidatesName) {
+  auto schema = RelationSchema::Make(
+      "", {{"a", ValueType::kString, false}}, {0});
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(RelationSchemaTest, MakeRejectsEmptyColumns) {
+  EXPECT_FALSE(RelationSchema::Make("R", {}, {}).ok());
+}
+
+TEST(RelationSchemaTest, MakeRejectsDuplicateColumnNames) {
+  auto schema = RelationSchema::Make(
+      "R",
+      {{"a", ValueType::kString, false}, {"a", ValueType::kInt64, false}},
+      {0});
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(RelationSchemaTest, MakeRejectsMissingKey) {
+  EXPECT_FALSE(
+      RelationSchema::Make("R", {{"a", ValueType::kString, false}}, {}).ok());
+}
+
+TEST(RelationSchemaTest, MakeRejectsOutOfRangeKey) {
+  EXPECT_FALSE(
+      RelationSchema::Make("R", {{"a", ValueType::kString, false}}, {1}).ok());
+}
+
+TEST(RelationSchemaTest, MakeRejectsRepeatedKeyColumn) {
+  EXPECT_FALSE(RelationSchema::Make("R", {{"a", ValueType::kString, false}},
+                                    {0, 0})
+                   .ok());
+}
+
+TEST(RelationSchemaTest, MakeRejectsNullableKeyColumn) {
+  EXPECT_FALSE(
+      RelationSchema::Make("R", {{"a", ValueType::kString, true}}, {0}).ok());
+}
+
+TEST(RelationSchemaTest, MakeRejectsNullColumnType) {
+  EXPECT_FALSE(
+      RelationSchema::Make("R", {{"a", ValueType::kNull, false}}, {0}).ok());
+}
+
+TEST(RelationSchemaTest, Accessors) {
+  RelationSchema f = MakeF();
+  EXPECT_EQ(f.name(), "F");
+  EXPECT_EQ(f.arity(), 3u);
+  EXPECT_EQ(f.key_columns(), (std::vector<size_t>{0, 1}));
+  EXPECT_TRUE(f.IsKeyColumn(0));
+  EXPECT_TRUE(f.IsKeyColumn(1));
+  EXPECT_FALSE(f.IsKeyColumn(2));
+  EXPECT_EQ(f.ColumnIndex("protein"), 1u);
+  EXPECT_EQ(f.ColumnIndex("nope"), std::nullopt);
+}
+
+TEST(RelationSchemaTest, KeyOfProjectsKeyColumns) {
+  RelationSchema f = MakeF();
+  Tuple t{Value("rat"), Value("p1"), Value("immune")};
+  EXPECT_EQ(f.KeyOf(t), (Tuple{Value("rat"), Value("p1")}));
+}
+
+TEST(RelationSchemaTest, ValidateTupleChecksArity) {
+  RelationSchema f = MakeF();
+  EXPECT_FALSE(f.ValidateTuple(Tuple{Value("rat")}).ok());
+  EXPECT_TRUE(
+      f.ValidateTuple(Tuple{Value("rat"), Value("p1"), Value("x")}).ok());
+}
+
+TEST(RelationSchemaTest, ValidateTupleChecksTypes) {
+  RelationSchema f = MakeF();
+  EXPECT_FALSE(
+      f.ValidateTuple(Tuple{Value(int64_t{1}), Value("p1"), Value("x")}).ok());
+}
+
+TEST(RelationSchemaTest, ValidateTupleHonorsNullability) {
+  RelationSchema f = MakeF();
+  // function is nullable, organism is not.
+  EXPECT_TRUE(
+      f.ValidateTuple(Tuple{Value("rat"), Value("p1"), Value::Null()}).ok());
+  auto status =
+      f.ValidateTuple(Tuple{Value::Null(), Value("p1"), Value("x")});
+  EXPECT_TRUE(status.IsConstraintViolation());
+}
+
+TEST(RelationSchemaTest, ToStringMentionsKeys) {
+  const std::string s = MakeF().ToString();
+  EXPECT_NE(s.find("organism string KEY"), std::string::npos);
+  EXPECT_NE(s.find("function string NULL"), std::string::npos);
+}
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation(MakeF()).ok());
+  EXPECT_TRUE(catalog.HasRelation("F"));
+  EXPECT_FALSE(catalog.HasRelation("G"));
+  auto schema = catalog.GetRelation("F");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ((*schema)->name(), "F");
+  EXPECT_FALSE(catalog.GetRelation("G").ok());
+}
+
+TEST(CatalogTest, RejectsDuplicateRelation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation(MakeF()).ok());
+  EXPECT_EQ(catalog.AddRelation(MakeF()).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, ForeignKeyValidation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddRelation(MakeF()).ok());
+  auto child = RelationSchema::Make(
+      "X",
+      {{"organism", ValueType::kString, false},
+       {"protein", ValueType::kString, false},
+       {"db", ValueType::kString, false}},
+      {0, 1, 2});
+  ASSERT_TRUE(child.ok());
+  ASSERT_TRUE(catalog.AddRelation(*std::move(child)).ok());
+
+  // Unknown relations fail.
+  EXPECT_FALSE(catalog.AddForeignKey({"Y", {0, 1}, "F"}).ok());
+  EXPECT_FALSE(catalog.AddForeignKey({"X", {0, 1}, "Y"}).ok());
+  // Arity mismatch with the parent key fails.
+  EXPECT_FALSE(catalog.AddForeignKey({"X", {0}, "F"}).ok());
+  // Column index out of range fails.
+  EXPECT_FALSE(catalog.AddForeignKey({"X", {0, 9}, "F"}).ok());
+  // A valid FK registers and is discoverable from both sides.
+  ASSERT_TRUE(catalog.AddForeignKey({"X", {0, 1}, "F"}).ok());
+  EXPECT_EQ(catalog.ForeignKeysOf("X").size(), 1u);
+  EXPECT_EQ(catalog.ForeignKeysReferencing("F").size(), 1u);
+  EXPECT_TRUE(catalog.ForeignKeysOf("F").empty());
+}
+
+}  // namespace
+}  // namespace orchestra::db

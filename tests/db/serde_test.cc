@@ -1,0 +1,122 @@
+#include "db/serde.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace orchestra::db {
+namespace {
+
+TEST(VarintTest, RoundTripSmallAndLarge) {
+  for (uint64_t v : std::vector<uint64_t>{0, 1, 127, 128, 300, uint64_t{1} << 32,
+                                          std::numeric_limits<uint64_t>::max()}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    size_t pos = 0;
+    auto decoded = GetVarint64(buf, &pos);
+    ASSERT_TRUE(decoded.ok()) << v;
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  std::string buf;
+  PutVarint64(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.resize(buf.size() - 1);
+  size_t pos = 0;
+  EXPECT_FALSE(GetVarint64(buf, &pos).ok());
+}
+
+TEST(LengthPrefixedTest, RoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  size_t pos = 0;
+  EXPECT_EQ(*GetLengthPrefixed(buf, &pos), "hello");
+  EXPECT_EQ(*GetLengthPrefixed(buf, &pos), "");
+  EXPECT_EQ(*GetLengthPrefixed(buf, &pos), std::string(1000, 'x'));
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(LengthPrefixedTest, TruncatedPayloadFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  buf.resize(buf.size() - 2);
+  size_t pos = 0;
+  EXPECT_FALSE(GetLengthPrefixed(buf, &pos).ok());
+}
+
+TEST(ValueSerdeTest, RoundTripAllTypes) {
+  const std::vector<Value> values = {
+      Value::Null(),
+      Value(int64_t{0}),
+      Value(int64_t{-1}),
+      Value(int64_t{123456789}),
+      Value(std::numeric_limits<int64_t>::min()),
+      Value(std::numeric_limits<int64_t>::max()),
+      Value(0.0),
+      Value(-2.5),
+      Value(1e300),
+      Value(""),
+      Value("protein function"),
+  };
+  for (const Value& v : values) {
+    std::string buf;
+    EncodeValue(&buf, v);
+    size_t pos = 0;
+    auto decoded = DecodeValue(buf, &pos);
+    ASSERT_TRUE(decoded.ok()) << v.ToString();
+    EXPECT_EQ(*decoded, v) << v.ToString();
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(ValueSerdeTest, NegativeIntsAreCompact) {
+  std::string buf;
+  EncodeValue(&buf, Value(int64_t{-1}));
+  EXPECT_LE(buf.size(), 2u);  // zigzag: tag + 1 byte
+}
+
+TEST(TupleSerdeTest, RoundTrip) {
+  Tuple t{Value("rat"), Value(int64_t{7}), Value::Null(), Value(2.5)};
+  std::string buf;
+  EncodeTuple(&buf, t);
+  size_t pos = 0;
+  auto decoded = DecodeTuple(buf, &pos);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, t);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(TupleSerdeTest, EmptyTuple) {
+  std::string buf;
+  EncodeTuple(&buf, Tuple());
+  size_t pos = 0;
+  EXPECT_EQ(*DecodeTuple(buf, &pos), Tuple());
+}
+
+TEST(TupleSerdeTest, EncodedSizeMatchesEncoding) {
+  Tuple t{Value("abc"), Value(int64_t{1})};
+  std::string buf;
+  EncodeTuple(&buf, t);
+  EXPECT_EQ(EncodedTupleSize(t), buf.size());
+}
+
+TEST(TupleSerdeTest, CorruptTagFails) {
+  std::string buf;
+  EncodeTuple(&buf, Tuple{Value("x")});
+  buf[1] = 9;  // invalid type tag
+  size_t pos = 0;
+  EXPECT_FALSE(DecodeTuple(buf, &pos).ok());
+}
+
+}  // namespace
+}  // namespace orchestra::db

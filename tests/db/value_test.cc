@@ -1,0 +1,76 @@
+#include "db/value.h"
+
+#include <gtest/gtest.h>
+
+namespace orchestra::db {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value(int64_t{42}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(int64_t{42}).AsInt64(), 42);
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hello").type(), ValueType::kString);
+  EXPECT_EQ(Value("hello").AsString(), "hello");
+  EXPECT_EQ(Value(std::string("world")).AsString(), "world");
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(int64_t{-7}).ToString(), "-7");
+  EXPECT_EQ(Value("x").ToString(), "'x'");
+}
+
+TEST(ValueTest, EqualityWithinType) {
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, EqualityAcrossTypes) {
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));
+  EXPECT_NE(Value("1"), Value(int64_t{1}));
+  EXPECT_NE(Value::Null(), Value(int64_t{0}));
+}
+
+TEST(ValueTest, OrderingIsTypeThenPayload) {
+  // variant index order: null < int64 < double < string
+  EXPECT_LT(Value::Null(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{5}), Value(0.0));
+  EXPECT_LT(Value(5.0), Value("a"));
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(int64_t{3}).Hash());
+  EXPECT_NE(Value("abc").Hash(), Value("abd").Hash());
+}
+
+TEST(ValueTest, HashDistinguishesTypes) {
+  EXPECT_NE(Value(int64_t{0}).Hash(), Value::Null().Hash());
+  EXPECT_NE(Value(int64_t{1}).Hash(), Value(1.0).Hash());
+}
+
+TEST(ValueTest, NegativeZeroHashesLikePositiveZero) {
+  EXPECT_EQ(Value(-0.0).Hash(), Value(0.0).Hash());
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_EQ(ValueTypeName(ValueType::kNull), "null");
+  EXPECT_EQ(ValueTypeName(ValueType::kInt64), "int64");
+  EXPECT_EQ(ValueTypeName(ValueType::kDouble), "double");
+  EXPECT_EQ(ValueTypeName(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace orchestra::db

@@ -1,0 +1,79 @@
+// Parameterized sweep over ring sizes: ownership and routing invariants
+// must hold for every confederation size the benchmarks use.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "net/dht.h"
+
+namespace orchestra::net {
+namespace {
+
+class DhtSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DhtSweepTest, OwnershipIsTotalAndConsistent) {
+  DhtRing ring(GetParam());
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const NodeId key = rng.Next();
+    const size_t owner = ring.OwnerOf(key);
+    ASSERT_LT(owner, ring.size());
+    // Every lookup from every starting node lands on the same owner.
+    const size_t from = rng.NextBounded(ring.size());
+    const RouteResult route = ring.Route(from, key);
+    EXPECT_EQ(route.owner, owner);
+  }
+}
+
+TEST_P(DhtSweepTest, HopsBoundedByLogOfRingSize) {
+  DhtRing ring(GetParam());
+  Rng rng(GetParam() + 7);
+  const int64_t bound =
+      2 * static_cast<int64_t>(std::ceil(std::log2(
+              static_cast<double>(ring.size()) + 1))) +
+      2;
+  int64_t total = 0;
+  const int lookups = 400;
+  for (int i = 0; i < lookups; ++i) {
+    const RouteResult route =
+        ring.Route(rng.NextBounded(ring.size()), rng.Next());
+    EXPECT_LE(route.hops, bound);
+    total += route.hops;
+  }
+  if (ring.size() > 1) {
+    const double avg = static_cast<double>(total) / lookups;
+    EXPECT_LE(avg, std::log2(static_cast<double>(ring.size())) + 1.0);
+  }
+}
+
+TEST_P(DhtSweepTest, SelfLookupsAreFree) {
+  DhtRing ring(GetParam());
+  for (size_t i = 0; i < ring.size(); ++i) {
+    const RouteResult route = ring.Route(i, ring.IdOf(i));
+    EXPECT_EQ(route.owner, i);
+    EXPECT_EQ(route.hops, 0);
+  }
+}
+
+TEST_P(DhtSweepTest, LoadIsSpreadAcrossNodes) {
+  // Hashing must not funnel everything to a handful of owners: with
+  // k keys over n nodes, the busiest node should own well under half.
+  DhtRing ring(GetParam());
+  if (ring.size() < 4) return;
+  std::vector<int> owned(ring.size(), 0);
+  const int keys = 2000;
+  for (int i = 0; i < keys; ++i) {
+    owned[ring.OwnerOf(KeyHash("load:" + std::to_string(i)))]++;
+  }
+  int busiest = 0;
+  for (int count : owned) busiest = std::max(busiest, count);
+  EXPECT_LT(busiest, keys / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, DhtSweepTest,
+                         ::testing::Values<size_t>(1, 2, 3, 5, 10, 25, 50,
+                                                   128));
+
+}  // namespace
+}  // namespace orchestra::net

@@ -1,0 +1,130 @@
+#include "net/dht.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "net/sim_network.h"
+
+namespace orchestra::net {
+namespace {
+
+TEST(DhtRingTest, SingleNodeOwnsEverything) {
+  DhtRing ring(1);
+  EXPECT_EQ(ring.OwnerOf(0), 0u);
+  EXPECT_EQ(ring.OwnerOf(~uint64_t{0}), 0u);
+  const RouteResult route = ring.Route(0, KeyHash("anything"));
+  EXPECT_EQ(route.owner, 0u);
+  EXPECT_EQ(route.hops, 0);
+}
+
+TEST(DhtRingTest, NodeIdsAreUnique) {
+  DhtRing ring(50);
+  std::set<NodeId> ids;
+  for (size_t i = 0; i < ring.size(); ++i) ids.insert(ring.IdOf(i));
+  EXPECT_EQ(ids.size(), 50u);
+}
+
+TEST(DhtRingTest, OwnershipIsSuccessor) {
+  DhtRing ring(8);
+  // The owner of a node's own id is that node.
+  for (size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring.OwnerOf(ring.IdOf(i)), i);
+  }
+  // The owner of id+1 is the next node on the ring (or the same node if
+  // another node's id equals id+1 — excluded by uniqueness).
+  for (size_t i = 0; i < ring.size(); ++i) {
+    const size_t owner = ring.OwnerOf(ring.IdOf(i) + 1);
+    EXPECT_NE(owner, i);
+  }
+}
+
+TEST(DhtRingTest, RoutingReachesTheOwner) {
+  DhtRing ring(32);
+  for (int k = 0; k < 200; ++k) {
+    const NodeId key = KeyHash("key:" + std::to_string(k));
+    const size_t expected = ring.OwnerOf(key);
+    for (size_t from : {size_t{0}, size_t{7}, size_t{31}}) {
+      const RouteResult route = ring.Route(from, key);
+      EXPECT_EQ(route.owner, expected);
+      if (from == expected) {
+        EXPECT_EQ(route.hops, 0);
+      } else {
+        EXPECT_GT(route.hops, 0);
+      }
+    }
+  }
+}
+
+TEST(DhtRingTest, HopCountIsLogarithmic) {
+  DhtRing ring(64);
+  int64_t total_hops = 0;
+  int lookups = 0;
+  for (int k = 0; k < 500; ++k) {
+    const NodeId key = KeyHash("probe:" + std::to_string(k));
+    const RouteResult route =
+        ring.Route(static_cast<size_t>(k) % ring.size(), key);
+    total_hops += route.hops;
+    ++lookups;
+    // Chord guarantees O(log n) w.h.p.; allow slack.
+    EXPECT_LE(route.hops, 2 * 6 + 2);
+  }
+  const double avg = static_cast<double>(total_hops) / lookups;
+  EXPECT_LE(avg, std::log2(64.0));
+  EXPECT_GT(avg, 0.5);
+}
+
+TEST(DhtRingTest, FingersPointAtPowersOfTwo) {
+  DhtRing ring(16);
+  for (size_t i = 0; i < ring.size(); ++i) {
+    for (int k = 0; k < 64; ++k) {
+      const NodeId target = ring.IdOf(i) + (NodeId{1} << k);
+      EXPECT_EQ(ring.Finger(i, k), ring.OwnerOf(target));
+    }
+  }
+}
+
+TEST(KeyHashTest, DeterministicAndSpreading) {
+  EXPECT_EQ(KeyHash("epoch:1"), KeyHash("epoch:1"));
+  EXPECT_NE(KeyHash("epoch:1"), KeyHash("epoch:2"));
+}
+
+TEST(SimNetworkTest, MessageCostIncludesLatencyAndBandwidth) {
+  NetworkConfig config;
+  config.one_way_latency_micros = 500;
+  config.bytes_per_micro = 12.5;
+  SimNetwork network(config);
+  EXPECT_EQ(network.MessageCostMicros(0), 500);
+  EXPECT_EQ(network.MessageCostMicros(125), 510);
+}
+
+TEST(SimNetworkTest, ChargeAccumulatesPerEndpointAndGlobally) {
+  SimNetwork network;
+  network.Charge(1, 2, 0);
+  network.Charge(1, 1, 0);
+  network.Charge(2, 1, 0);
+  EXPECT_EQ(network.StatsFor(1).messages, 3);
+  EXPECT_EQ(network.StatsFor(2).messages, 1);
+  EXPECT_EQ(network.global().messages, 4);
+  EXPECT_EQ(network.StatsFor(1).micros, 3 * 500);
+  EXPECT_EQ(network.StatsFor(99).messages, 0);
+}
+
+TEST(SimNetworkTest, ResetClears) {
+  SimNetwork network;
+  network.Charge(1, 5, 100);
+  network.Reset();
+  EXPECT_EQ(network.StatsFor(1).messages, 0);
+  EXPECT_EQ(network.global().micros, 0);
+}
+
+TEST(SimNetworkTest, HopsMultiplyCost) {
+  SimNetwork network;
+  const int64_t one = network.Charge(1, 1, 80);
+  const int64_t three = network.Charge(2, 3, 80);
+  EXPECT_EQ(three, 3 * one);
+}
+
+}  // namespace
+}  // namespace orchestra::net

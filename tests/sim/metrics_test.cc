@@ -1,0 +1,89 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace orchestra::sim {
+namespace {
+
+using core::Participant;
+using core::TrustPolicy;
+using orchestra::testing::Ins;
+using orchestra::testing::MakeProteinCatalog;
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest() : catalog_(MakeProteinCatalog()) {
+    for (core::ParticipantId id = 1; id <= 3; ++id) {
+      policies_.push_back(std::make_unique<TrustPolicy>(id));
+      participants_.push_back(
+          std::make_unique<Participant>(id, &catalog_, *policies_.back()));
+    }
+  }
+
+  void Insert(size_t peer, const char* organism, const char* protein,
+              const char* function) {
+    ORCH_CHECK(participants_[peer - 1]
+                   ->ExecuteTransaction({Ins(organism, protein, function,
+                                             static_cast<uint32_t>(peer))})
+                   .ok());
+  }
+
+  std::vector<const Participant*> View() const {
+    std::vector<const Participant*> out;
+    for (const auto& p : participants_) out.push_back(p.get());
+    return out;
+  }
+
+  db::Catalog catalog_;
+  std::vector<std::unique_ptr<TrustPolicy>> policies_;
+  std::vector<std::unique_ptr<Participant>> participants_;
+};
+
+TEST_F(MetricsTest, EmptyInstancesHaveRatioOne) {
+  EXPECT_DOUBLE_EQ(StateRatio(View(), "F"), 1.0);
+  EXPECT_DOUBLE_EQ(FullAgreementFraction(View(), "F"), 1.0);
+}
+
+TEST_F(MetricsTest, FullAgreementIsOne) {
+  for (size_t p = 1; p <= 3; ++p) Insert(p, "rat", "p1", "same");
+  EXPECT_DOUBLE_EQ(StateRatio(View(), "F"), 1.0);
+  EXPECT_DOUBLE_EQ(FullAgreementFraction(View(), "F"), 1.0);
+}
+
+TEST_F(MetricsTest, MissingValueCountsAsAState) {
+  // Two peers hold the key, one lacks it: states = {value, absent} = 2.
+  Insert(1, "rat", "p1", "same");
+  Insert(2, "rat", "p1", "same");
+  EXPECT_DOUBLE_EQ(StateRatio(View(), "F"), 2.0);
+  EXPECT_DOUBLE_EQ(FullAgreementFraction(View(), "F"), 0.0);
+}
+
+TEST_F(MetricsTest, TotalDisagreementEqualsPeerCount) {
+  Insert(1, "rat", "p1", "a");
+  Insert(2, "rat", "p1", "b");
+  Insert(3, "rat", "p1", "c");
+  EXPECT_DOUBLE_EQ(StateRatio(View(), "F"), 3.0);
+}
+
+TEST_F(MetricsTest, RatioAveragesOverKeys) {
+  // Key 1: all agree (1). Key 2: two values + one absent (3).
+  for (size_t p = 1; p <= 3; ++p) Insert(p, "rat", "p1", "same");
+  Insert(1, "rat", "p2", "a");
+  Insert(2, "rat", "p2", "b");
+  EXPECT_DOUBLE_EQ(StateRatio(View(), "F"), (1.0 + 3.0) / 2.0);
+  EXPECT_DOUBLE_EQ(FullAgreementFraction(View(), "F"), 0.5);
+}
+
+TEST_F(MetricsTest, RatioIsBounded) {
+  Insert(1, "rat", "p1", "a");
+  Insert(2, "rat", "p2", "b");
+  Insert(3, "rat", "p3", "c");
+  const double ratio = StateRatio(View(), "F");
+  EXPECT_GE(ratio, 1.0);
+  EXPECT_LE(ratio, 3.0);
+}
+
+}  // namespace
+}  // namespace orchestra::sim

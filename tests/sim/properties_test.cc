@@ -1,0 +1,181 @@
+// Property-based sweeps over system configurations: for every
+// combination of peer count, transaction size, reconciliation interval
+// and store implementation, the CDSS invariants of §3.1/§4 must hold at
+// every step of the run.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "sim/cdss.h"
+
+namespace orchestra::sim {
+namespace {
+
+using Param = std::tuple<size_t /*peers*/, size_t /*txn size*/,
+                         size_t /*recon interval*/, StoreKind,
+                         bool /*network-centric*/>;
+
+class CdssPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  CdssConfig Config() const {
+    CdssConfig config;
+    config.participants = std::get<0>(GetParam());
+    config.transaction_size = std::get<1>(GetParam());
+    config.txns_between_recons = std::get<2>(GetParam());
+    config.store = std::get<3>(GetParam());
+    config.network_centric = std::get<4>(GetParam());
+    config.rounds = 3;
+    config.seed = 1234;
+    config.workload.key_pool = 150;  // small pool -> plenty of conflicts
+    config.workload.key_zipf_s = 1.0;
+    return config;
+  }
+};
+
+TEST_P(CdssPropertyTest, InvariantsHoldAtEveryStep) {
+  auto cdss = Cdss::Make(Config());
+  ASSERT_TRUE(cdss.ok());
+  const size_t n = (*cdss)->participant_count();
+
+  std::vector<size_t> applied_before(n, 0);
+  for (size_t round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      auto report = (*cdss)->StepParticipant(i);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      core::Participant& p = (*cdss)->participant(i);
+
+      // Monotonicity: the applied set only grows; nothing is rolled back.
+      EXPECT_GE(p.applied_count(), applied_before[i]);
+      applied_before[i] = p.applied_count();
+
+      // Applied and rejected sets are disjoint.
+      for (const core::TransactionId& id : p.rejected()) {
+        EXPECT_EQ(p.applied().count(id), 0u)
+            << id.ToString() << " both applied and rejected";
+      }
+
+      // Every decision in the report is accounted for exactly once.
+      const size_t decided = report->accepted.size() +
+                             report->rejected.size() +
+                             report->deferred.size();
+      EXPECT_EQ(decided, report->fetched + report->reconsidered);
+
+      // Integrity constraints hold after every reconciliation.
+      EXPECT_TRUE(p.instance().CheckForeignKeys().ok());
+
+      // Deferred work implies open conflict state or dirty keys; accepted
+      // roots never appear in the deferred list.
+      for (const core::TransactionId& id : report->accepted) {
+        for (const core::TransactionId& d : report->deferred) {
+          EXPECT_FALSE(id == d);
+        }
+      }
+    }
+    // State ratio stays within its theoretical bounds at every round.
+    const double ratio = (*cdss)->CurrentStateRatio();
+    EXPECT_GE(ratio, 1.0);
+    EXPECT_LE(ratio, static_cast<double>(n));
+  }
+}
+
+TEST_P(CdssPropertyTest, PairwiseAgreementOnAcceptedKeys) {
+  // Consistency semantics: if two peers both hold a key AND both applied
+  // the same deciding transaction set for it, they hold the same value.
+  // We verify the weaker, directly-checkable form: any key held by all
+  // peers with a single distinct value contributes ratio 1, and the
+  // overall ratio never exceeds the peer count.
+  auto cdss = Cdss::Make(Config());
+  ASSERT_TRUE(cdss.ok());
+  auto result = (*cdss)->Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->state_ratio, 1.0);
+  EXPECT_LE(result->state_ratio,
+            static_cast<double>((*cdss)->participant_count()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CdssPropertyTest,
+    ::testing::Combine(::testing::Values<size_t>(2, 5),
+                       ::testing::Values<size_t>(1, 3),
+                       ::testing::Values<size_t>(1, 4),
+                       ::testing::Values(StoreKind::kCentral,
+                                         StoreKind::kDht),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "peers" + std::to_string(std::get<0>(info.param)) + "_size" +
+             std::to_string(std::get<1>(info.param)) + "_ri" +
+             std::to_string(std::get<2>(info.param)) +
+             (std::get<3>(info.param) == StoreKind::kCentral ? "_central"
+                                                             : "_dht") +
+             (std::get<4>(info.param) ? "_nc" : "_cc");
+    });
+
+// Convergence property: when peers write disjoint keys (no conflicts),
+// everyone converges to the union after one extra reconciliation round.
+class ConvergenceTest : public ::testing::TestWithParam<StoreKind> {};
+
+TEST_P(ConvergenceTest, DisjointWritesConverge) {
+  db::Catalog catalog;
+  {
+    auto schema = workload::MakeSwissProtCatalog();
+    ASSERT_TRUE(schema.ok());
+    catalog = *std::move(schema);
+  }
+  net::SimNetwork network;
+  std::unique_ptr<storage::StorageEngine> engine;
+  std::unique_ptr<core::UpdateStore> store;
+  if (GetParam() == StoreKind::kCentral) {
+    engine = storage::StorageEngine::InMemory();
+    store = std::make_unique<store::CentralStore>(engine.get(), &network);
+  } else {
+    store = std::make_unique<store::DhtStore>(5, &network);
+  }
+  std::vector<std::unique_ptr<core::TrustPolicy>> policies;
+  std::vector<std::unique_ptr<core::Participant>> peers;
+  for (core::ParticipantId id = 0; id < 5; ++id) {
+    auto policy = std::make_unique<core::TrustPolicy>(id);
+    for (core::ParticipantId other = 0; other < 5; ++other) {
+      if (other != id) policy->TrustPeer(other, 1);
+    }
+    ASSERT_TRUE(store->RegisterParticipant(id, policy.get()).ok());
+    policies.push_back(std::move(policy));
+    peers.push_back(
+        std::make_unique<core::Participant>(id, &catalog, *policies.back()));
+  }
+  for (core::ParticipantId id = 0; id < 5; ++id) {
+    const std::string protein = "P" + std::to_string(id);
+    ASSERT_TRUE(
+        peers[id]
+            ->ExecuteTransaction({core::Update::Insert(
+                workload::kFunctionRelation,
+                db::Tuple{db::Value("Mus musculus"), db::Value(protein),
+                          db::Value("apoptosis")},
+                id)})
+            .ok());
+    ASSERT_TRUE(peers[id]->PublishAndReconcile(store.get()).ok());
+  }
+  for (auto& peer : peers) {
+    ASSERT_TRUE(peer->Reconcile(store.get()).ok());
+  }
+  for (auto& peer : peers) {
+    EXPECT_EQ(
+        (*peer->instance().GetTable(workload::kFunctionRelation))->size(),
+        5u);
+  }
+  std::vector<const core::Participant*> view;
+  for (auto& peer : peers) view.push_back(peer.get());
+  EXPECT_DOUBLE_EQ(StateRatio(view, workload::kFunctionRelation), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStores, ConvergenceTest,
+                         ::testing::Values(StoreKind::kCentral,
+                                           StoreKind::kDht),
+                         [](const ::testing::TestParamInfo<StoreKind>& info) {
+                           return info.param == StoreKind::kCentral
+                                      ? "Central"
+                                      : "Dht";
+                         });
+
+}  // namespace
+}  // namespace orchestra::sim

@@ -1,0 +1,139 @@
+// Trust topologies and the deletion-capable workload: extension features
+// over the paper's uniform-trust, insert/replace-only evaluation.
+#include <gtest/gtest.h>
+
+#include "sim/cdss.h"
+
+namespace orchestra::sim {
+namespace {
+
+CdssConfig BaseConfig() {
+  CdssConfig config;
+  config.participants = 6;
+  config.store = StoreKind::kCentral;
+  config.transaction_size = 1;
+  config.txns_between_recons = 3;
+  config.rounds = 5;
+  config.seed = 313;
+  config.workload.key_pool = 150;
+  config.workload.key_zipf_s = 1.0;
+  return config;
+}
+
+TEST(TopologyTest, TieredTrustResolvesConflictsAutomatically) {
+  CdssConfig uniform = BaseConfig();
+  CdssConfig tiered = BaseConfig();
+  tiered.topology = TrustTopology::kTiered;
+
+  auto u = Cdss::Make(uniform);
+  auto t = Cdss::Make(tiered);
+  ASSERT_TRUE(u.ok());
+  ASSERT_TRUE(t.ok());
+  auto ur = (*u)->Run();
+  auto tr = (*t)->Run();
+  ASSERT_TRUE(ur.ok());
+  ASSERT_TRUE(tr.ok());
+  // Authority rankings decide cross-tier conflicts instead of deferring.
+  EXPECT_LT(tr->deferred, ur->deferred);
+  EXPECT_GT(tr->rejected, 0u);
+}
+
+TEST(TopologyTest, StarTopologyHubAlwaysWins) {
+  CdssConfig config = BaseConfig();
+  config.topology = TrustTopology::kStar;
+  auto cdss = Cdss::Make(config);
+  ASSERT_TRUE(cdss.ok());
+  auto result = (*cdss)->Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->state_ratio, 1.0);
+  EXPECT_LE(result->state_ratio, 6.0);
+  // Conflicts involving the hub resolve in its favor automatically;
+  // spoke-vs-spoke conflicts still defer, so both outcomes appear.
+  EXPECT_GT(result->rejected, 0u);
+}
+
+TEST(TopologyTest, DeterministicPerTopology) {
+  for (TrustTopology topology :
+       {TrustTopology::kUniform, TrustTopology::kTiered,
+        TrustTopology::kStar}) {
+    CdssConfig config = BaseConfig();
+    config.topology = topology;
+    auto a = Cdss::Make(config);
+    auto b = Cdss::Make(config);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    auto ra = (*a)->Run();
+    auto rb = (*b)->Run();
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_DOUBLE_EQ(ra->state_ratio, rb->state_ratio);
+    EXPECT_EQ(ra->deferred, rb->deferred);
+  }
+}
+
+TEST(DeletionWorkloadTest, RunsCleanAndKeepsForeignKeys) {
+  CdssConfig config = BaseConfig();
+  config.workload.delete_fraction = 0.25;
+  auto cdss = Cdss::Make(config);
+  ASSERT_TRUE(cdss.ok());
+  for (size_t round = 0; round < config.rounds; ++round) {
+    for (size_t i = 0; i < (*cdss)->participant_count(); ++i) {
+      auto report = (*cdss)->StepParticipant(i);
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      EXPECT_TRUE(
+          (*cdss)->participant(i).instance().CheckForeignKeys().ok());
+    }
+  }
+}
+
+TEST(DeletionWorkloadTest, DeletesGenerateDeleteVsWriteConflicts) {
+  CdssConfig with = BaseConfig();
+  with.workload.delete_fraction = 0.3;
+  with.rounds = 6;
+  CdssConfig without = BaseConfig();
+  without.rounds = 6;
+  auto w = Cdss::Make(with);
+  auto wo = Cdss::Make(without);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(wo.ok());
+  auto wr = (*w)->Run();
+  auto wor = (*wo)->Run();
+  ASSERT_TRUE(wr.ok());
+  ASSERT_TRUE(wor.ok());
+  // Deletions add conflict surface: strictly more non-accept outcomes.
+  EXPECT_GT(wr->rejected + wr->deferred, wor->rejected + wor->deferred);
+}
+
+TEST(DeletionWorkloadTest, GeneratorEmitsFkSafeDeleteGroups) {
+  auto catalog = workload::MakeSwissProtCatalog();
+  ASSERT_TRUE(catalog.ok());
+  workload::WorkloadConfig config;
+  config.delete_fraction = 1.0;  // always delete when possible
+  config.seed = 5;
+  workload::SwissProtWorkload generator(config);
+  db::Instance instance(&*catalog);
+  // Seed one Function tuple plus two cross-references.
+  auto function = instance.GetTable(workload::kFunctionRelation);
+  auto crossref = instance.GetTable(workload::kCrossRefRelation);
+  ASSERT_TRUE((*function)
+                  ->Insert(db::Tuple{db::Value("Homo sapiens"),
+                                     db::Value("P1"), db::Value("fn")})
+                  .ok());
+  for (const char* acc : {"A1", "A2"}) {
+    ASSERT_TRUE((*crossref)
+                    ->Insert(db::Tuple{db::Value("Homo sapiens"),
+                                       db::Value("P1"), db::Value("EMBL"),
+                                       db::Value(acc)})
+                    .ok());
+  }
+  auto updates = generator.NextTransaction(1, instance);
+  // The delete group removes both cross-references and then the parent.
+  ASSERT_EQ(updates.size(), 3u);
+  EXPECT_EQ(updates[0].relation(), workload::kCrossRefRelation);
+  EXPECT_EQ(updates[1].relation(), workload::kCrossRefRelation);
+  EXPECT_EQ(updates[2].relation(), workload::kFunctionRelation);
+  for (const auto& u : updates) EXPECT_TRUE(u.is_delete());
+}
+
+}  // namespace
+}  // namespace orchestra::sim

@@ -1,0 +1,155 @@
+#include "storage/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+namespace orchestra::storage {
+namespace {
+
+TEST(EngineTest, PutGetDelete) {
+  auto engine = StorageEngine::InMemory();
+  ASSERT_TRUE(engine->Put("t", "k1", "v1").ok());
+  auto got = engine->Get("t", "k1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v1");
+  EXPECT_TRUE(engine->Contains("t", "k1"));
+  ASSERT_TRUE(engine->Delete("t", "k1").ok());
+  EXPECT_FALSE(engine->Contains("t", "k1"));
+  EXPECT_TRUE(engine->Get("t", "k1").status().IsNotFound());
+}
+
+TEST(EngineTest, GetFromMissingTableFails) {
+  auto engine = StorageEngine::InMemory();
+  EXPECT_TRUE(engine->Get("nope", "k").status().IsNotFound());
+  EXPECT_FALSE(engine->Contains("nope", "k"));
+  EXPECT_EQ(engine->TableSize("nope"), 0u);
+}
+
+TEST(EngineTest, PutOverwrites) {
+  auto engine = StorageEngine::InMemory();
+  ASSERT_TRUE(engine->Put("t", "k", "old").ok());
+  ASSERT_TRUE(engine->Put("t", "k", "new").ok());
+  EXPECT_EQ(*engine->Get("t", "k"), "new");
+  EXPECT_EQ(engine->TableSize("t"), 1u);
+}
+
+TEST(EngineTest, DeleteIsIdempotent) {
+  auto engine = StorageEngine::InMemory();
+  EXPECT_TRUE(engine->Delete("t", "never-existed").ok());
+}
+
+TEST(EngineTest, ScanRangeIsOrderedAndHalfOpen) {
+  auto engine = StorageEngine::InMemory();
+  for (const char* k : {"b", "a", "d", "c"}) {
+    ASSERT_TRUE(engine->Put("t", k, k).ok());
+  }
+  auto rows = engine->ScanRange("t", "b", "d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "b");
+  EXPECT_EQ(rows[1].first, "c");
+  // Empty hi scans to the end.
+  EXPECT_EQ(engine->ScanRange("t", "c", "").size(), 2u);
+  EXPECT_EQ(engine->ScanRange("t", "", "").size(), 4u);
+}
+
+TEST(EngineTest, ScanPrefix) {
+  auto engine = StorageEngine::InMemory();
+  ASSERT_TRUE(engine->Put("t", "epoch:1:a", "").ok());
+  ASSERT_TRUE(engine->Put("t", "epoch:1:b", "").ok());
+  ASSERT_TRUE(engine->Put("t", "epoch:2:a", "").ok());
+  EXPECT_EQ(engine->ScanPrefix("t", "epoch:1:").size(), 2u);
+  EXPECT_EQ(engine->ScanPrefix("t", "epoch:").size(), 3u);
+  EXPECT_TRUE(engine->ScanPrefix("t", "zzz").empty());
+}
+
+TEST(EngineTest, SequencesAreMonotonicAndIndependent) {
+  auto engine = StorageEngine::InMemory();
+  EXPECT_EQ(engine->CurrentSequence("s"), 0);
+  EXPECT_EQ(*engine->NextSequence("s"), 1);
+  EXPECT_EQ(*engine->NextSequence("s"), 2);
+  EXPECT_EQ(*engine->NextSequence("other"), 1);
+  EXPECT_EQ(engine->CurrentSequence("s"), 2);
+}
+
+TEST(EngineTest, TablesAreIndependent) {
+  auto engine = StorageEngine::InMemory();
+  ASSERT_TRUE(engine->Put("a", "k", "va").ok());
+  ASSERT_TRUE(engine->Put("b", "k", "vb").ok());
+  EXPECT_EQ(*engine->Get("a", "k"), "va");
+  EXPECT_EQ(*engine->Get("b", "k"), "vb");
+}
+
+class DurableEngineTest : public ::testing::Test {
+ protected:
+  DurableEngineTest() {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("engine_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    std::remove(path_.c_str());
+  }
+  ~DurableEngineTest() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(DurableEngineTest, StateSurvivesReopen) {
+  {
+    auto engine = StorageEngine::OpenDurable(path_);
+    ASSERT_TRUE(engine.ok());
+    EXPECT_TRUE((*engine)->durable());
+    ASSERT_TRUE((*engine)->Put("txn", "k1", "v1").ok());
+    ASSERT_TRUE((*engine)->Put("txn", "k2", "v2").ok());
+    ASSERT_TRUE((*engine)->Delete("txn", "k1").ok());
+    ASSERT_TRUE((*engine)->NextSequence("epoch").ok());
+    ASSERT_TRUE((*engine)->NextSequence("epoch").ok());
+    ASSERT_TRUE((*engine)->Sync().ok());
+  }
+  auto engine = StorageEngine::OpenDurable(path_);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE((*engine)->Contains("txn", "k1"));
+  EXPECT_EQ(*(*engine)->Get("txn", "k2"), "v2");
+  EXPECT_EQ((*engine)->CurrentSequence("epoch"), 2);
+  // The sequence continues past recovered state.
+  EXPECT_EQ(*(*engine)->NextSequence("epoch"), 3);
+}
+
+TEST_F(DurableEngineTest, RecoversOverwrites) {
+  {
+    auto engine = StorageEngine::OpenDurable(path_);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Put("t", "k", "old").ok());
+    ASSERT_TRUE((*engine)->Put("t", "k", "new").ok());
+    ASSERT_TRUE((*engine)->Sync().ok());
+  }
+  auto engine = StorageEngine::OpenDurable(path_);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(*(*engine)->Get("t", "k"), "new");
+}
+
+TEST_F(DurableEngineTest, TornTailRecoversPrefix) {
+  {
+    auto engine = StorageEngine::OpenDurable(path_);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Put("t", "k1", "v1").ok());
+    ASSERT_TRUE((*engine)->Put("t", "k2", "v2").ok());
+    ASSERT_TRUE((*engine)->Sync().ok());
+  }
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 3);
+  auto engine = StorageEngine::OpenDurable(path_);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE((*engine)->Contains("t", "k1"));
+  EXPECT_FALSE((*engine)->Contains("t", "k2"));
+}
+
+TEST(EngineTest, InMemoryIsNotDurable) {
+  EXPECT_FALSE(StorageEngine::InMemory()->durable());
+  EXPECT_TRUE(StorageEngine::InMemory()->Sync().ok());
+}
+
+}  // namespace
+}  // namespace orchestra::storage

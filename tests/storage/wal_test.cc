@@ -1,0 +1,140 @@
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+#include <vector>
+
+namespace orchestra::storage {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  WalTest() {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("wal_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+                .string();
+    std::remove(path_.c_str());
+  }
+  ~WalTest() override { std::remove(path_.c_str()); }
+
+  std::vector<std::pair<uint8_t, std::string>> ReplayAll() {
+    auto wal = WriteAheadLog::Open(path_);
+    ORCH_CHECK(wal.ok());
+    std::vector<std::pair<uint8_t, std::string>> records;
+    auto status = (*wal)->Replay([&](uint8_t type, std::string_view payload) {
+      records.emplace_back(type, std::string(payload));
+      return Status::OK();
+    });
+    ORCH_CHECK(status.ok(), "%s", status.ToString().c_str());
+    return records;
+  }
+
+  std::string path_;
+};
+
+TEST(Crc32Test, KnownVectors) {
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414fa339u);
+}
+
+TEST_F(WalTest, AppendAndReplay) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, "first").ok());
+    ASSERT_TRUE((*wal)->Append(2, "second record").ok());
+    ASSERT_TRUE((*wal)->Append(1, "").ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  auto records = ReplayAll();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], (std::pair<uint8_t, std::string>{1, "first"}));
+  EXPECT_EQ(records[1],
+            (std::pair<uint8_t, std::string>{2, "second record"}));
+  EXPECT_EQ(records[2], (std::pair<uint8_t, std::string>{1, ""}));
+}
+
+TEST_F(WalTest, ReopenAppends) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, "a").ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, "b").ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  EXPECT_EQ(ReplayAll().size(), 2u);
+}
+
+TEST_F(WalTest, TornTailIsTolerated) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, "complete").ok());
+    ASSERT_TRUE((*wal)->Append(2, "will be torn").ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Truncate into the middle of the second record.
+  const auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size - 4);
+  auto records = ReplayAll();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].second, "complete");
+}
+
+TEST_F(WalTest, MidLogCorruptionIsReported) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, "first-record-payload").ok());
+    ASSERT_TRUE((*wal)->Append(2, "second").ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Flip a byte inside the first record's payload.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 8, SEEK_SET);
+    std::fputc('X', f);
+    std::fclose(f);
+  }
+  auto wal = WriteAheadLog::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  auto status = (*wal)->Replay(
+      [](uint8_t, std::string_view) { return Status::OK(); });
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST_F(WalTest, VisitorErrorAborts) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, "x").ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  auto wal = WriteAheadLog::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  auto status = (*wal)->Replay([](uint8_t, std::string_view) {
+    return Status::Internal("stop");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST_F(WalTest, EmptyLogReplaysNothing) {
+  auto wal = WriteAheadLog::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE(ReplayAll().empty());
+}
+
+}  // namespace
+}  // namespace orchestra::storage

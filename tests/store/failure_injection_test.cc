@@ -1,0 +1,173 @@
+// Failure injection: wraps an update store in a decorator that fails
+// calls on command and verifies participants degrade gracefully — no
+// lost transactions, no corrupted instances, clean retry paths. The
+// paper assumes reliable delivery (§5.2.2); these tests pin down what
+// the *client* guarantees when the store layer violates that assumption.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/participant.h"
+#include "net/sim_network.h"
+#include "storage/engine.h"
+#include "store/central_store.h"
+#include "test_util.h"
+
+namespace orchestra::store {
+namespace {
+
+using core::Epoch;
+using core::Participant;
+using core::ParticipantId;
+using core::ReconcileFetch;
+using core::RecoveryBundle;
+using core::StoreStats;
+using core::Transaction;
+using core::TransactionId;
+using core::TrustPolicy;
+using orchestra::testing::Ins;
+using orchestra::testing::InstanceHasExactly;
+using orchestra::testing::MakeProteinCatalog;
+using orchestra::testing::T;
+
+/// Delegating store that fails selected operations until told otherwise.
+class FlakyStore : public core::UpdateStore {
+ public:
+  explicit FlakyStore(core::UpdateStore* inner) : inner_(inner) {}
+
+  bool fail_publish = false;
+  bool fail_begin = false;
+  bool fail_record = false;
+
+  Status RegisterParticipant(ParticipantId peer,
+                             const TrustPolicy* policy) override {
+    return inner_->RegisterParticipant(peer, policy);
+  }
+  Result<Epoch> Publish(ParticipantId peer,
+                        std::vector<Transaction> txns) override {
+    if (fail_publish) return Status::Unavailable("injected publish failure");
+    return inner_->Publish(peer, std::move(txns));
+  }
+  Result<ReconcileFetch> BeginReconciliation(ParticipantId peer) override {
+    if (fail_begin) return Status::Unavailable("injected fetch failure");
+    return inner_->BeginReconciliation(peer);
+  }
+  Status RecordDecisions(ParticipantId peer, int64_t recno,
+                         const std::vector<TransactionId>& applied,
+                         const std::vector<TransactionId>& rejected) override {
+    if (fail_record) return Status::Unavailable("injected record failure");
+    return inner_->RecordDecisions(peer, recno, applied, rejected);
+  }
+  Result<RecoveryBundle> FetchRecoveryState(ParticipantId peer) const override {
+    return inner_->FetchRecoveryState(peer);
+  }
+  Result<RecoveryBundle> Bootstrap(ParticipantId new_peer,
+                                   ParticipantId source_peer) override {
+    return inner_->Bootstrap(new_peer, source_peer);
+  }
+  StoreStats StatsFor(ParticipantId peer) const override {
+    return inner_->StatsFor(peer);
+  }
+  std::string_view name() const override { return "flaky"; }
+
+ private:
+  core::UpdateStore* inner_;
+};
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  FailureInjectionTest()
+      : catalog_(MakeProteinCatalog()),
+        engine_(storage::StorageEngine::InMemory()),
+        inner_(engine_.get(), &network_),
+        store_(&inner_) {
+    for (ParticipantId id = 1; id <= 2; ++id) {
+      auto policy = std::make_unique<TrustPolicy>(id);
+      policy->TrustPeer(id == 1 ? 2 : 1, 1);
+      ORCH_CHECK(store_.RegisterParticipant(id, policy.get()).ok());
+      policies_.push_back(std::move(policy));
+      participants_.push_back(
+          std::make_unique<Participant>(id, &catalog_, *policies_.back()));
+    }
+  }
+
+  Participant& P(size_t i) { return *participants_[i - 1]; }
+
+  db::Catalog catalog_;
+  net::SimNetwork network_;
+  std::unique_ptr<storage::StorageEngine> engine_;
+  CentralStore inner_;
+  FlakyStore store_;
+  std::vector<std::unique_ptr<TrustPolicy>> policies_;
+  std::vector<std::unique_ptr<Participant>> participants_;
+};
+
+TEST_F(FailureInjectionTest, FailedPublishKeepsQueueForRetry) {
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  store_.fail_publish = true;
+  EXPECT_EQ(P(1).Publish(&store_).status().code(), StatusCode::kUnavailable);
+  // Retry succeeds and delivers the same transaction exactly once.
+  store_.fail_publish = false;
+  auto epoch = P(1).Publish(&store_);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_GT(*epoch, 0);
+  auto report = P(2).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->accepted.size(), 1u);
+  EXPECT_TRUE(InstanceHasExactly(P(2).instance(), {T({"rat", "p1", "x"})}));
+  // The queue drained: another publish is a no-op.
+  auto again = P(1).Publish(&store_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, core::kNoEpoch);
+}
+
+TEST_F(FailureInjectionTest, FailedFetchLeavesStateUntouched) {
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  store_.fail_begin = true;
+  EXPECT_EQ(P(2).Reconcile(&store_).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(P(2).instance().TotalTuples(), 0u);
+  EXPECT_EQ(P(2).applied_count(), 0u);
+  // Once the store is back, reconciliation proceeds normally.
+  store_.fail_begin = false;
+  auto report = P(2).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->accepted.size(), 1u);
+}
+
+TEST_F(FailureInjectionTest, FailedDecisionRecordingIsRecoverable) {
+  // Decisions are applied locally before recording; if recording fails,
+  // the store resends the transactions at the next reconciliation and
+  // idempotent application plus the local applied-set absorb them.
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  store_.fail_record = true;
+  EXPECT_FALSE(P(2).Reconcile(&store_).ok());
+  // The instance did receive the update (the local run completed).
+  EXPECT_TRUE(InstanceHasExactly(P(2).instance(), {T({"rat", "p1", "x"})}));
+  store_.fail_record = false;
+  auto report = P(2).Reconcile(&store_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // Resent transaction is recognized as already applied: no new
+  // decisions, no duplicates, instance unchanged.
+  EXPECT_TRUE(report->accepted.empty());
+  EXPECT_TRUE(InstanceHasExactly(P(2).instance(), {T({"rat", "p1", "x"})}));
+}
+
+TEST_F(FailureInjectionTest, ExecuteNeverTouchesTheStore) {
+  store_.fail_publish = true;
+  store_.fail_begin = true;
+  store_.fail_record = true;
+  // Local work is fully autonomous (§3: loosely coupled participants).
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  ASSERT_TRUE(
+      P(1).ExecuteTransaction(
+              {core::Update::Modify("F", T({"rat", "p1", "x"}),
+                                    T({"rat", "p1", "y"}), 1)})
+          .ok());
+  EXPECT_TRUE(InstanceHasExactly(P(1).instance(), {T({"rat", "p1", "y"})}));
+}
+
+}  // namespace
+}  // namespace orchestra::store

@@ -1,0 +1,113 @@
+// §5.2.1: publishing is decoupled from reconciliation — a reconciling
+// peer uses "the latest epoch not preceded by an 'unfinished' epoch".
+// White-box test: inject an open (unfinished) epoch directly into the
+// storage engine between two finished ones and verify the reconciliation
+// window stops before it, then resumes once the epoch completes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/participant.h"
+#include "net/sim_network.h"
+#include "storage/engine.h"
+#include "store/central_store.h"
+#include "test_util.h"
+
+namespace orchestra::store {
+namespace {
+
+using core::Participant;
+using core::ParticipantId;
+using core::TrustPolicy;
+using orchestra::testing::Ins;
+using orchestra::testing::InstanceHasExactly;
+using orchestra::testing::MakeProteinCatalog;
+using orchestra::testing::T;
+
+std::string EpochKey(int64_t epoch) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016lld", static_cast<long long>(epoch));
+  return buf;
+}
+
+TEST(StableEpochTest, OpenEpochBlocksLaterEpochs) {
+  db::Catalog catalog = MakeProteinCatalog();
+  net::SimNetwork network;
+  auto engine = storage::StorageEngine::InMemory();
+  CentralStore store(engine.get(), &network);
+
+  TrustPolicy p1(1);
+  p1.TrustPeer(2, 1);
+  TrustPolicy p2(2);
+  ASSERT_TRUE(store.RegisterParticipant(1, &p1).ok());
+  ASSERT_TRUE(store.RegisterParticipant(2, &p2).ok());
+  Participant alice(1, &catalog, p1);
+  Participant bob(2, &catalog, p2);
+
+  // Epoch 1: published and finished.
+  ASSERT_TRUE(bob.ExecuteTransaction({Ins("rat", "p1", "first", 2)}).ok());
+  ASSERT_TRUE(bob.Publish(&store).ok());
+
+  // Epoch 2: simulate a publisher that started but has not finished —
+  // allocate the sequence and leave the epoch open, exactly the state a
+  // slow concurrent publisher would leave behind.
+  ASSERT_TRUE(engine->NextSequence("epoch").ok());
+  ASSERT_TRUE(engine->Put("epochs", EpochKey(2), "open").ok());
+
+  // Epoch 3: bob publishes more (finished).
+  ASSERT_TRUE(bob.ExecuteTransaction({Ins("rat", "p3", "third", 2)}).ok());
+  ASSERT_TRUE(bob.Publish(&store).ok());
+
+  // Alice reconciles: the stable window is epoch 1 only — epoch 3 is
+  // "after" the unfinished epoch 2 and must not be visible yet.
+  auto r1 = alice.Reconcile(&store);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->epoch, 1);
+  EXPECT_EQ(r1->accepted.size(), 1u);
+  EXPECT_TRUE(InstanceHasExactly(alice.instance(), {T({"rat", "p1", "first"})}));
+
+  // Reconciling again while the epoch is still open gains nothing.
+  auto r2 = alice.Reconcile(&store);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->fetched, 0u);
+
+  // The slow publisher finishes; the window now extends through epoch 3.
+  ASSERT_TRUE(engine->Put("epochs", EpochKey(2), "done").ok());
+  auto r3 = alice.Reconcile(&store);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->epoch, 3);
+  EXPECT_EQ(r3->accepted.size(), 1u);
+  EXPECT_TRUE(InstanceHasExactly(
+      alice.instance(),
+      {T({"rat", "p1", "first"}), T({"rat", "p3", "third"})}));
+}
+
+TEST(StableEpochTest, WatermarkNeverMovesBackwards) {
+  db::Catalog catalog = MakeProteinCatalog();
+  net::SimNetwork network;
+  auto engine = storage::StorageEngine::InMemory();
+  CentralStore store(engine.get(), &network);
+  TrustPolicy p1(1);
+  p1.TrustPeer(2, 1);
+  TrustPolicy p2(2);
+  ASSERT_TRUE(store.RegisterParticipant(1, &p1).ok());
+  ASSERT_TRUE(store.RegisterParticipant(2, &p2).ok());
+  Participant alice(1, &catalog, p1);
+  Participant bob(2, &catalog, p2);
+
+  int64_t last_epoch = 0;
+  for (int round = 0; round < 4; ++round) {
+    const std::string protein = "p" + std::to_string(round);
+    ASSERT_TRUE(
+        bob.ExecuteTransaction({Ins("rat", protein.c_str(), "fn", 2)}).ok());
+    ASSERT_TRUE(bob.Publish(&store).ok());
+    auto report = alice.Reconcile(&store);
+    ASSERT_TRUE(report.ok());
+    EXPECT_GT(report->epoch, last_epoch);
+    last_epoch = report->epoch;
+    EXPECT_EQ(report->fetched, 1u);  // exactly the new epoch's content
+  }
+}
+
+}  // namespace
+}  // namespace orchestra::store

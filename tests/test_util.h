@@ -1,0 +1,82 @@
+#ifndef ORCHESTRA_TESTS_TEST_UTIL_H_
+#define ORCHESTRA_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "db/instance.h"
+#include "db/schema.h"
+#include "core/transaction.h"
+#include "core/update.h"
+
+namespace orchestra::testing {
+
+/// F(organism, protein, function) with key (organism, protein) — the
+/// relation of the paper's running example (Fig. 2).
+inline db::Catalog MakeProteinCatalog() {
+  db::Catalog catalog;
+  auto schema = db::RelationSchema::Make(
+      "F",
+      {{"organism", db::ValueType::kString, false},
+       {"protein", db::ValueType::kString, false},
+       {"function", db::ValueType::kString, false}},
+      {0, 1});
+  ORCH_CHECK(schema.ok());
+  ORCH_CHECK(catalog.AddRelation(*std::move(schema)).ok());
+  return catalog;
+}
+
+/// Shorthand tuple of string values.
+inline db::Tuple T(std::initializer_list<const char*> values) {
+  std::vector<db::Value> out;
+  out.reserve(values.size());
+  for (const char* v : values) out.emplace_back(v);
+  return db::Tuple(std::move(out));
+}
+
+inline core::Update Ins(const char* organism, const char* protein,
+                        const char* function, core::ParticipantId origin) {
+  return core::Update::Insert("F", T({organism, protein, function}), origin);
+}
+
+inline core::Update Del(const char* organism, const char* protein,
+                        const char* function, core::ParticipantId origin) {
+  return core::Update::Delete("F", T({organism, protein, function}), origin);
+}
+
+inline core::Update Mod(const char* organism, const char* protein,
+                        const char* from_function, const char* to_function,
+                        core::ParticipantId origin) {
+  return core::Update::Modify("F", T({organism, protein, from_function}),
+                              T({organism, protein, to_function}), origin);
+}
+
+/// Builds a transaction with explicit id parts and updates.
+inline core::Transaction Txn(core::ParticipantId origin, uint64_t seq,
+                             std::vector<core::Update> updates,
+                             std::vector<core::TransactionId> antecedents = {},
+                             core::Epoch epoch = 0) {
+  core::Transaction txn;
+  txn.id = core::TransactionId{origin, seq};
+  txn.updates = std::move(updates);
+  txn.antecedents = std::move(antecedents);
+  txn.epoch = epoch;
+  return txn;
+}
+
+/// True if the instance's F table contains exactly `tuples` (any order).
+inline bool InstanceHasExactly(const db::Instance& instance,
+                               std::vector<db::Tuple> tuples) {
+  auto table = instance.GetTable("F");
+  ORCH_CHECK(table.ok());
+  if ((*table)->size() != tuples.size()) return false;
+  for (const db::Tuple& t : tuples) {
+    if (!(*table)->ContainsTuple(t)) return false;
+  }
+  return true;
+}
+
+}  // namespace orchestra::testing
+
+#endif  // ORCHESTRA_TESTS_TEST_UTIL_H_

@@ -1,0 +1,174 @@
+#include "workload/swissprot.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/apply.h"
+#include "core/flatten.h"
+
+namespace orchestra::workload {
+namespace {
+
+TEST(SwissProtCatalogTest, SchemaMatchesPaper) {
+  auto catalog = MakeSwissProtCatalog();
+  ASSERT_TRUE(catalog.ok());
+  auto function = catalog->GetRelation(kFunctionRelation);
+  ASSERT_TRUE(function.ok());
+  EXPECT_EQ((*function)->arity(), 3u);
+  EXPECT_EQ((*function)->key_columns(), (std::vector<size_t>{0, 1}));
+  auto crossref = catalog->GetRelation(kCrossRefRelation);
+  ASSERT_TRUE(crossref.ok());
+  EXPECT_EQ((*crossref)->arity(), 4u);
+  ASSERT_EQ(catalog->foreign_keys().size(), 1u);
+  EXPECT_EQ(catalog->foreign_keys()[0].child_relation, kCrossRefRelation);
+  EXPECT_EQ(catalog->foreign_keys()[0].parent_relation, kFunctionRelation);
+}
+
+TEST(VocabularyTest, NonEmptyAndDistinct) {
+  EXPECT_GE(OrganismVocabulary().size(), 20u);
+  EXPECT_GE(FunctionVocabulary().size(), 300u);
+  EXPECT_GE(CrossRefDatabases().size(), 10u);
+}
+
+class SwissProtWorkloadTest : public ::testing::Test {
+ protected:
+  SwissProtWorkloadTest() {
+    auto catalog = MakeSwissProtCatalog();
+    ORCH_CHECK(catalog.ok());
+    catalog_ = *std::move(catalog);
+  }
+
+  WorkloadConfig Config() {
+    WorkloadConfig config;
+    config.seed = 7;
+    return config;
+  }
+
+  db::Catalog catalog_;
+};
+
+TEST_F(SwissProtWorkloadTest, TransactionsAreLocallyApplicable) {
+  SwissProtWorkload workload(Config());
+  db::Instance instance(&catalog_);
+  for (int i = 0; i < 200; ++i) {
+    auto updates = workload.NextTransaction(1, instance);
+    if (updates.empty()) continue;
+    auto flat = core::Flatten(catalog_, updates);
+    ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+    ASSERT_TRUE(core::ApplyFlattened(&instance, *flat).ok());
+  }
+  EXPECT_GT(instance.TotalTuples(), 0u);
+  EXPECT_TRUE(instance.CheckForeignKeys().ok());
+}
+
+TEST_F(SwissProtWorkloadTest, TransactionSizeControlsFunctionUpdates) {
+  WorkloadConfig config = Config();
+  config.transaction_size = 5;
+  config.replace_fraction = 0;  // inserts only, deterministic counting
+  SwissProtWorkload workload(config);
+  db::Instance instance(&catalog_);
+  auto updates = workload.NextTransaction(1, instance);
+  size_t function_updates = 0;
+  for (const auto& u : updates) {
+    if (u.relation() == kFunctionRelation) ++function_updates;
+  }
+  EXPECT_LE(function_updates, 5u);
+  EXPECT_GE(function_updates, 1u);
+}
+
+TEST_F(SwissProtWorkloadTest, InsertsCarryCrossReferences) {
+  WorkloadConfig config = Config();
+  config.replace_fraction = 0;
+  SwissProtWorkload workload(config);
+  db::Instance instance(&catalog_);
+  size_t functions = 0;
+  size_t crossrefs = 0;
+  for (int i = 0; i < 300; ++i) {
+    for (const auto& u : workload.NextTransaction(1, instance)) {
+      if (u.relation() == kFunctionRelation) {
+        ++functions;
+      } else {
+        ++crossrefs;
+      }
+    }
+    // Apply so replaces/duplicates behave.
+    auto updates = workload.NextTransaction(1, instance);
+    (void)updates;
+  }
+  ASSERT_GT(functions, 0u);
+  // ~7.3 cross-refs per primary insert (paper §6); allow generous slack.
+  const double ratio = static_cast<double>(crossrefs) / functions;
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 10.0);
+}
+
+TEST_F(SwissProtWorkloadTest, ReplacementsTargetExistingTuples) {
+  WorkloadConfig config = Config();
+  config.replace_fraction = 1.0;  // always replace when possible
+  SwissProtWorkload workload(config);
+  db::Instance instance(&catalog_);
+  // Seed one tuple so replacements have a target.
+  auto table = instance.GetTable(kFunctionRelation);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)
+                  ->Insert(db::Tuple{db::Value("Homo sapiens"),
+                                     db::Value("P00001"),
+                                     db::Value("glycolysis")})
+                  .ok());
+  auto updates = workload.NextTransaction(1, instance);
+  ASSERT_FALSE(updates.empty());
+  EXPECT_TRUE(updates[0].is_modify());
+  EXPECT_TRUE((*table)->ContainsTuple(updates[0].old_tuple()));
+}
+
+TEST_F(SwissProtWorkloadTest, DeterministicForSameSeed) {
+  SwissProtWorkload a(Config());
+  SwissProtWorkload b(Config());
+  db::Instance instance(&catalog_);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.NextTransaction(1, instance), b.NextTransaction(1, instance));
+  }
+}
+
+TEST_F(SwissProtWorkloadTest, KeyAtIsStable) {
+  SwissProtWorkload workload(Config());
+  EXPECT_EQ(workload.KeyAt(5), workload.KeyAt(5));
+  EXPECT_NE(workload.KeyAt(5), workload.KeyAt(6));
+  EXPECT_EQ(workload.KeyAt(3).size(), 2u);
+}
+
+TEST_F(SwissProtWorkloadTest, HotKeysCollideAcrossPeers) {
+  // Two peers generating independently against empty instances should
+  // write overlapping keys thanks to the Zipf key pool — the property
+  // that produces conflicts in the paper's experiments.
+  WorkloadConfig config = Config();
+  config.replace_fraction = 0;
+  config.key_pool = 200;
+  config.key_zipf_s = 1.0;
+  SwissProtWorkload workload(config);
+  db::Instance instance(&catalog_);
+  std::set<db::Tuple> keys1, keys2;
+  auto function = catalog_.GetRelation(kFunctionRelation);
+  ASSERT_TRUE(function.ok());
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& u : workload.NextTransaction(1, instance)) {
+      if (u.relation() == kFunctionRelation && u.is_insert()) {
+        keys1.insert((*function)->KeyOf(u.new_tuple()));
+      }
+    }
+    for (const auto& u : workload.NextTransaction(2, instance)) {
+      if (u.relation() == kFunctionRelation && u.is_insert()) {
+        keys2.insert((*function)->KeyOf(u.new_tuple()));
+      }
+    }
+  }
+  size_t shared = 0;
+  for (const auto& k : keys1) {
+    if (keys2.count(k) != 0) ++shared;
+  }
+  EXPECT_GT(shared, 5u);
+}
+
+}  // namespace
+}  // namespace orchestra::workload

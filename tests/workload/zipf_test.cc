@@ -1,0 +1,78 @@
+#include "workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace orchestra::workload {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.5);
+  double total = 0;
+  for (size_t k = 0; k < zipf.n(); ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsDecreasing) {
+  ZipfDistribution zipf(50, 1.5);
+  for (size_t k = 1; k < zipf.n(); ++k) {
+    EXPECT_GT(zipf.Pmf(k - 1), zipf.Pmf(k));
+  }
+}
+
+TEST(ZipfTest, PmfMatchesPowerLaw) {
+  ZipfDistribution zipf(1000, 1.5);
+  // P(0)/P(k) should equal (k+1)^1.5.
+  EXPECT_NEAR(zipf.Pmf(0) / zipf.Pmf(9), std::pow(10.0, 1.5), 1e-6);
+  EXPECT_NEAR(zipf.Pmf(0) / zipf.Pmf(99), std::pow(100.0, 1.5), 1e-6);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  ZipfDistribution zipf(10, 1.5);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 10u);
+  }
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  ZipfDistribution zipf(20, 1.5);
+  Rng rng(2);
+  const int n = 100000;
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < n; ++i) counts[zipf.Sample(rng)]++;
+  for (size_t k = 0; k < 5; ++k) {
+    const double observed = static_cast<double>(counts[k]) / n;
+    EXPECT_NEAR(observed, zipf.Pmf(k), 0.01) << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, HeavyTailConcentratesOnHotKeys) {
+  // With s = 1.5 the top handful of ranks dominate — the property the
+  // workload relies on to generate cross-peer conflicts.
+  ZipfDistribution zipf(2000, 1.5);
+  double top10 = 0;
+  for (size_t k = 0; k < 10; ++k) top10 += zipf.Pmf(k);
+  EXPECT_GT(top10, 0.6);
+}
+
+TEST(ZipfTest, UniformWhenSIsZero) {
+  ZipfDistribution zipf(10, 0.0);
+  for (size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(zipf.Pmf(k), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, DeterministicGivenSeed) {
+  ZipfDistribution zipf(100, 1.5);
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Sample(a), zipf.Sample(b));
+  }
+}
+
+}  // namespace
+}  // namespace orchestra::workload
