@@ -2,11 +2,27 @@
 // validating the O(t^2 + t·u·a) cost analysis of §5.1 and the costs of
 // the substrates (flattening, conflict detection, DHT routing, storage
 // engine, serialization).
+//
+// Before the google-benchmark suite runs, main() executes a fixed
+// serial-vs-parallel-vs-cached reconciliation study over a 512-
+// transaction workload and writes the wall-time distribution to
+// BENCH_micro_reconcile.json (override the path with the
+// ORCH_BENCH_JSON env var), so the perf trajectory is machine-readable
+// across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
 #include "core/append_only.h"
 #include "core/conflict.h"
 #include "core/flatten.h"
+#include "core/flatten_cache.h"
 #include "core/reconciler.h"
 #include "db/serde.h"
 #include "net/dht.h"
@@ -206,6 +222,206 @@ void BM_TransactionSerde(benchmark::State& state) {
 }
 BENCHMARK(BM_TransactionSerde);
 
+// --- Serial vs. parallel vs. cached reconciliation study. ---
+//
+// Workload: `peers` publisher chains of `per_peer` transactions each.
+// Transaction t of peer p inserts a unique protein and writes one of
+// the peer's two hot proteins, which it shares with the next peer —
+// so adjacent chains collide on hot keys (replace/replace and
+// insert/insert direct conflicts), extensions grow along each chain
+// (flattening work scales with t), and the candidate-pair phase
+// dominates, matching the §5.1 profile.
+struct StudyWorkload {
+  core::TransactionMap map;
+  std::vector<core::TrustedTxn> txns;
+};
+
+StudyWorkload MakeStudyWorkload(size_t peers, size_t per_peer) {
+  StudyWorkload w;
+  for (size_t p = 0; p < peers; ++p) {
+    const auto origin = static_cast<core::ParticipantId>(1 + p);
+    // Hot keys shared with the neighbouring chain.
+    const std::string hot[2] = {"H" + std::to_string(p),
+                                "H" + std::to_string((p + 1) % peers)};
+    std::string last_value[2];
+    std::vector<core::TransactionId> extension;
+    for (size_t t = 0; t < per_peer; ++t) {
+      core::Transaction txn;
+      txn.id = {origin, static_cast<uint64_t>(t)};
+      const std::string unique =
+          "U" + std::to_string(p) + "_" + std::to_string(t);
+      const std::string value =
+          "f" + std::to_string(p) + "_" + std::to_string(t);
+      txn.updates.push_back(core::Update::Insert(
+          "F", db::Tuple{db::Value("rat"), db::Value(unique),
+                         db::Value(value)},
+          origin));
+      const size_t h = t % 2;
+      const db::Tuple hot_row{db::Value("rat"), db::Value(hot[h]),
+                              db::Value(value)};
+      if (last_value[h].empty()) {
+        txn.updates.push_back(core::Update::Insert("F", hot_row, origin));
+      } else {
+        txn.updates.push_back(core::Update::Modify(
+            "F",
+            db::Tuple{db::Value("rat"), db::Value(hot[h]),
+                      db::Value(last_value[h])},
+            hot_row, origin));
+      }
+      last_value[h] = value;
+      if (t > 0) txn.antecedents.push_back({origin, t - 1});
+      txn.epoch = static_cast<core::Epoch>(1 + t);
+      w.map.Put(txn);
+
+      extension.push_back(txn.id);
+      core::TrustedTxn trusted;
+      trusted.id = txn.id;
+      trusted.priority = 1;
+      trusted.extension = extension;
+      w.txns.push_back(std::move(trusted));
+    }
+  }
+  return w;
+}
+
+int64_t RunStudyOnce(const StudyWorkload& w, const core::Reconciler& rec,
+                     core::FlattenCache* cache) {
+  db::Instance instance(&ProteinCatalog());
+  core::TxnIdSet applied, rejected;
+  core::RelKeySet dirty;
+  core::ReconcileInput input;
+  input.recno = 1;
+  input.txns = w.txns;
+  input.provider = &w.map;
+  input.applied = &applied;
+  input.rejected = &rejected;
+  input.dirty = &dirty;
+  input.flatten_cache = cache;
+  Stopwatch clock;
+  auto outcome = rec.Run(input, &instance);
+  const int64_t micros = clock.ElapsedMicros();
+  ORCH_CHECK(outcome.ok());
+  return micros;
+}
+
+struct Series {
+  double mean_us = 0;
+  int64_t p50_us = 0;
+  int64_t p95_us = 0;
+};
+
+Series Summarize(std::vector<int64_t> samples) {
+  std::sort(samples.begin(), samples.end());
+  Series s;
+  for (int64_t v : samples) s.mean_us += static_cast<double>(v);
+  s.mean_us /= static_cast<double>(samples.size());
+  s.p50_us = samples[samples.size() / 2];
+  s.p95_us = samples[std::min(samples.size() - 1,
+                              (samples.size() * 95 + 99) / 100)];
+  return s;
+}
+
+void RunReconcileStudy() {
+  constexpr size_t kPeers = 8;
+  constexpr size_t kPerPeer = 64;  // 512 transactions
+  constexpr size_t kReps = 5;
+  const StudyWorkload w = MakeStudyWorkload(kPeers, kPerPeer);
+
+  struct Config {
+    const char* name;
+    size_t threads;
+    bool cached;
+  };
+  // The cached series runs serially so the cache effect is isolated
+  // from thread scaling (which depends on the host's core count).
+  const Config configs[] = {
+      {"serial", 1, false},      {"parallel_2", 2, false},
+      {"parallel_4", 4, false},  {"parallel_8", 8, false},
+      {"cached_cold", 1, true},  {"cached_warm", 1, true},
+  };
+
+  std::vector<std::pair<std::string, Series>> results;
+  for (const Config& cfg : configs) {
+    core::Reconciler rec(&ProteinCatalog(),
+                         core::ReconcileOptions{cfg.threads});
+    std::vector<int64_t> samples;
+    const bool warm = std::string(cfg.name) == "cached_warm";
+    core::FlattenCache persistent;
+    if (warm) RunStudyOnce(w, rec, &persistent);  // fill the cache
+    for (size_t r = 0; r < kReps; ++r) {
+      core::FlattenCache fresh;
+      core::FlattenCache* cache =
+          !cfg.cached ? nullptr : (warm ? &persistent : &fresh);
+      samples.push_back(RunStudyOnce(w, rec, cache));
+    }
+    results.emplace_back(cfg.name, Summarize(std::move(samples)));
+    std::printf("micro_reconcile study %-12s mean %10.1f us\n", cfg.name,
+                results.back().second.mean_us);
+  }
+
+  const char* path = std::getenv("ORCH_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_micro_reconcile.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  const double serial_mean = results[0].second.mean_us;
+  double parallel8_mean = 0, cold_mean = 0, warm_mean = 0;
+  std::fprintf(f, "{\n  \"bench\": \"micro_reconcile\",\n");
+  std::fprintf(f, "  \"transactions\": %zu,\n  \"repetitions\": %zu,\n",
+               kPeers * kPerPeer, kReps);
+  // Thread scaling is only meaningful relative to the cores actually
+  // available: on a 1-CPU host every parallel series degenerates to
+  // time-sliced serial execution plus scheduling overhead.
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"series\": {\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& [name, s] = results[i];
+    if (name == "parallel_8") parallel8_mean = s.mean_us;
+    if (name == "cached_cold") cold_mean = s.mean_us;
+    if (name == "cached_warm") warm_mean = s.mean_us;
+    std::fprintf(f,
+                 "    \"%s\": {\"mean_us\": %.1f, \"p50_us\": %lld, "
+                 "\"p95_us\": %lld}%s\n",
+                 name.c_str(), s.mean_us,
+                 static_cast<long long>(s.p50_us),
+                 static_cast<long long>(s.p95_us),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"speedup_parallel_8_vs_serial\": %.2f,\n",
+               serial_mean / parallel8_mean);
+  std::fprintf(f, "  \"speedup_warm_vs_cold_cache\": %.2f\n",
+               cold_mean / warm_mean);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("micro_reconcile study written to %s\n", path);
+}
+
+// The same workload as a google-benchmark, parameterized by threads, so
+// `--benchmark_filter=ReconcileStudy` tracks scaling interactively.
+void BM_ReconcileStudy(benchmark::State& state) {
+  static const StudyWorkload& w = *new StudyWorkload(
+      MakeStudyWorkload(8, static_cast<size_t>(64)));
+  core::Reconciler rec(
+      &ProteinCatalog(),
+      core::ReconcileOptions{static_cast<size_t>(state.range(0))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunStudyOnce(w, rec, nullptr));
+  }
+}
+BENCHMARK(BM_ReconcileStudy)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  RunReconcileStudy();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

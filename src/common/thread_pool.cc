@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace orchestra {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    DrainLoop();
+    // Last worker out wakes the caller; the lock pairs with the caller's
+    // wait so the notification cannot be missed.
+    if (active_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::DrainLoop() {
+  for (;;) {
+    const size_t begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= n_) return;
+    const size_t end = std::min(n_, begin + chunk_);
+    for (size_t i = begin; i < end; ++i) (*body_)(i);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    n_ = n;
+    // ~4 chunks per thread amortizes counter contention while still
+    // balancing uneven iteration costs.
+    chunk_ = std::max<size_t>(1, n / (num_threads() * 4));
+    next_.store(0, std::memory_order_relaxed);
+    active_workers_.store(workers_.size(), std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  DrainLoop();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return active_workers_.load(std::memory_order_acquire) == 0;
+  });
+  body_ = nullptr;
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body) {
+  if (pool == nullptr || pool->num_threads() == 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  pool->ParallelFor(n, body);
+}
+
+}  // namespace orchestra

@@ -1,0 +1,75 @@
+#ifndef ORCHESTRA_COMMON_THREAD_POOL_H_
+#define ORCHESTRA_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace orchestra {
+
+/// A fixed-size pool of worker threads driving fork/join ParallelFor
+/// loops. Deliberately work-stealing-free: each loop shares one atomic
+/// iteration counter from which the calling thread and every worker
+/// claim contiguous chunks, so scheduling is simple and allocation-free
+/// on the hot path. The pool is intended for data-parallel phases whose
+/// iterations are independent and write only to disjoint, preallocated
+/// output slots — which is also what keeps parallel results bit-identical
+/// to serial ones.
+///
+/// One loop runs at a time per pool; ParallelFor must not be called
+/// re-entrantly from inside a loop body, and bodies must not throw.
+class ThreadPool {
+ public:
+  /// Creates `num_threads - 1` workers (the calling thread is the
+  /// remaining one). `num_threads <= 1` creates no workers at all and
+  /// every loop runs inline on the caller.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that participate in a loop (workers + caller).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs body(i) for every i in [0, n), blocking until all iterations
+  /// finish. Iterations are claimed in chunks, so the body must be safe
+  /// to run concurrently and must not depend on iteration order.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+  /// Claims chunks of the current loop until the counter is exhausted.
+  void DrainLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+
+  /// Current loop, guarded by mu_ for publication; read by workers after
+  /// they observe a new generation.
+  const std::function<void(size_t)>* body_ = nullptr;
+  size_t n_ = 0;
+  size_t chunk_ = 1;
+  std::atomic<size_t> next_{0};
+  std::atomic<size_t> active_workers_{0};
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Serial-or-parallel dispatch helper: a null pool (or a single-thread
+/// pool, or a trivial trip count) runs the plain serial loop on the
+/// calling thread — the exact serial code path — otherwise the loop is
+/// dispatched to the pool.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace orchestra
+
+#endif  // ORCHESTRA_COMMON_THREAD_POOL_H_

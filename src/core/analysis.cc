@@ -1,12 +1,60 @@
 #include "core/analysis.h"
 
-#include <map>
+#include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "core/extension.h"
 #include "core/flatten.h"
+#include "core/flatten_cache.h"
 
 namespace orchestra::core {
+
+namespace {
+
+/// The direct-conflict test for one candidate pair (i, j): the cheap
+/// full-extension conflict test, the Fig. 5 subsumption exemption, and
+/// the Definition 4 shared-antecedent refinement. Returns the conflict
+/// points (empty == no direct conflict). Pure function of the two
+/// transactions' extensions — safe to run concurrently for distinct
+/// pairs and to cache across rounds.
+std::vector<ConflictPoint> TestCandidatePair(
+    const db::Catalog& catalog, const TransactionProvider& provider,
+    const TrustedTxn& txn_i, const TrustedTxn& txn_j,
+    const std::vector<Update>& up_ex_i, const std::vector<Update>& up_ex_j) {
+  std::vector<ConflictPoint> points = SetsConflict(catalog, up_ex_i, up_ex_j);
+  if (points.empty()) return points;
+  // Fig. 5 FindConflicts line 4: a subsumed transaction never counts as
+  // conflicting with its subsumer.
+  if (Subsumes(txn_i.extension, txn_j.extension) ||
+      Subsumes(txn_j.extension, txn_i.extension)) {
+    return {};
+  }
+  // Definition 4 (direct conflict): interactions through *shared*
+  // antecedents do not count — compare the extensions with the shared
+  // transactions S removed. Only needed when the cheap full-extension
+  // test fired and the extensions overlap.
+  TxnIdSet shared;
+  {
+    TxnIdSet ext_i(txn_i.extension.begin(), txn_i.extension.end());
+    for (const TransactionId& id : txn_j.extension) {
+      if (ext_i.count(id) != 0) shared.insert(id);
+    }
+  }
+  if (!shared.empty()) {
+    auto flat_i =
+        Flatten(catalog, UpdateFootprint(provider, txn_i.extension, shared));
+    auto flat_j =
+        Flatten(catalog, UpdateFootprint(provider, txn_j.extension, shared));
+    if (flat_i.ok() && flat_j.ok()) {
+      points = SetsConflict(catalog, *flat_i, *flat_j);
+    }
+  }
+  return points;
+}
+
+}  // namespace
 
 ReconcileAnalysis::Pair MakeAnalysisPair(size_t i, size_t j,
                                          std::vector<ConflictPoint> points) {
@@ -20,17 +68,46 @@ ReconcileAnalysis::Pair MakeAnalysisPair(size_t i, size_t j,
 void FlattenExtensions(const db::Catalog& catalog,
                        const TransactionProvider& provider,
                        const std::vector<TrustedTxn>& txns,
-                       ReconcileAnalysis* analysis) {
+                       ReconcileAnalysis* analysis,
+                       const AnalysisOptions& options) {
   const size_t start = analysis->up_ex.size();
   analysis->up_ex.resize(txns.size());
   analysis->flatten_ok.resize(txns.size(), 0);
+
+  // Probe the cache on the calling thread; only misses do real work.
+  std::vector<size_t> misses;
+  misses.reserve(txns.size() - start);
+  std::vector<uint64_t> fingerprint;
+  if (options.cache != nullptr) fingerprint.resize(txns.size(), 0);
   for (size_t i = start; i < txns.size(); ++i) {
-    std::vector<Update> footprint =
-        UpdateFootprint(provider, txns[i].extension);
+    if (options.cache != nullptr) {
+      fingerprint[i] = FlattenCache::ExtensionFingerprint(txns[i].extension);
+      if (const FlattenCache::FlatEntry* hit =
+              options.cache->FindFlat(txns[i].id, fingerprint[i])) {
+        analysis->up_ex[i] = hit->up_ex;
+        analysis->flatten_ok[i] = hit->ok ? 1 : 0;
+        continue;
+      }
+    }
+    misses.push_back(i);
+  }
+
+  // Each miss writes only its own preallocated slot, so the parallel
+  // loop is race-free and its output identical to the serial loop's.
+  ParallelFor(options.pool, misses.size(), [&](size_t k) {
+    const size_t i = misses[k];
+    std::vector<Update> footprint = UpdateFootprint(provider, txns[i].extension);
     auto flat = Flatten(catalog, footprint);
     if (flat.ok()) {
       analysis->up_ex[i] = *std::move(flat);
       analysis->flatten_ok[i] = 1;
+    }
+  });
+
+  if (options.cache != nullptr) {
+    for (size_t i : misses) {
+      options.cache->PutFlat(txns[i].id, fingerprint[i], analysis->up_ex[i],
+                             analysis->flatten_ok[i] != 0);
     }
   }
 }
@@ -38,11 +115,13 @@ void FlattenExtensions(const db::Catalog& catalog,
 void FindExtensionConflicts(const db::Catalog& catalog,
                             const TransactionProvider& provider,
                             const std::vector<TrustedTxn>& txns,
-                            size_t first, ReconcileAnalysis* analysis) {
+                            size_t first, ReconcileAnalysis* analysis,
+                            const AnalysisOptions& options) {
   const size_t n = txns.size();
   // Candidate pairs share a touched key; bucket by key, then test each
   // candidate pair at most once.
   std::unordered_map<RelKey, std::vector<size_t>, RelKeyHash> buckets;
+  buckets.reserve(2 * n);
   for (size_t i = 0; i < n; ++i) {
     for (const Update& u : analysis->up_ex[i]) {
       const db::RelationSchema& schema =
@@ -53,57 +132,80 @@ void FindExtensionConflicts(const db::Catalog& catalog,
       }
     }
   }
-  std::map<std::pair<size_t, size_t>, bool> tested;
+
+  // Collect the deduplicated candidate pairs, then order them by (i, j)
+  // so that testing order, cache-fill order, and result order are all
+  // independent of hash-bucket iteration order and of thread count.
+  std::unordered_set<uint64_t> tested;
+  tested.reserve(8 * n);
+  std::vector<std::pair<size_t, size_t>> pairs;
   for (const auto& [key, bucket] : buckets) {
     for (size_t a = 0; a < bucket.size(); ++a) {
       for (size_t b = a + 1; b < bucket.size(); ++b) {
         const size_t i = std::min(bucket[a], bucket[b]);
         const size_t j = std::max(bucket[a], bucket[b]);
         if (i == j || j < first) continue;  // head×head pairs already done
-        if (!tested.emplace(std::make_pair(i, j), true).second) continue;
-        std::vector<ConflictPoint> points =
-            SetsConflict(catalog, analysis->up_ex[i], analysis->up_ex[j]);
-        if (points.empty()) continue;
-        // Fig. 5 FindConflicts line 4: a subsumed transaction never
-        // counts as conflicting with its subsumer.
-        if (Subsumes(txns[i].extension, txns[j].extension) ||
-            Subsumes(txns[j].extension, txns[i].extension)) {
-          continue;
-        }
-        // Definition 4 (direct conflict): interactions through *shared*
-        // antecedents do not count — compare the extensions with the
-        // shared transactions S removed. Only needed when the cheap
-        // full-extension test fired and the extensions overlap.
-        TxnIdSet shared;
-        {
-          TxnIdSet ext_i(txns[i].extension.begin(), txns[i].extension.end());
-          for (const TransactionId& id : txns[j].extension) {
-            if (ext_i.count(id) != 0) shared.insert(id);
-          }
-        }
-        if (!shared.empty()) {
-          auto flat_i = Flatten(
-              catalog, UpdateFootprint(provider, txns[i].extension, shared));
-          auto flat_j = Flatten(
-              catalog, UpdateFootprint(provider, txns[j].extension, shared));
-          if (flat_i.ok() && flat_j.ok()) {
-            points = SetsConflict(catalog, *flat_i, *flat_j);
-          }
-          if (points.empty()) continue;
-        }
-        analysis->conflicts.push_back(
-            MakeAnalysisPair(i, j, std::move(points)));
+        const uint64_t packed = (static_cast<uint64_t>(i) << 32) |
+                                static_cast<uint64_t>(j);
+        if (tested.insert(packed).second) pairs.emplace_back(i, j);
       }
     }
+  }
+  std::sort(pairs.begin(), pairs.end());
+
+  // Resolve from the cache where possible; test the rest in parallel.
+  // Every slot of `points` is written by exactly one task.
+  std::vector<std::vector<ConflictPoint>> points(pairs.size());
+  std::vector<uint8_t> cached(pairs.size(), 0);
+  std::vector<uint64_t> fingerprint;
+  if (options.cache != nullptr) {
+    fingerprint.resize(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      fingerprint[i] = FlattenCache::ExtensionFingerprint(txns[i].extension);
+    }
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      const auto [i, j] = pairs[p];
+      if (const FlattenCache::PairVerdict* hit = options.cache->FindPair(
+              txns[i].id, txns[j].id, fingerprint[i], fingerprint[j])) {
+        points[p] = hit->points;
+        cached[p] = 1;
+      }
+    }
+  }
+  ParallelFor(options.pool, pairs.size(), [&](size_t p) {
+    if (cached[p]) return;
+    const auto [i, j] = pairs[p];
+    points[p] = TestCandidatePair(catalog, provider, txns[i], txns[j],
+                                  analysis->up_ex[i], analysis->up_ex[j]);
+  });
+  if (options.cache != nullptr) {
+    for (size_t p = 0; p < pairs.size(); ++p) {
+      if (cached[p]) continue;
+      const auto [i, j] = pairs[p];
+      FlattenCache::PairVerdict verdict;
+      verdict.fp_a = fingerprint[i];
+      verdict.fp_b = fingerprint[j];
+      verdict.points = points[p];
+      options.cache->PutPair(txns[i].id, txns[j].id, std::move(verdict));
+    }
+  }
+
+  // Deterministic merge in (i, j) order.
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    if (points[p].empty()) continue;
+    analysis->conflicts.push_back(
+        MakeAnalysisPair(pairs[p].first, pairs[p].second,
+                         std::move(points[p])));
   }
 }
 
 ReconcileAnalysis AnalyzeExtensions(const db::Catalog& catalog,
                                     const TransactionProvider& provider,
-                                    const std::vector<TrustedTxn>& txns) {
+                                    const std::vector<TrustedTxn>& txns,
+                                    const AnalysisOptions& options) {
   ReconcileAnalysis analysis;
-  FlattenExtensions(catalog, provider, txns, &analysis);
-  FindExtensionConflicts(catalog, provider, txns, 0, &analysis);
+  FlattenExtensions(catalog, provider, txns, &analysis, options);
+  FindExtensionConflicts(catalog, provider, txns, 0, &analysis, options);
   return analysis;
 }
 

@@ -12,36 +12,38 @@
 namespace orchestra::core {
 
 Participant::Participant(ParticipantId id, const db::Catalog* catalog,
-                         TrustPolicy policy)
+                         TrustPolicy policy, ReconcileOptions options)
     : id_(id),
       catalog_(catalog),
       policy_(std::move(policy)),
       instance_(catalog),
-      reconciler_(catalog) {
+      reconciler_(catalog, options) {
   ORCH_CHECK(policy_.self() == id, "trust policy self id mismatch");
 }
 
 Result<std::unique_ptr<Participant>> Participant::RecoverFromStore(
     ParticipantId id, const db::Catalog* catalog, TrustPolicy policy,
-    UpdateStore* store) {
+    UpdateStore* store, ReconcileOptions options) {
   ORCH_ASSIGN_OR_RETURN(RecoveryBundle bundle,
                         store->FetchRecoveryState(id));
-  return FromBundle(id, catalog, std::move(policy), store, std::move(bundle));
+  return FromBundle(id, catalog, std::move(policy), store, std::move(bundle),
+                    options);
 }
 
 Result<std::unique_ptr<Participant>> Participant::BootstrapFrom(
     ParticipantId id, const db::Catalog* catalog, TrustPolicy policy,
-    UpdateStore* store, ParticipantId source_peer) {
+    UpdateStore* store, ParticipantId source_peer, ReconcileOptions options) {
   ORCH_ASSIGN_OR_RETURN(RecoveryBundle bundle,
                         store->Bootstrap(id, source_peer));
-  return FromBundle(id, catalog, std::move(policy), store, std::move(bundle));
+  return FromBundle(id, catalog, std::move(policy), store, std::move(bundle),
+                    options);
 }
 
 Result<std::unique_ptr<Participant>> Participant::FromBundle(
     ParticipantId id, const db::Catalog* catalog, TrustPolicy policy,
-    UpdateStore* store, RecoveryBundle bundle) {
+    UpdateStore* store, RecoveryBundle bundle, ReconcileOptions options) {
   auto participant =
-      std::make_unique<Participant>(id, catalog, std::move(policy));
+      std::make_unique<Participant>(id, catalog, std::move(policy), options);
 
   // Replay the applied transactions in publication order. Idempotent
   // application semantics make agreement duplicates harmless.
@@ -249,6 +251,10 @@ Result<ReconcileReport> Participant::RunAndCommit(
   input.txns = std::move(txns);
   input.provider = &txn_cache_;
   input.analysis = analysis;
+  // Client-centric runs recompute the analysis locally; give them the
+  // cross-round cache so unchanged deferred extensions are not
+  // re-flattened or re-tested (soft state, §5.2).
+  input.flatten_cache = &flatten_cache_;
   auto own_flat = Flatten(*catalog_, own_delta_);
   if (own_flat.ok()) {
     input.own_delta = *std::move(own_flat);
@@ -287,6 +293,11 @@ Result<ReconcileReport> Participant::RunAndCommit(
   deferred_ = std::move(new_deferred);
   dirty_ = std::move(outcome.dirty_values);
   conflict_groups_ = std::move(outcome.conflict_groups);
+  // Decided roots never come back as reconciliation inputs; drop their
+  // cached flattenings and pair verdicts so the cache tracks exactly the
+  // undecided backlog.
+  flatten_cache_.Invalidate(outcome.applied_txns);
+  flatten_cache_.Invalidate(outcome.rejected_roots);
   last_recno_ = recno;
   own_delta_.clear();
 
@@ -422,6 +433,9 @@ Result<ReconcileReport> Participant::ResolveConflict(
       deferred_.erase(id);
     }
   }
+  // The acceptance configuration changed: cached verdicts involving the
+  // rejected transactions are stale (and useless) — drop them.
+  flatten_cache_.Invalidate(losers);
   ORCH_RETURN_IF_ERROR(store->RecordDecisions(id_, last_recno_, {}, losers));
 
   // Re-run reconciliation over the remaining deferred transactions (the

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "db/instance.h"
 #include "core/decision.h"
+#include "core/flatten_cache.h"
 #include "core/reconciler.h"
 #include "core/transaction.h"
 #include "core/trust.h"
@@ -44,9 +45,10 @@ struct ReconcileReport {
 class Participant {
  public:
   /// The catalog must outlive the participant. The trust policy's self
-  /// id must equal `id`.
+  /// id must equal `id`. `options` configures the reconciliation engine
+  /// (thread count; see ReconcileOptions).
   Participant(ParticipantId id, const db::Catalog* catalog,
-              TrustPolicy policy);
+              TrustPolicy policy, ReconcileOptions options = {});
 
   /// Reconstructs a participant that lost all of its local state from
   /// the update store (§5.2: the client holds only soft state). The
@@ -57,7 +59,7 @@ class Participant {
   /// executed but never published are genuinely lost.
   static Result<std::unique_ptr<Participant>> RecoverFromStore(
       ParticipantId id, const db::Catalog* catalog, TrustPolicy policy,
-      UpdateStore* store);
+      UpdateStore* store, ReconcileOptions options = {});
 
   /// Bootstraps a brand-new participant from `source_peer`'s published
   /// state (§1: a fresh local instance populated with downloaded data).
@@ -68,7 +70,8 @@ class Participant {
   /// forward normally.
   static Result<std::unique_ptr<Participant>> BootstrapFrom(
       ParticipantId id, const db::Catalog* catalog, TrustPolicy policy,
-      UpdateStore* store, ParticipantId source_peer);
+      UpdateStore* store, ParticipantId source_peer,
+      ReconcileOptions options = {});
 
   ParticipantId id() const { return id_; }
   const db::Instance& instance() const { return instance_; }
@@ -135,7 +138,7 @@ class Participant {
   /// bundle's applied history and re-reconciles its undecided backlog.
   static Result<std::unique_ptr<Participant>> FromBundle(
       ParticipantId id, const db::Catalog* catalog, TrustPolicy policy,
-      UpdateStore* store, RecoveryBundle bundle);
+      UpdateStore* store, RecoveryBundle bundle, ReconcileOptions options);
 
   /// Runs the reconciler over `txns` and folds the outcome into the
   /// participant state; records decisions with the store.
@@ -170,6 +173,13 @@ class Participant {
   std::map<TransactionId, DeferredInfo> deferred_;
   RelKeySet dirty_;
   std::vector<ConflictGroup> conflict_groups_;
+  /// Cross-round cache of flattened extensions and pair-conflict
+  /// verdicts for the undecided backlog (soft state, §5.2 — the paper's
+  /// rationale for keeping soft state between runs). Entries whose roots
+  /// are decided (applied or rejected) are invalidated after every run;
+  /// reconsidered deferred transactions whose extensions changed miss
+  /// via fingerprint validation.
+  FlattenCache flatten_cache_;
   int64_t last_recno_ = 0;
 
   /// (relation, key) -> last published transaction that wrote the tuple;

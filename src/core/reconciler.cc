@@ -7,11 +7,23 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/analysis.h"
 #include "core/apply.h"
 #include "core/flatten.h"
 
 namespace orchestra::core {
+
+Reconciler::Reconciler(const db::Catalog* catalog, ReconcileOptions options)
+    : catalog_(catalog), options_(options) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+Reconciler::~Reconciler() = default;
+Reconciler::Reconciler(Reconciler&&) noexcept = default;
+Reconciler& Reconciler::operator=(Reconciler&&) noexcept = default;
 
 namespace {
 
@@ -104,32 +116,38 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
   ReconcileAnalysis local_analysis;
   const ReconcileAnalysis* analysis = input.analysis;
   if (analysis == nullptr) {
-    local_analysis = AnalyzeExtensions(*catalog_, *input.provider, input.txns);
+    AnalysisOptions aopts;
+    aopts.pool = pool_.get();
+    aopts.cache = input.flatten_cache;
+    local_analysis =
+        AnalyzeExtensions(*catalog_, *input.provider, input.txns, aopts);
     analysis = &local_analysis;
   }
   ORCH_CHECK(analysis->up_ex.size() == n && analysis->flatten_ok.size() == n,
              "analysis does not cover the input transactions");
   const std::vector<std::vector<Update>>& up_ex = analysis->up_ex;
 
+  // Each transaction's state check is independent of every other's (it
+  // reads only the immutable instance, the input sets, and its own
+  // flattened extension) and writes its own decision slot, so the loop
+  // parallelizes with bit-identical results.
   std::vector<Decision> decision(n, Decision::kUndecided);
-  for (size_t i = 0; i < n; ++i) {
+  ParallelFor(pool_.get(), n, [&](size_t i) {
     if (!analysis->flatten_ok[i]) {
       // An internally inconsistent extension can never be applied.
       decision[i] = Decision::kReject;
-      continue;
+      return;
     }
     decision[i] =
         CheckState(*catalog_, *instance, input, input.txns[i], up_ex[i]);
-  }
+  });
 
   std::vector<std::vector<size_t>> conflicts(n);
-  std::map<std::pair<size_t, size_t>, std::vector<ConflictPoint>> pair_points;
   for (const ReconcileAnalysis::Pair& pair : analysis->conflicts) {
     ORCH_CHECK(pair.i < n && pair.j < n);
     if (pair.points.empty()) continue;
     conflicts[pair.i].push_back(pair.j);
     conflicts[pair.j].push_back(pair.i);
-    pair_points[{pair.i, pair.j}] = pair.points;
   }
 
   // --- Phase 3 (Fig. 4 lines 10-12): DoGroup by decreasing priority. ---
@@ -164,15 +182,14 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
                                }),
                 group.end());
     // Equal-priority conflicts defer both sides (certain-answers model).
-    for (size_t gi = 0; gi < group.size(); ++gi) {
-      for (size_t gj = gi + 1; gj < group.size(); ++gj) {
-        const size_t i = std::min(group[gi], group[gj]);
-        const size_t j = std::max(group[gi], group[gj]);
-        auto it = pair_points.find({i, j});
-        if (it != pair_points.end() && !it->second.empty()) {
-          decision[i] = Decision::kDefer;
-          decision[j] = Decision::kDefer;
-        }
+    // Walk the conflict adjacency instead of all group pairs: only
+    // edges with recorded conflict points can defer anyone.
+    for (size_t t : group) {
+      for (size_t c : conflicts[t]) {
+        if (input.txns[c].priority != prio) continue;
+        if (decision[c] == Decision::kReject) continue;
+        decision[t] = Decision::kDefer;
+        decision[c] = Decision::kDefer;
       }
     }
   }
@@ -214,16 +231,15 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
   for (size_t i = 0; i < n; ++i) {
     if (decision[i] == Decision::kAccept) accepted.push_back(i);
   }
+  // One provider lookup per accepted transaction, not per comparison.
+  std::vector<Epoch> epoch_of(n, kNoEpoch);
+  for (size_t i : accepted) {
+    if (auto t = input.provider->Get(input.txns[i].id); t.ok()) {
+      epoch_of[i] = (*t)->epoch;
+    }
+  }
   std::sort(accepted.begin(), accepted.end(), [&](size_t a, size_t b) {
-    Epoch ea = kNoEpoch;
-    Epoch eb = kNoEpoch;
-    if (auto t = input.provider->Get(input.txns[a].id); t.ok()) {
-      ea = (*t)->epoch;
-    }
-    if (auto t = input.provider->Get(input.txns[b].id); t.ok()) {
-      eb = (*t)->epoch;
-    }
-    if (ea != eb) return ea < eb;
+    if (epoch_of[a] != epoch_of[b]) return epoch_of[a] < epoch_of[b];
     return input.txns[a].id < input.txns[b].id;
   });
   TxnIdSet used;
@@ -296,15 +312,17 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
         ORCH_CHECK(false, "transaction left undecided");
     }
   }
-  for (const auto& [pair, points] : pair_points) {
-    if (points.empty()) continue;
-    if (decision[pair.first] != Decision::kDefer ||
-        decision[pair.second] != Decision::kDefer) {
+  // analysis->conflicts is sorted by (i, j), matching the iteration
+  // order of the std::map this loop previously walked.
+  for (const ReconcileAnalysis::Pair& pair : analysis->conflicts) {
+    if (pair.points.empty()) continue;
+    if (decision[pair.i] != Decision::kDefer ||
+        decision[pair.j] != Decision::kDefer) {
       continue;
     }
-    for (const ConflictPoint& point : points) {
+    for (const ConflictPoint& point : pair.points) {
       auto& members = group_members[point];
-      for (size_t idx : {pair.first, pair.second}) {
+      for (size_t idx : {pair.i, pair.j}) {
         if (std::find(members.begin(), members.end(), idx) == members.end()) {
           members.push_back(idx);
         }

@@ -1,6 +1,7 @@
 #ifndef ORCHESTRA_CORE_RECONCILER_H_
 #define ORCHESTRA_CORE_RECONCILER_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -9,9 +10,14 @@
 #include "core/extension.h"
 #include "core/transaction.h"
 
+namespace orchestra {
+class ThreadPool;  // common/thread_pool.h
+}
+
 namespace orchestra::core {
 
 struct ReconcileAnalysis;  // core/analysis.h
+class FlattenCache;        // core/flatten_cache.h
 
 /// One fully trusted, undecided transaction as presented to the
 /// reconciliation algorithm: its id, the priority pri_i assigned by the
@@ -57,6 +63,11 @@ struct ReconcileInput {
   /// core/analysis.h). When null, the reconciler computes it locally —
   /// the client-centric mode of §5.1.
   const ReconcileAnalysis* analysis = nullptr;
+  /// Optional cross-round cache of flattened extensions and pair
+  /// verdicts (participant soft state; see core/flatten_cache.h). Used
+  /// only when the reconciler computes the analysis itself. The cache is
+  /// read and filled during Run; the caller owns invalidation.
+  FlattenCache* flatten_cache = nullptr;
 };
 
 /// Outcome of one ReconcileUpdates run.
@@ -75,6 +86,17 @@ struct ReconcileOutcome {
   std::vector<ConflictGroup> conflict_groups;
 };
 
+/// Execution knobs for the reconciliation engine.
+struct ReconcileOptions {
+  /// Threads used for the data-parallel phases (flattening, candidate
+  /// pair testing, per-transaction CheckState). 1 — the default — takes
+  /// the exact serial path: no pool is created and every loop runs
+  /// inline on the calling thread. Parallel runs produce bit-identical
+  /// outcomes to serial runs (the determinism contract; see
+  /// docs/ARCHITECTURE.md).
+  size_t num_threads = 1;
+};
+
 /// The client-centric reconciliation algorithm of §5.1 (Figs. 4-5):
 /// flatten update extensions, check state, find pairwise conflicts
 /// (exempting subsumption), decide greedily by descending priority
@@ -82,10 +104,16 @@ struct ReconcileOutcome {
 /// extensions in publication order, and rebuild deferral soft state.
 ///
 /// The class is stateless across runs; all persistent and soft state is
-/// owned by the caller (see Participant) and passed in explicitly.
+/// owned by the caller (see Participant) and passed in explicitly. The
+/// thread pool (when num_threads > 1) is the only resource the
+/// reconciler itself owns.
 class Reconciler {
  public:
-  explicit Reconciler(const db::Catalog* catalog) : catalog_(catalog) {}
+  explicit Reconciler(const db::Catalog* catalog,
+                      ReconcileOptions options = {});
+  ~Reconciler();
+  Reconciler(Reconciler&&) noexcept;
+  Reconciler& operator=(Reconciler&&) noexcept;
 
   /// Runs one reconciliation against `instance`, mutating it with the
   /// accepted updates. Fails only on internal errors (e.g. an extension
@@ -94,8 +122,13 @@ class Reconciler {
   Result<ReconcileOutcome> Run(const ReconcileInput& input,
                                db::Instance* instance) const;
 
+  const ReconcileOptions& options() const { return options_; }
+
  private:
   const db::Catalog* catalog_;
+  ReconcileOptions options_;
+  /// Null when num_threads <= 1 (the serial path).
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace orchestra::core

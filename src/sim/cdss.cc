@@ -56,7 +56,8 @@ Result<std::unique_ptr<Cdss>> Cdss::Make(CdssConfig config) {
   for (size_t i = 0; i < cfg.participants; ++i) {
     const ParticipantId id = static_cast<ParticipantId>(i);
     cdss->participants_.push_back(std::make_unique<core::Participant>(
-        id, &cdss->catalog_, *cdss->policies_[i]));
+        id, &cdss->catalog_, *cdss->policies_[i],
+        core::ReconcileOptions{cfg.num_threads}));
     ORCH_RETURN_IF_ERROR(
         cdss->store_->RegisterParticipant(id, cdss->policies_[i].get()));
   }

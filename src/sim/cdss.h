@@ -55,6 +55,11 @@ struct CdssConfig {
   int trust_priority = 1;
   /// Trust topology; kUniform reproduces the paper's experiments.
   TrustTopology topology = TrustTopology::kUniform;
+  /// Threads each participant's reconciliation engine uses for the
+  /// data-parallel phases (flatten / conflict testing / CheckState).
+  /// 1 is the exact serial path; any value produces identical decisions
+  /// and instances (the determinism contract).
+  size_t num_threads = 1;
   uint64_t seed = 42;
   workload::WorkloadConfig workload;
   net::NetworkConfig network;
