@@ -9,6 +9,13 @@
 // BENCH_micro_reconcile.json (override the path with the
 // ORCH_BENCH_JSON env var), so the perf trajectory is machine-readable
 // across PRs.
+//
+// Setting ORCH_FAULT_SWEEP=1 switches the binary into a fault-sweep
+// mode instead: a full 25-peer confederation runs against both stores
+// with message/storage faults injected at several seeds, each faulted
+// run is compared field-by-field against the fault-free baseline, and
+// the outcome is written to BENCH_fault_sweep.json (override with
+// ORCH_FAULT_SWEEP_JSON).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -20,6 +27,7 @@
 
 #include "common/clock.h"
 #include "core/append_only.h"
+#include "sim/cdss.h"
 #include "core/conflict.h"
 #include "core/flatten.h"
 #include "core/flatten_cache.h"
@@ -400,6 +408,130 @@ void RunReconcileStudy() {
   std::printf("micro_reconcile study written to %s\n", path);
 }
 
+// --- Fault sweep (ORCH_FAULT_SWEEP=1). ---
+//
+// For each store kind, one fault-free baseline run, then one faulted
+// run per seed with a 1% failure probability on every store-side
+// side-effecting operation. The crash-consistency claim under test:
+// every faulted run finishes without an Internal error and converges to
+// exactly the baseline's decisions and state ratio, with retries and
+// the stuck-epoch reaper absorbing the losses.
+
+sim::CdssConfig SweepConfig(sim::StoreKind store) {
+  sim::CdssConfig cfg;
+  cfg.participants = 25;
+  cfg.store = store;
+  cfg.rounds = 4;
+  cfg.txns_between_recons = 2;
+  return cfg;
+}
+
+bool RunFaultSweep() {
+  const char* flag = std::getenv("ORCH_FAULT_SWEEP");
+  if (flag == nullptr || flag[0] == '\0' || flag[0] == '0') return false;
+
+  struct Row {
+    std::string store;
+    uint64_t seed;  // 0 = fault-free baseline
+    bool ok = false;
+    bool matches_baseline = false;
+    std::string error;
+    sim::CdssResult result;
+  };
+  const uint64_t kSeeds[] = {1, 2, 3};
+  std::vector<Row> rows;
+  bool all_ok = true;
+
+  for (sim::StoreKind kind : {sim::StoreKind::kCentral, sim::StoreKind::kDht}) {
+    const char* store_name =
+        kind == sim::StoreKind::kCentral ? "central" : "dht";
+    auto run = [&](uint64_t fault_seed) -> Row {
+      Row row;
+      row.store = store_name;
+      row.seed = fault_seed;
+      sim::CdssConfig cfg = SweepConfig(kind);
+      if (fault_seed != 0) {
+        cfg.fault.failure_probability = 0.01;
+        cfg.fault.seed = fault_seed;
+      }
+      auto cdss = sim::Cdss::Make(cfg);
+      if (!cdss.ok()) {
+        row.error = cdss.status().ToString();
+        return row;
+      }
+      auto result = (*cdss)->Run();
+      if (!result.ok()) {
+        row.error = result.status().ToString();
+        return row;
+      }
+      row.ok = true;
+      row.result = *result;
+      return row;
+    };
+
+    const Row baseline = run(0);
+    rows.push_back(baseline);
+    all_ok = all_ok && baseline.ok;
+    for (uint64_t seed : kSeeds) {
+      Row row = run(seed);
+      if (row.ok && baseline.ok) {
+        row.matches_baseline =
+            row.result.accepted == baseline.result.accepted &&
+            row.result.rejected == baseline.result.rejected &&
+            row.result.deferred == baseline.result.deferred &&
+            row.result.transactions_published ==
+                baseline.result.transactions_published &&
+            row.result.state_ratio == baseline.result.state_ratio;
+      }
+      all_ok = all_ok && row.ok && row.matches_baseline;
+      std::printf(
+          "fault sweep %-7s seed %llu: %s, %lld faults, %lld retried ops, "
+          "%s baseline\n",
+          store_name, static_cast<unsigned long long>(seed),
+          row.ok ? "completed" : row.error.c_str(),
+          static_cast<long long>(row.result.faults_injected),
+          static_cast<long long>(row.result.retried_operations),
+          row.matches_baseline ? "matches" : "DIVERGES FROM");
+      rows.push_back(std::move(row));
+    }
+  }
+
+  const char* path = std::getenv("ORCH_FAULT_SWEEP_JSON");
+  if (path == nullptr) path = "BENCH_fault_sweep.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return true;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fault_sweep\",\n");
+  std::fprintf(f, "  \"failure_probability\": 0.01,\n");
+  std::fprintf(f, "  \"all_runs_match_baseline\": %s,\n",
+               all_ok ? "true" : "false");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"store\": \"%s\", \"seed\": %llu, \"completed\": %s, "
+        "\"faults_injected\": %lld, \"retried_operations\": %lld, "
+        "\"backoff_micros\": %lld, \"accepted\": %zu, \"deferred\": %zu, "
+        "\"state_ratio\": %.6f, \"matches_baseline\": %s}%s\n",
+        r.store.c_str(), static_cast<unsigned long long>(r.seed),
+        r.ok ? "true" : "false",
+        static_cast<long long>(r.result.faults_injected),
+        static_cast<long long>(r.result.retried_operations),
+        static_cast<long long>(r.result.backoff_micros), r.result.accepted,
+        r.result.deferred, r.result.state_ratio,
+        r.seed == 0 ? "true" : (r.matches_baseline ? "true" : "false"),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("fault sweep written to %s (%s)\n", path,
+              all_ok ? "all runs match baseline" : "DIVERGENCE DETECTED");
+  return true;
+}
+
 // The same workload as a google-benchmark, parameterized by threads, so
 // `--benchmark_filter=ReconcileStudy` tracks scaling interactively.
 void BM_ReconcileStudy(benchmark::State& state) {
@@ -418,6 +550,7 @@ BENCHMARK(BM_ReconcileStudy)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (RunFaultSweep()) return 0;
   RunReconcileStudy();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

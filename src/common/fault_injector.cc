@@ -1,0 +1,90 @@
+#include "common/fault_injector.h"
+
+namespace orchestra {
+
+FaultInjector::FaultInjector(FaultInjectorConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  enabled_ =
+      config_.failure_probability > 0.0 || config_.fail_at_call > 0;
+}
+
+void FaultInjector::Configure(FaultInjectorConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = std::move(config);
+  rng_ = Rng(config_.seed);
+  enabled_ =
+      config_.failure_probability > 0.0 || config_.fail_at_call > 0;
+  tripped_ = false;
+  calls_ = 0;
+  injected_ = 0;
+}
+
+Status FaultInjector::MaybeFail(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) return Status::OK();
+  if (!config_.site_prefix.empty() &&
+      site.substr(0, config_.site_prefix.size()) != config_.site_prefix) {
+    return Status::OK();
+  }
+  const int64_t call = ++calls_;
+  bool fail = tripped_;
+  if (!fail && config_.fail_at_call > 0 && call == config_.fail_at_call) {
+    fail = true;
+  }
+  // Draw even when the call already failed via fail_at_call so the
+  // random stream stays aligned with the call sequence.
+  if (config_.failure_probability > 0.0 &&
+      rng_.NextBool(config_.failure_probability)) {
+    fail = true;
+  }
+  if (!fail) return Status::OK();
+  if (config_.sticky) tripped_ = true;
+  ++injected_;
+  return Status::Unavailable("injected fault at " + std::string(site) +
+                             " (call #" + std::to_string(call) + ")");
+}
+
+void FaultInjector::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = false;
+}
+
+void FaultInjector::Enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ =
+      config_.failure_probability > 0.0 || config_.fail_at_call > 0;
+}
+
+bool FaultInjector::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+int64_t FaultInjector::calls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return calls_;
+}
+
+int64_t FaultInjector::injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+bool FaultInjector::tripped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tripped_;
+}
+
+FaultInjector::ScopedDisable::ScopedDisable(FaultInjector* injector)
+    : injector_(injector) {
+  if (injector_ != nullptr) {
+    was_enabled_ = injector_->enabled();
+    injector_->Disable();
+  }
+}
+
+FaultInjector::ScopedDisable::~ScopedDisable() {
+  if (injector_ != nullptr && was_enabled_) injector_->Enable();
+}
+
+}  // namespace orchestra

@@ -1,0 +1,105 @@
+#ifndef ORCHESTRA_COMMON_FAULT_INJECTOR_H_
+#define ORCHESTRA_COMMON_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace orchestra {
+
+/// Configuration for deterministic fault injection. Faults are injected
+/// at named *sites* — narrow choke points the storage engine, the
+/// simulated network, and the update stores thread their side-effecting
+/// operations through ("storage.put", "storage.sync", "net.send", ...).
+/// Two triggers compose:
+///   - `failure_probability`: each matching call fails independently with
+///     this probability, drawn from a seeded xoshiro256** stream so a
+///     given (seed, call sequence) always fails at the same calls;
+///   - `fail_at_call`: the Nth matching call (1-based) fails
+///     unconditionally — precise placement for crash-point tests.
+/// `sticky` turns the first injected fault into a permanent outage:
+/// every later call fails too, which models a crashed process (whose
+/// rollback/abort code never runs) rather than a transient fault.
+struct FaultInjectorConfig {
+  /// Per-call failure probability in [0, 1]; 0 disables the random trigger.
+  double failure_probability = 0.0;
+  /// Seed for the random trigger's PRNG stream.
+  uint64_t seed = 0;
+  /// Fail exactly the Nth matching call (1-based); 0 disables.
+  int64_t fail_at_call = 0;
+  /// After the first injected fault, fail every subsequent call.
+  bool sticky = false;
+  /// Only calls whose site name starts with this prefix are eligible
+  /// (empty = every site).
+  std::string site_prefix;
+};
+
+/// Deterministic, seeded fault injector. Thread-safe: the reconciliation
+/// engine may run store-adjacent work on a pool, and a shared injector
+/// must hand out a single well-defined fault sequence regardless.
+/// Components hold a nullable pointer and skip the injector entirely
+/// when absent, so the fault-free hot path costs nothing.
+class FaultInjector {
+ public:
+  FaultInjector() : rng_(0) {}
+  explicit FaultInjector(FaultInjectorConfig config);
+
+  /// Replaces the configuration and resets all counters and the sticky
+  /// trip, restarting the PRNG stream from the new seed. (The injector
+  /// itself is pinned in place by its mutex; components hold pointers to
+  /// it, so reconfigure rather than replace.)
+  void Configure(FaultInjectorConfig config);
+
+  /// Returns OK, or an Unavailable status carrying the site and call
+  /// number if a fault fires here. Counts every matching call.
+  Status MaybeFail(std::string_view site);
+
+  /// Stops all injection (and re-arms it); used by tests to "repair" the
+  /// simulated outage and by abort/rollback paths that must run to
+  /// completion once entered.
+  void Disable();
+  void Enable();
+  bool enabled() const;
+
+  /// Total matching calls observed / faults injected so far.
+  int64_t calls() const;
+  int64_t injected() const;
+
+  /// True once a sticky fault has fired: the simulated process is dead.
+  /// Rollback paths check this and skip cleanup entirely — a crashed
+  /// process does not get to run its abort code.
+  bool tripped() const;
+
+  /// RAII guard that suppresses injection for its scope. Store rollback
+  /// paths use it: an *aborting* publisher is still a live process whose
+  /// cleanup writes succeed; the crashed-process case (cleanup never
+  /// runs) is modeled with `sticky` instead.
+  class ScopedDisable {
+   public:
+    explicit ScopedDisable(FaultInjector* injector);
+    ~ScopedDisable();
+    ScopedDisable(const ScopedDisable&) = delete;
+    ScopedDisable& operator=(const ScopedDisable&) = delete;
+
+   private:
+    FaultInjector* injector_;
+    bool was_enabled_ = false;
+  };
+
+ private:
+  mutable std::mutex mu_;
+  FaultInjectorConfig config_;
+  Rng rng_;
+  bool enabled_ = false;
+  bool tripped_ = false;  // a sticky fault has fired
+  int64_t calls_ = 0;
+  int64_t injected_ = 0;
+};
+
+}  // namespace orchestra
+
+#endif  // ORCHESTRA_COMMON_FAULT_INJECTOR_H_

@@ -216,10 +216,22 @@ Result<ReconcileReport> Participant::Reconcile(UpdateStore* store) {
   std::vector<TrustedTxn> txns;
   txns.reserve(fetch.trusted.size() + deferred_.size());
   size_t fetched = 0;
+  // Transactions the store resent although this participant already
+  // decided them: the store lost (never received) the decision — a crash
+  // between applying and recording. Re-record them this round.
+  std::vector<TransactionId> catch_up_applied;
+  std::vector<TransactionId> catch_up_rejected;
   for (const auto& [txn_id, priority] : fetch.trusted) {
-    if (applied_.count(txn_id) != 0 || rejected_.count(txn_id) != 0 ||
-        deferred_.count(txn_id) != 0) {
-      continue;  // the store should not resend these; be defensive
+    if (applied_.count(txn_id) != 0) {
+      catch_up_applied.push_back(txn_id);
+      continue;
+    }
+    if (rejected_.count(txn_id) != 0) {
+      catch_up_rejected.push_back(txn_id);
+      continue;
+    }
+    if (deferred_.count(txn_id) != 0) {
+      continue;  // still undecided here too; ReconsiderDeferred covers it
     }
     TrustedTxn t;
     t.id = txn_id;
@@ -237,7 +249,8 @@ Result<ReconcileReport> Participant::Reconcile(UpdateStore* store) {
   ORCH_ASSIGN_OR_RETURN(
       ReconcileReport report,
       RunAndCommit(store, fetch.recno, fetch.epoch, std::move(txns), fetched,
-                   n_reconsidered, &local));
+                   n_reconsidered, &local, /*analysis=*/nullptr,
+                   catch_up_applied, catch_up_rejected));
   report.store = store->StatsFor(id_) - before;
   return report;
 }
@@ -245,7 +258,9 @@ Result<ReconcileReport> Participant::Reconcile(UpdateStore* store) {
 Result<ReconcileReport> Participant::RunAndCommit(
     UpdateStore* store, int64_t recno, Epoch epoch,
     std::vector<TrustedTxn> txns, size_t fetched, size_t reconsidered,
-    Stopwatch* local, const ReconcileAnalysis* analysis) {
+    Stopwatch* local, const ReconcileAnalysis* analysis,
+    const std::vector<TransactionId>& catch_up_applied,
+    const std::vector<TransactionId>& catch_up_rejected) {
   ReconcileInput input;
   input.recno = recno;
   input.txns = std::move(txns);
@@ -304,8 +319,48 @@ Result<ReconcileReport> Participant::RunAndCommit(
   // The local clock covers only client-side computation; decision
   // recording is store work and is timed by the store itself.
   const int64_t local_micros = local == nullptr ? 0 : local->ElapsedMicros();
-  ORCH_RETURN_IF_ERROR(store->RecordDecisions(
-      id_, recno, outcome.applied_txns, outcome.rejected_roots));
+
+  // Record this round's decisions plus any catch-up and any decisions a
+  // previous round failed to record (deduplicated — recording twice is
+  // harmless but wasteful). The common case has neither; it must not
+  // pay for copies or a dedup set.
+  const std::vector<TransactionId>* to_apply = &outcome.applied_txns;
+  const std::vector<TransactionId>* to_reject = &outcome.rejected_roots;
+  std::vector<TransactionId> record_applied;
+  std::vector<TransactionId> record_rejected;
+  if (!catch_up_applied.empty() || !catch_up_rejected.empty() ||
+      !unrecorded_applied_.empty() || !unrecorded_rejected_.empty()) {
+    record_applied = outcome.applied_txns;
+    record_rejected = outcome.rejected_roots;
+    TxnIdSet seen(record_applied.begin(), record_applied.end());
+    seen.insert(record_rejected.begin(), record_rejected.end());
+    auto merge = [&seen](std::vector<TransactionId>* dst,
+                         const std::vector<TransactionId>& src) {
+      for (const TransactionId& id : src) {
+        if (seen.insert(id).second) dst->push_back(id);
+      }
+    };
+    merge(&record_applied, catch_up_applied);
+    merge(&record_applied, unrecorded_applied_);
+    merge(&record_rejected, catch_up_rejected);
+    merge(&record_rejected, unrecorded_rejected_);
+    to_apply = &record_applied;
+    to_reject = &record_rejected;
+  }
+  const Status recorded =
+      store->RecordDecisions(id_, recno, *to_apply, *to_reject);
+  if (recorded.ok()) {
+    unrecorded_applied_.clear();
+    unrecorded_rejected_.clear();
+  } else if (recorded.code() == StatusCode::kUnavailable) {
+    // Transient loss. Local state is already consistent, so the round
+    // still succeeds; stash the decisions and re-send them with the
+    // next recording instead of unwinding (or re-running) the round.
+    unrecorded_applied_ = *to_apply;
+    unrecorded_rejected_ = *to_reject;
+  } else {
+    return recorded;
+  }
 
   ReconcileReport report;
   report.local_micros = local_micros;
@@ -369,16 +424,32 @@ Result<ReconcileReport> Participant::ReconcileNetworkCentric(
   for (Transaction& txn : fetch.base.transactions) {
     txn_cache_.Put(std::move(txn));
   }
-  // Defensive: if the store resent something we already know, the
-  // shipped analysis indices no longer line up — recompute locally.
+  // If the store resent something we already know, the shipped analysis
+  // indices no longer line up — drop those entries and recompute
+  // locally. Resent *decided* transactions mean the store lost the
+  // decision; re-record them this round.
   bool analysis_valid = true;
-  for (const TrustedTxn& t : fetch.trusted_txns) {
-    if (applied_.count(t.id) != 0 || rejected_.count(t.id) != 0 ||
-        deferred_.count(t.id) != 0) {
+  std::vector<TrustedTxn> txns;
+  txns.reserve(fetch.trusted_txns.size() + deferred_.size());
+  std::vector<TransactionId> catch_up_applied;
+  std::vector<TransactionId> catch_up_rejected;
+  for (TrustedTxn& t : fetch.trusted_txns) {
+    if (applied_.count(t.id) != 0) {
       analysis_valid = false;
+      catch_up_applied.push_back(t.id);
+      continue;
     }
+    if (rejected_.count(t.id) != 0) {
+      analysis_valid = false;
+      catch_up_rejected.push_back(t.id);
+      continue;
+    }
+    if (deferred_.count(t.id) != 0) {
+      analysis_valid = false;  // ReconsiderDeferred covers it
+      continue;
+    }
+    txns.push_back(std::move(t));
   }
-  std::vector<TrustedTxn> txns = std::move(fetch.trusted_txns);
   const size_t fetched = txns.size();
   ORCH_ASSIGN_OR_RETURN(std::vector<TrustedTxn> reconsidered,
                         ReconsiderDeferred());
@@ -400,9 +471,58 @@ Result<ReconcileReport> Participant::ReconcileNetworkCentric(
   ORCH_ASSIGN_OR_RETURN(
       ReconcileReport report,
       RunAndCommit(store, fetch.base.recno, fetch.base.epoch, std::move(txns),
-                   fetched, n_reconsidered, &local, analysis_ptr));
+                   fetched, n_reconsidered, &local, analysis_ptr,
+                   catch_up_applied, catch_up_rejected));
   report.store = store->StatsFor(id_) - before;
   return report;
+}
+
+namespace {
+
+/// Runs `op` up to retry.max_attempts times, retrying only Unavailable
+/// (transient) failures. Backoff is accumulated into `stats`, never
+/// slept: the simulation charges it as time without paying it.
+template <typename Op>
+auto RetryUnavailable(const ReconcileRetryOptions& retry, RetryStats* stats,
+                      Op&& op) -> decltype(op()) {
+  int64_t backoff = retry.initial_backoff_micros;
+  for (int attempt = 1;; ++attempt) {
+    auto result = op();
+    if (stats != nullptr) stats->attempts = attempt;
+    if (result.ok() ||
+        result.status().code() != StatusCode::kUnavailable ||
+        attempt >= retry.max_attempts) {
+      return result;
+    }
+    if (stats != nullptr) stats->backoff_micros += backoff;
+    backoff = static_cast<int64_t>(static_cast<double>(backoff) *
+                                   retry.backoff_multiplier);
+  }
+}
+
+}  // namespace
+
+Result<Epoch> Participant::PublishWithRetry(UpdateStore* store,
+                                            const ReconcileRetryOptions& retry,
+                                            RetryStats* stats) {
+  // Publish keeps the queue on failure and the store stages the epoch,
+  // so each attempt starts from a clean slate.
+  return RetryUnavailable(retry, stats,
+                          [&]() { return Publish(store); });
+}
+
+Result<ReconcileReport> Participant::ReconcileWithRetry(
+    UpdateStore* store, const ReconcileRetryOptions& retry,
+    RetryStats* stats) {
+  return RetryUnavailable(retry, stats,
+                          [&]() { return Reconcile(store); });
+}
+
+Result<ReconcileReport> Participant::ReconcileNetworkCentricWithRetry(
+    UpdateStore* store, const ReconcileRetryOptions& retry,
+    RetryStats* stats) {
+  return RetryUnavailable(retry, stats,
+                          [&]() { return ReconcileNetworkCentric(store); });
 }
 
 Result<ReconcileReport> Participant::PublishAndReconcile(UpdateStore* store) {
@@ -436,17 +556,19 @@ Result<ReconcileReport> Participant::ResolveConflict(
   // The acceptance configuration changed: cached verdicts involving the
   // rejected transactions are stale (and useless) — drop them.
   flatten_cache_.Invalidate(losers);
-  ORCH_RETURN_IF_ERROR(store->RecordDecisions(id_, last_recno_, {}, losers));
 
   // Re-run reconciliation over the remaining deferred transactions (the
-  // chosen option plus everything else still pending).
+  // chosen option plus everything else still pending). The losers ride
+  // along with that run's decision recording as catch-up rejections, so
+  // the store sees one consolidated RecordDecisions call.
   const StoreStats before = store->StatsFor(id_);
   Stopwatch local;
   ORCH_ASSIGN_OR_RETURN(std::vector<TrustedTxn> txns, ReconsiderDeferred());
   ORCH_ASSIGN_OR_RETURN(
       ReconcileReport report,
       RunAndCommit(store, last_recno_, kNoEpoch, std::move(txns), 0,
-                   deferred_.size(), &local));
+                   deferred_.size(), &local, /*analysis=*/nullptr,
+                   /*catch_up_applied=*/{}, /*catch_up_rejected=*/losers));
   report.store = store->StatsFor(id_) - before;
   return report;
 }

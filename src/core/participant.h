@@ -36,6 +36,24 @@ struct ReconcileReport {
   int64_t local_micros = 0;
 };
 
+/// Retry policy for store operations that fail with a *transient* error
+/// (Unavailable — a lost message or injected fault). Other codes are
+/// never retried: they are answers, not outages. Backoff grows
+/// exponentially and is accounted as simulated time, not slept, so
+/// faulted simulations stay fast and deterministic.
+struct ReconcileRetryOptions {
+  /// Total attempts including the first; 1 disables retrying.
+  int max_attempts = 8;
+  int64_t initial_backoff_micros = 1000;
+  double backoff_multiplier = 2.0;
+};
+
+/// What a retried operation actually did.
+struct RetryStats {
+  int attempts = 0;              // attempts made, including the last
+  int64_t backoff_micros = 0;    // simulated backoff accumulated
+};
+
 /// One CDSS participant p_i: a local database instance, a trust policy,
 /// a publish queue, and the soft state required by the client-centric
 /// reconciliation algorithm (transaction cache, deferred set, dirty
@@ -94,6 +112,25 @@ class Participant {
   /// Publish followed by Reconcile (the common combined step, §3).
   Result<ReconcileReport> PublishAndReconcile(UpdateStore* store);
 
+  /// Retry wrappers: run the underlying operation, retrying only
+  /// Unavailable failures with exponential backoff (see
+  /// ReconcileRetryOptions). Safe because every store operation is
+  /// either staged (a failed attempt leaves no visible state) or
+  /// idempotent (re-recording a decision overwrites it with itself);
+  /// catch-up re-recording in Reconcile covers the one gap — a crash
+  /// after applying but before recording, which makes the store resend
+  /// already-decided transactions. `stats`, when non-null, reports the
+  /// attempts made and the simulated backoff accumulated.
+  Result<Epoch> PublishWithRetry(UpdateStore* store,
+                                 const ReconcileRetryOptions& retry,
+                                 RetryStats* stats = nullptr);
+  Result<ReconcileReport> ReconcileWithRetry(
+      UpdateStore* store, const ReconcileRetryOptions& retry,
+      RetryStats* stats = nullptr);
+  Result<ReconcileReport> ReconcileNetworkCentricWithRetry(
+      UpdateStore* store, const ReconcileRetryOptions& retry,
+      RetryStats* stats = nullptr);
+
   /// Network-centric reconciliation (§5, Fig. 3): the store computes the
   /// transaction extensions, flattening, and conflict detection; the
   /// client merges its deferred backlog and runs only the decision
@@ -141,14 +178,16 @@ class Participant {
       UpdateStore* store, RecoveryBundle bundle, ReconcileOptions options);
 
   /// Runs the reconciler over `txns` and folds the outcome into the
-  /// participant state; records decisions with the store.
-  Result<ReconcileReport> RunAndCommit(UpdateStore* store, int64_t recno,
-                                       Epoch epoch,
-                                       std::vector<TrustedTxn> txns,
-                                       size_t fetched, size_t reconsidered,
-                                       Stopwatch* local,
-                                       const ReconcileAnalysis* analysis =
-                                           nullptr);
+  /// participant state; records decisions with the store. The catch-up
+  /// lists are decisions the participant already made but the store
+  /// evidently lost (it resent the transactions as undecided); they ride
+  /// along in the same RecordDecisions call.
+  Result<ReconcileReport> RunAndCommit(
+      UpdateStore* store, int64_t recno, Epoch epoch,
+      std::vector<TrustedTxn> txns, size_t fetched, size_t reconsidered,
+      Stopwatch* local, const ReconcileAnalysis* analysis = nullptr,
+      const std::vector<TransactionId>& catch_up_applied = {},
+      const std::vector<TransactionId>& catch_up_rejected = {});
 
   /// Applies the version-map effects of applied transactions, in
   /// publication order, so future antecedent computation is correct.
@@ -181,6 +220,12 @@ class Participant {
   /// via fingerprint validation.
   FlattenCache flatten_cache_;
   int64_t last_recno_ = 0;
+  /// Decisions already folded into local state whose store recording
+  /// failed transiently. They ride along with the next RecordDecisions
+  /// call — recording is idempotent and keyed by transaction, so the
+  /// participant never has to unwind local state over a lost ack.
+  std::vector<TransactionId> unrecorded_applied_;
+  std::vector<TransactionId> unrecorded_rejected_;
 
   /// (relation, key) -> last published transaction that wrote the tuple;
   /// drives antecedent computation for deletes and modifies.

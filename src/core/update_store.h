@@ -70,6 +70,11 @@ struct ReconcileFetch {
 struct RecoveryBundle {
   int64_t recno = 0;
   Epoch epoch = kNoEpoch;  // the peer's reconciliation watermark
+  /// Last reconciliation whose decisions were recorded in full. When
+  /// this trails `recno`, the peer crashed between fetching
+  /// reconciliation `recno` and recording its outcome; the store's
+  /// decision log is complete only through `last_decided_recno`.
+  int64_t last_decided_recno = 0;
   std::vector<Transaction> applied;
   std::vector<TransactionId> rejected;
   std::vector<std::pair<TransactionId, int>> undecided;

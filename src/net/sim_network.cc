@@ -14,6 +14,12 @@ int64_t SimNetwork::Charge(uint32_t endpoint, int64_t hops, int64_t bytes) {
   return micros;
 }
 
+Status SimNetwork::TryCharge(uint32_t endpoint, int64_t hops, int64_t bytes) {
+  Charge(endpoint, hops, bytes);
+  if (injector_ == nullptr) return Status::OK();
+  return injector_->MaybeFail("net.send");
+}
+
 NetStats SimNetwork::StatsFor(uint32_t endpoint) const {
   auto it = per_endpoint_.find(endpoint);
   return it == per_endpoint_.end() ? NetStats{} : it->second;

@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/fault_injector.h"
+#include "common/status.h"
+
 namespace orchestra::net {
 
 /// Deterministic network cost model. The paper's experiments add a delay
@@ -50,6 +53,18 @@ class SimNetwork {
   /// `endpoint` and returns the charged simulated time.
   int64_t Charge(uint32_t endpoint, int64_t hops, int64_t bytes);
 
+  /// Like Charge, but the message can be lost: when a fault injector is
+  /// installed it is consulted once per call and may return Unavailable.
+  /// The transmission is charged either way — a lost message still
+  /// consumed the wire. Callers on failable protocol paths use this;
+  /// pure cost-accounting paths keep using Charge.
+  Status TryCharge(uint32_t endpoint, int64_t hops, int64_t bytes);
+
+  /// Installs (or clears) a fault injector for TryCharge. Must outlive
+  /// the network or be cleared first.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   NetStats StatsFor(uint32_t endpoint) const;
   const NetStats& global() const { return global_; }
 
@@ -62,6 +77,7 @@ class SimNetwork {
   NetworkConfig config_;
   std::unordered_map<uint32_t, NetStats> per_endpoint_;
   NetStats global_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace orchestra::net

@@ -18,18 +18,29 @@ Result<std::unique_ptr<Cdss>> Cdss::Make(CdssConfig config) {
 
   ORCH_ASSIGN_OR_RETURN(cdss->catalog_, workload::MakeSwissProtCatalog());
   cdss->network_ = net::SimNetwork(cfg.network);
+  cdss->fault_injector_.Configure(cfg.fault);
 
+  // The injector is threaded through whichever layer carries the store's
+  // side effects: the storage engine for the central store, the
+  // simulated network for the DHT's protocol messages.
   switch (cfg.store) {
-    case StoreKind::kCentral:
+    case StoreKind::kCentral: {
       cdss->engine_ = storage::StorageEngine::InMemory();
+      cdss->engine_->set_fault_injector(&cdss->fault_injector_);
+      store::CentralStoreOptions opts;
+      opts.stuck_epoch_reap_threshold = cfg.stuck_epoch_reap_threshold;
       cdss->store_ = std::make_unique<store::CentralStore>(
-          cdss->engine_.get(), &cdss->network_, store::CentralStoreOptions{},
-          &cdss->catalog_);
+          cdss->engine_.get(), &cdss->network_, opts, &cdss->catalog_);
       break;
-    case StoreKind::kDht:
+    }
+    case StoreKind::kDht: {
+      cdss->network_.set_fault_injector(&cdss->fault_injector_);
+      store::DhtStoreOptions opts;
+      opts.stuck_epoch_reap_threshold = cfg.stuck_epoch_reap_threshold;
       cdss->store_ = std::make_unique<store::DhtStore>(
-          cfg.participants, &cdss->network_, &cdss->catalog_);
+          cfg.participants, &cdss->network_, &cdss->catalog_, opts);
       break;
+    }
   }
 
   // Trust topology (kUniform reproduces §6's equal mutual trust).
@@ -83,12 +94,26 @@ Result<core::ReconcileReport> Cdss::StepParticipant(size_t index) {
     }
     ++running_.transactions_published;
   }
-  ORCH_RETURN_IF_ERROR(p.Publish(store_.get()).status());
-  auto report_result = config_.network_centric
-                           ? p.ReconcileNetworkCentric(store_.get())
-                           : p.Reconcile(store_.get());
+  // Publish and reconcile through the retry layer: injected transient
+  // faults surface as Unavailable and are absorbed here, with the
+  // exponential backoff charged as simulated time.
+  core::RetryStats publish_retry;
+  ORCH_RETURN_IF_ERROR(
+      p.PublishWithRetry(store_.get(), config_.retry, &publish_retry)
+          .status());
+  core::RetryStats reconcile_retry;
+  auto report_result =
+      config_.network_centric
+          ? p.ReconcileNetworkCentricWithRetry(store_.get(), config_.retry,
+                                               &reconcile_retry)
+          : p.ReconcileWithRetry(store_.get(), config_.retry,
+                                 &reconcile_retry);
   ORCH_ASSIGN_OR_RETURN(core::ReconcileReport report,
                         std::move(report_result));
+  running_.retried_operations += (publish_retry.attempts > 1 ? 1 : 0) +
+                                 (reconcile_retry.attempts > 1 ? 1 : 0);
+  running_.backoff_micros +=
+      publish_retry.backoff_micros + reconcile_retry.backoff_micros;
   ++running_.reconciliations;
   running_.accepted += report.accepted.size();
   running_.rejected += report.rejected.size();
@@ -116,6 +141,7 @@ Result<CdssResult> Cdss::Run() {
     result.avg_store_micros /= static_cast<double>(result.reconciliations);
   }
   result.state_ratio = CurrentStateRatio();
+  result.faults_injected = fault_injector_.injected();
   core::StoreStats totals;
   for (const auto& p : participants_) {
     totals = totals + store_->StatsFor(p->id());

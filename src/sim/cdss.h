@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/result.h"
 #include "core/participant.h"
 #include "core/update_store.h"
@@ -63,6 +64,16 @@ struct CdssConfig {
   uint64_t seed = 42;
   workload::WorkloadConfig workload;
   net::NetworkConfig network;
+  /// Fault injection over the store's side-effecting operations (storage
+  /// writes for the central store, protocol messages for the DHT).
+  /// Disabled by default (failure_probability 0 and fail_at_call 0).
+  FaultInjectorConfig fault;
+  /// Retry policy participants use when the store reports a transient
+  /// (Unavailable) failure — an injected fault or a reaped epoch.
+  core::ReconcileRetryOptions retry;
+  /// Stuck-epoch reaping threshold passed to the store (see
+  /// CentralStoreOptions / DhtStoreOptions).
+  int stuck_epoch_reap_threshold = 3;
 };
 
 /// Aggregated results of a run.
@@ -73,6 +84,11 @@ struct CdssResult {
   size_t accepted = 0;
   size_t rejected = 0;
   size_t deferred = 0;
+  /// Fault-tolerance accounting: injected faults observed, operations
+  /// that needed more than one attempt, and total simulated backoff.
+  int64_t faults_injected = 0;
+  int64_t retried_operations = 0;
+  int64_t backoff_micros = 0;
   /// Mean per-reconciliation times (microseconds).
   double avg_local_micros = 0;
   double avg_store_micros = 0;
@@ -105,6 +121,9 @@ class Cdss {
   size_t participant_count() const { return participants_.size(); }
   core::UpdateStore& store() { return *store_; }
   const CdssConfig& config() const { return config_; }
+  /// The fault injector threaded through the store (always present;
+  /// inert when the config disables injection).
+  FaultInjector& fault_injector() { return fault_injector_; }
 
   /// Current state ratio over the Function relation.
   double CurrentStateRatio() const;
@@ -115,6 +134,7 @@ class Cdss {
   CdssConfig config_;
   db::Catalog catalog_;
   net::SimNetwork network_;
+  FaultInjector fault_injector_;
   std::unique_ptr<storage::StorageEngine> engine_;
   std::unique_ptr<core::UpdateStore> store_;
   std::vector<std::unique_ptr<core::TrustPolicy>> policies_;

@@ -85,6 +85,9 @@ Status StorageEngine::LogDelete(std::string_view table, std::string_view key) {
 
 Status StorageEngine::Put(std::string_view table, std::string_view key,
                           std::string_view value) {
+  if (injector_ != nullptr) {
+    ORCH_RETURN_IF_ERROR(injector_->MaybeFail("storage.put"));
+  }
   ORCH_RETURN_IF_ERROR(LogPut(table, key, value));
   tables_[std::string(table)][std::string(key)] = std::string(value);
   return Status::OK();
@@ -112,6 +115,9 @@ bool StorageEngine::Contains(std::string_view table,
 }
 
 Status StorageEngine::Delete(std::string_view table, std::string_view key) {
+  if (injector_ != nullptr) {
+    ORCH_RETURN_IF_ERROR(injector_->MaybeFail("storage.delete"));
+  }
   ORCH_RETURN_IF_ERROR(LogDelete(table, key));
   auto table_it = tables_.find(table);
   if (table_it != tables_.end()) table_it->second.erase(std::string(key));
@@ -150,6 +156,9 @@ size_t StorageEngine::TableSize(std::string_view table) const {
 }
 
 Result<int64_t> StorageEngine::NextSequence(std::string_view name) {
+  if (injector_ != nullptr) {
+    ORCH_RETURN_IF_ERROR(injector_->MaybeFail("storage.sequence"));
+  }
   const int64_t next = sequences_[std::string(name)] + 1;
   if (wal_ != nullptr) {
     std::string payload;
@@ -168,6 +177,9 @@ int64_t StorageEngine::CurrentSequence(std::string_view name) const {
 }
 
 Status StorageEngine::Sync() {
+  if (injector_ != nullptr) {
+    ORCH_RETURN_IF_ERROR(injector_->MaybeFail("storage.sync"));
+  }
   if (wal_ == nullptr) return Status::OK();
   return wal_->Sync();
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injector.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/wal.h"
@@ -69,6 +70,14 @@ class StorageEngine {
 
   bool durable() const { return wal_ != nullptr; }
 
+  /// Installs (or clears, with nullptr) a fault injector consulted before
+  /// every mutating operation (Put, Delete, NextSequence, Sync). Reads
+  /// are never failed: the update stores' consistency obligations concern
+  /// what they *wrote*, and read faults only re-exercise the same retry
+  /// paths. The injector must outlive the engine or be cleared first.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
  private:
   StorageEngine() = default;
 
@@ -81,6 +90,7 @@ class StorageEngine {
   std::map<std::string, Table, std::less<>> tables_;
   std::map<std::string, int64_t, std::less<>> sequences_;
   std::unique_ptr<WriteAheadLog> wal_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace orchestra::storage

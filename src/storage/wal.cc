@@ -4,6 +4,11 @@
 #include <cstring>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define ORCH_WAL_HAS_FSYNC 1
+#endif
+
 #include "db/serde.h"
 
 namespace orchestra::storage {
@@ -64,9 +69,17 @@ Status WriteAheadLog::Append(uint8_t type, std::string_view payload) {
 }
 
 Status WriteAheadLog::Sync() {
+  // fflush only moves stdio-buffered bytes into the OS page cache; the
+  // durability claim ("decisions survive a crash once Sync returns")
+  // additionally needs fsync to push them to stable storage.
   if (std::fflush(file_) != 0) {
     return Status::IOError("fflush failed on WAL " + path_);
   }
+#ifdef ORCH_WAL_HAS_FSYNC
+  if (fsync(fileno(file_)) != 0) {
+    return Status::IOError("fsync failed on WAL " + path_);
+  }
+#endif
   return Status::OK();
 }
 

@@ -69,34 +69,94 @@ bool CentralStore::IsApplied(ParticipantId peer,
   return value.ok() && *value == "A";
 }
 
+bool CentralStore::EpochCommitted(const std::string& epoch_key) const {
+  auto state = engine_->Get("epochs", epoch_key);
+  return state.ok() && *state == "done";
+}
+
+bool CentralStore::IsCommittedTxn(const std::string& txn_key) const {
+  auto blob = engine_->Get("txn", txn_key);
+  if (!blob.ok()) return false;
+  size_t pos = 0;
+  auto txn = core::DecodeTransaction(*blob, &pos);
+  // An unreadable row is treated as present: refusing the republish is
+  // safer than silently overwriting data we cannot interpret.
+  if (!txn.ok()) return true;
+  return EpochCommitted(EpochKey(txn->epoch));
+}
+
+void CentralStore::AbortPublish(Epoch epoch,
+                                const std::vector<StagedRow>& staged) {
+  // A sticky fault means the publishing process crashed: its cleanup
+  // never runs, and the epoch stays "open" until the reaper gets it. A
+  // transient fault leaves a live process whose cleanup writes are not
+  // themselves subject to injection.
+  FaultInjector* injector = engine_->fault_injector();
+  if (injector != nullptr && injector->tripped()) return;
+  FaultInjector::ScopedDisable guard(injector);
+  for (const StagedRow& row : staged) {
+    (void)engine_->Delete(row.table, row.key);
+  }
+  (void)engine_->Put("epochs", EpochKey(epoch), "aborted");
+  (void)engine_->Sync();
+}
+
 Result<Epoch> CentralStore::Publish(ParticipantId peer,
                                     std::vector<Transaction> txns) {
   Stopwatch cpu;
-  // Allocate the publication epoch (the SQL sequence of §5.2.1) and mark
-  // it open so concurrent reconcilers exclude it until we finish.
+  // Allocate the publication epoch (the SQL sequence of §5.2.1). A
+  // failure past this point burns the number; gaps in the epoch sequence
+  // are harmless because reconcilers scan the epochs *table*.
   ORCH_ASSIGN_OR_RETURN(int64_t epoch, engine_->NextSequence("epoch"));
-  ORCH_RETURN_IF_ERROR(engine_->Put("epochs", EpochKey(epoch), "open"));
 
+  // Stage: validate the whole batch and encode every row before anything
+  // is written. A duplicate transaction id — within the batch or against
+  // a committed epoch — must leave no trace in the store, or a single
+  // bad publish would freeze the stable watermark for every peer.
   int64_t bytes = 0;
   const std::string dec_table = "dec:" + std::to_string(peer);
+  std::vector<StagedRow> staged;
+  staged.reserve(txns.size() * 3);
+  TxnIdSet batch_ids;
   for (Transaction& txn : txns) {
     txn.epoch = epoch;
-    std::string blob;
-    core::EncodeTransaction(&blob, txn);
-    bytes += static_cast<int64_t>(blob.size());
     const std::string key = TxnKey(txn.id);
-    if (engine_->Contains("txn", key)) {
+    if (!batch_ids.insert(txn.id).second || IsCommittedTxn(key)) {
       return Status::AlreadyExists("transaction " + txn.id.ToString() +
                                    " already published");
     }
-    ORCH_RETURN_IF_ERROR(engine_->Put("txn", key, blob));
-    ORCH_RETURN_IF_ERROR(
-        engine_->Put("epoch_txns", EpochKey(epoch) + ":" + key, ""));
+    std::string blob;
+    core::EncodeTransaction(&blob, txn);
+    bytes += static_cast<int64_t>(blob.size());
+    staged.push_back({"txn", key, std::move(blob)});
+    staged.push_back({"epoch_txns", EpochKey(epoch) + ":" + key, ""});
     // The publisher has, by definition, already accepted its own work.
-    ORCH_RETURN_IF_ERROR(engine_->Put(dec_table, key, "A"));
+    staged.push_back({dec_table, key, "A"});
   }
-  ORCH_RETURN_IF_ERROR(engine_->Put("epochs", EpochKey(epoch), "done"));
-  ORCH_RETURN_IF_ERROR(engine_->Sync());
+
+  // Commit: open the epoch, land the staged rows, flip to "done", sync.
+  // The "done" flip is the commit point — until it lands, no scan can
+  // observe any of the staged rows.
+  const Status commit = [&]() -> Status {
+    ORCH_RETURN_IF_ERROR(engine_->Put("epochs", EpochKey(epoch), "open"));
+    for (const StagedRow& row : staged) {
+      ORCH_RETURN_IF_ERROR(engine_->Put(row.table, row.key, row.value));
+    }
+    // The stuck-epoch reaper may have aborted the epoch under a slow
+    // publisher; an aborted epoch can never commit (peers have already
+    // advanced their watermark past it).
+    auto state = engine_->Get("epochs", EpochKey(epoch));
+    if (!state.ok() || *state != "open") {
+      return Status::Unavailable("epoch " + std::to_string(epoch) +
+                                 " was aborted before commit; republish");
+    }
+    ORCH_RETURN_IF_ERROR(engine_->Put("epochs", EpochKey(epoch), "done"));
+    return engine_->Sync();
+  }();
+  if (!commit.ok()) {
+    AbortPublish(epoch, staged);
+    return commit;
+  }
 
   // One begin-publish round trip, the batch upload, one finish round
   // trip (§5.2.1 records publish start and finish separately).
@@ -119,31 +179,50 @@ Result<ReconcileFetch> CentralStore::BeginReconciliation(ParticipantId peer) {
   ORCH_ASSIGN_OR_RETURN(fetch.recno,
                         engine_->NextSequence("recno:" + std::to_string(peer)));
 
-  // Latest stable epoch: largest epoch not preceded by an open one.
+  // Latest stable epoch: largest epoch not preceded by an *open* one.
+  // Aborted epochs are empty (their rows are filtered below), so the
+  // watermark passes straight over them. An epoch observed open by
+  // `stuck_epoch_reap_threshold` scans belongs to a crashed publisher:
+  // reap it to "aborted" rather than blocking every peer forever.
   ORCH_ASSIGN_OR_RETURN(std::string last_epoch_key,
                         engine_->Get("peers", std::to_string(peer)));
   Epoch stable = 0;
   for (const auto& [key, state] : engine_->ScanRange("epochs", "", "")) {
-    if (state != "done") break;
-    stable = std::strtoll(key.c_str(), nullptr, 10);
+    const Epoch e = std::strtoll(key.c_str(), nullptr, 10);
+    if (state == "done") {
+      stable = e;
+      continue;
+    }
+    if (state == "aborted") continue;
+    const int strikes = ++epoch_strikes_[e];
+    if (strikes >= options_.stuck_epoch_reap_threshold &&
+        engine_->Put("epochs", key, "aborted").ok()) {
+      epoch_strikes_.erase(e);
+      continue;
+    }
+    break;  // still open: the stable window ends just before it
   }
   fetch.epoch = stable;
   const Epoch prev = std::strtoll(last_epoch_key.c_str(), nullptr, 10);
 
-  // Record the reconciliation and advance the peer's epoch watermark
-  // immediately (releasing the conceptual epochs-table lock, §5.2.1).
-  ORCH_RETURN_IF_ERROR(engine_->Put("recons:" + std::to_string(peer),
-                                    EpochKey(fetch.recno), EpochKey(stable)));
-  ORCH_RETURN_IF_ERROR(
-      engine_->Put("peers", std::to_string(peer), EpochKey(stable)));
-
-  // Relevant transactions: everything published in (prev, stable].
+  // Relevant transactions: everything published in (prev, stable] whose
+  // epoch committed. Rows under open/aborted epochs in the window are
+  // residue of unfinished publishes and must stay invisible.
+  std::unordered_map<std::string, bool> committed_cache;
+  auto epoch_committed = [&](const std::string& epoch_key) {
+    auto it = committed_cache.find(epoch_key);
+    if (it == committed_cache.end()) {
+      it = committed_cache.emplace(epoch_key, EpochCommitted(epoch_key)).first;
+    }
+    return it->second;
+  };
   std::vector<Transaction> relevant;
   for (const auto& [key, unused] :
        engine_->ScanRange("epoch_txns", EpochKey(prev + 1),
                           EpochKey(stable + 1))) {
     (void)unused;
     const size_t sep = key.find(':');
+    if (!epoch_committed(key.substr(0, sep))) continue;
     const std::string txn_key = key.substr(sep + 1);
     ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", txn_key));
     size_t pos = 0;
@@ -180,6 +259,14 @@ Result<ReconcileFetch> CentralStore::BeginReconciliation(ParticipantId peer) {
     fetch.transactions.push_back(std::move(txn));
   }
 
+  // Record the reconciliation and advance the peer's epoch watermark
+  // only now that the fetch is assembled: a failure anywhere above must
+  // not move the watermark, or the window (prev, stable] would be lost.
+  ORCH_RETURN_IF_ERROR(engine_->Put("recons:" + std::to_string(peer),
+                                    EpochKey(fetch.recno), EpochKey(stable)));
+  ORCH_RETURN_IF_ERROR(
+      engine_->Put("peers", std::to_string(peer), EpochKey(stable)));
+
   int64_t bytes = 0;
   for (const Transaction& txn : fetch.transactions) {
     bytes += static_cast<int64_t>(core::EncodedTransactionSize(txn));
@@ -195,15 +282,24 @@ Status CentralStore::RecordDecisions(
     ParticipantId peer, int64_t recno,
     const std::vector<TransactionId>& applied,
     const std::vector<TransactionId>& rejected) {
-  (void)recno;
   Stopwatch cpu;
   const std::string dec_table = "dec:" + std::to_string(peer);
+  const std::string log_table = "declog:" + std::to_string(peer);
   for (const TransactionId& id : applied) {
     ORCH_RETURN_IF_ERROR(engine_->Put(dec_table, TxnKey(id), "A"));
+    ORCH_RETURN_IF_ERROR(
+        engine_->Put(log_table, EpochKey(recno) + ":" + TxnKey(id), "A"));
   }
   for (const TransactionId& id : rejected) {
     ORCH_RETURN_IF_ERROR(engine_->Put(dec_table, TxnKey(id), "R"));
+    ORCH_RETURN_IF_ERROR(
+        engine_->Put(log_table, EpochKey(recno) + ":" + TxnKey(id), "R"));
   }
+  // Written last: this marker is the witness that reconciliation `recno`
+  // recorded all of its decisions. Recovery compares it against the
+  // recno sequence to detect an interrupted reconciliation.
+  ORCH_RETURN_IF_ERROR(engine_->Put("decmeta:" + std::to_string(peer),
+                                    "last_recno", EpochKey(recno)));
   ORCH_RETURN_IF_ERROR(engine_->Sync());
   const int64_t bytes =
       static_cast<int64_t>((applied.size() + rejected.size()) * 16);
@@ -227,6 +323,13 @@ Result<core::RecoveryBundle> CentralStore::FetchRecoveryState(
   ORCH_ASSIGN_OR_RETURN(std::string watermark,
                         engine_->Get("peers", std::to_string(peer)));
   bundle.epoch = std::strtoll(watermark.c_str(), nullptr, 10);
+  // Last reconciliation whose decisions were recorded in full. A value
+  // below bundle.recno means the peer crashed between fetching a
+  // reconciliation and recording its outcome.
+  auto last_recno = engine_->Get("decmeta:" + std::to_string(peer),
+                                 "last_recno");
+  bundle.last_decided_recno =
+      last_recno.ok() ? std::strtoll(last_recno->c_str(), nullptr, 10) : 0;
 
   // Recorded decisions.
   int64_t bytes = 0;
@@ -257,7 +360,9 @@ Result<core::RecoveryBundle> CentralStore::FetchRecoveryState(
        engine_->ScanRange("epoch_txns", EpochKey(1),
                           EpochKey(bundle.epoch + 1))) {
     (void)unused;
-    const std::string txn_key = key.substr(key.find(':') + 1);
+    const size_t sep = key.find(':');
+    if (!EpochCommitted(key.substr(0, sep))) continue;
+    const std::string txn_key = key.substr(sep + 1);
     ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", txn_key));
     size_t pos = 0;
     ORCH_ASSIGN_OR_RETURN(Transaction txn, core::DecodeTransaction(blob, &pos));
@@ -383,7 +488,9 @@ Result<core::RecoveryBundle> CentralStore::Bootstrap(
        engine_->ScanRange("epoch_txns", EpochKey(1),
                           EpochKey(bundle.epoch + 1))) {
     (void)unused;
-    const std::string txn_key = key.substr(key.find(':') + 1);
+    const size_t sep = key.find(':');
+    if (!EpochCommitted(key.substr(0, sep))) continue;
+    const std::string txn_key = key.substr(sep + 1);
     ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", txn_key));
     size_t pos = 0;
     ORCH_ASSIGN_OR_RETURN(Transaction txn, core::DecodeTransaction(blob, &pos));

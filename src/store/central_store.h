@@ -22,12 +22,23 @@ namespace orchestra::store {
 ///
 /// Engine layout (all keys are order-preserving encodings):
 ///   txn        txn-key -> encoded Transaction
-///   epochs     epoch   -> "open"/"done"
+///   epochs     epoch   -> "open"/"done"/"aborted"
 ///   epoch_txns epoch:txn-key -> ""
 ///   dec:<p>    txn-key -> "A" | "R"     (peer p's recorded decisions)
+///   declog:<p> recno:txn-key -> "A"|"R" (decisions keyed by recno, §5.2.1)
+///   decmeta:<p> "last_recno" -> recno   (last *fully* recorded recno)
 ///   recons:<p> recno -> epoch           (peer p's reconciliation log)
 ///   peers      peer -> last reconciliation epoch
 /// Sequences: "epoch", "recno:<p>".
+///
+/// Publishing is stage-then-commit: the whole batch is validated and
+/// encoded before any row is written, rows land while the epoch is
+/// "open", and the epoch flips to "done" (the commit point) only after
+/// every row and the WAL sync succeeded. Any failure aborts the epoch;
+/// rows under non-"done" epochs are invisible to every scan, and an
+/// epoch stuck "open" (publisher crashed mid-rollback) is reaped to
+/// "aborted" after `stuck_epoch_reap_threshold` observations so it
+/// cannot freeze the stable watermark.
 /// Cost model for the parts of the paper's RDBMS server that our
 /// embedded engine does not reproduce (SQL parse/plan, lock manager,
 /// group commit, ODBC marshalling). Charged as simulated store-side CPU
@@ -36,6 +47,12 @@ namespace orchestra::store {
 /// small reconciliation intervals (Fig. 10) — matches the paper's setup.
 struct CentralStoreOptions {
   int64_t procedure_overhead_micros = 25000;
+  /// Stuck-epoch reaping: an epoch still "open" after this many
+  /// reconciliation scans have observed it is marked "aborted" so it
+  /// stops blocking the stable watermark (a crashed publisher must not
+  /// freeze every peer forever). Committed ("done") epochs are never
+  /// touched; an aborted epoch can never commit.
+  int stuck_epoch_reap_threshold = 3;
 };
 
 class CentralStore : public core::UpdateStore,
@@ -73,6 +90,13 @@ class CentralStore : public core::UpdateStore,
   size_t TransactionCount() const;
 
  private:
+  /// One buffered write of a staged (not yet committed) publish.
+  struct StagedRow {
+    std::string table;
+    std::string key;
+    std::string value;
+  };
+
   /// Order-preserving key for a transaction.
   static std::string TxnKey(const core::TransactionId& id);
   static std::string EpochKey(core::Epoch epoch);
@@ -82,11 +106,26 @@ class CentralStore : public core::UpdateStore,
                    const core::TransactionId& id) const;
   bool IsApplied(core::ParticipantId peer, const core::TransactionId& id) const;
 
+  /// True when `epoch_key`'s epoch committed ("done"). Rows under open or
+  /// aborted epochs are residue of unfinished publishes and invisible to
+  /// every scan.
+  bool EpochCommitted(const std::string& epoch_key) const;
+  /// True when the transaction exists under a *committed* epoch. A row
+  /// left behind by an aborted publish does not count: the publisher
+  /// must be able to republish it.
+  bool IsCommittedTxn(const std::string& txn_key) const;
+  /// Best-effort rollback of a failed publish: deletes the staged rows
+  /// and marks the epoch "aborted". Failures are swallowed — a stale
+  /// "open" epoch is eventually reaped, and scans filter its rows.
+  void AbortPublish(core::Epoch epoch, const std::vector<StagedRow>& staged);
+
   storage::StorageEngine* engine_;
   net::SimNetwork* network_;
   CentralStoreOptions options_;
   const db::Catalog* catalog_;
   std::unordered_map<core::ParticipantId, const core::TrustPolicy*> policies_;
+  /// Soft state: open-epoch observation counts driving the reaper.
+  std::unordered_map<core::Epoch, int> epoch_strikes_;
   mutable std::unordered_map<core::ParticipantId, int64_t> cpu_micros_;
   mutable std::unordered_map<core::ParticipantId, int64_t> calls_;
 };

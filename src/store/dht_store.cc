@@ -16,8 +16,9 @@ using core::TransactionId;
 using core::TxnIdSet;
 
 DhtStore::DhtStore(size_t nodes, net::SimNetwork* network,
-                   const db::Catalog* catalog)
-    : ring_(nodes), network_(network), catalog_(catalog), nodes_(nodes) {
+                   const db::Catalog* catalog, DhtStoreOptions options)
+    : ring_(nodes), network_(network), catalog_(catalog), options_(options),
+      nodes_(nodes) {
   ORCH_CHECK(network != nullptr);
 }
 
@@ -32,12 +33,81 @@ void DhtStore::DirectSend(ParticipantId peer, int64_t bytes) {
   network_->Charge(peer, 1, bytes);
 }
 
+namespace {
+// A DHT protocol operation is made of many messages, so per-message
+// loss must be absorbed per message — retransmitting, and paying for
+// the retransmission — the way a reliable transport would. Otherwise
+// an operation with N messages fails with probability ~1-(1-p)^N and
+// no operation-level retry budget can keep up. Sticky faults (crashed
+// links/nodes) exhaust the budget and surface to the caller.
+constexpr int kMaxTransmits = 5;
+}  // namespace
+
+Result<size_t> DhtStore::TryRoutedSend(ParticipantId peer, size_t from_node,
+                                       net::NodeId key, int64_t bytes) {
+  const net::RouteResult route = ring_.Route(from_node, key);
+  if (route.hops > 0) {
+    Status sent;
+    for (int attempt = 0; attempt < kMaxTransmits; ++attempt) {
+      sent = network_->TryCharge(peer, route.hops, bytes);
+      if (sent.ok()) break;
+    }
+    ORCH_RETURN_IF_ERROR(sent);
+  }
+  return route.owner;
+}
+
+Status DhtStore::TryDirectSend(ParticipantId peer, int64_t bytes) {
+  Status sent;
+  for (int attempt = 0; attempt < kMaxTransmits; ++attempt) {
+    sent = network_->TryCharge(peer, 1, bytes);
+    if (sent.ok()) break;
+  }
+  return sent;
+}
+
+bool DhtStore::EpochCommitted(Epoch e) const {
+  const NodeState& node = nodes_[EpochControllerNode(e)];
+  return node.epoch_done.count(e) != 0 && node.epoch_aborted.count(e) == 0;
+}
+
+bool DhtStore::IsCommittedTxn(const TransactionId& id) const {
+  const NodeState& node = nodes_[TxnControllerNode(id)];
+  auto it = node.txns.find(id);
+  if (it == node.txns.end()) return false;
+  return EpochCommitted(it->second.epoch);
+}
+
+void DhtStore::AbortEpoch(ParticipantId peer, Epoch epoch,
+                          const std::vector<TransactionId>& staged) {
+  // A sticky fault models a crashed publisher: its cleanup never runs,
+  // the epoch stays unfinished, and the reaper eventually marks it
+  // aborted from the reconciliation path instead.
+  FaultInjector* injector = network_->fault_injector();
+  if (injector != nullptr && injector->tripped()) return;
+  FaultInjector::ScopedDisable guard(injector);
+  const size_t my_node = NodeOfPeer(peer);
+  for (const TransactionId& id : staged) {
+    NodeState& node = nodes_[TxnControllerNode(id)];
+    node.txns.erase(id);
+    auto dec_it = node.decisions.find(id);
+    if (dec_it != node.decisions.end()) {
+      dec_it->second.erase(peer);
+      if (dec_it->second.empty()) node.decisions.erase(dec_it);
+    }
+    RoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()), 24);
+  }
+  const size_t controller = RoutedSend(
+      peer, my_node, net::KeyHash("epoch:" + std::to_string(epoch)), 24);
+  nodes_[controller].epoch_contents.erase(epoch);
+  nodes_[controller].epoch_aborted.insert(epoch);
+}
+
 Status DhtStore::RegisterParticipant(ParticipantId peer,
                                      const core::TrustPolicy* policy) {
   ORCH_CHECK(policy != nullptr);
   policies_[peer] = policy;
-  nodes_[CoordinatorNode(peer)].coordinated.emplace(
-      peer, std::pair<int64_t, Epoch>{0, 0});
+  nodes_[CoordinatorNode(peer)].coordinated.emplace(peer, CoordEntry{});
   return Status::OK();
 }
 
@@ -46,50 +116,93 @@ Result<Epoch> DhtStore::Publish(ParticipantId peer,
   Stopwatch cpu;
   const size_t my_node = NodeOfPeer(peer);
 
-  // Fig. 6 message sequence.
+  // Fig. 6 message sequence, made crash-consistent: the epoch controller
+  // confirms the epoch *finished* — the commit point — only after every
+  // transaction controller has accepted its transaction. Any message
+  // lost before that aborts the epoch and leaves nothing visible.
   // (1) request epoch -> allocator.
-  const size_t allocator =
-      RoutedSend(peer, my_node, net::KeyHash("epoch-allocator"), 16);
+  ORCH_ASSIGN_OR_RETURN(
+      const size_t allocator,
+      TryRoutedSend(peer, my_node, net::KeyHash("epoch-allocator"), 16));
   const Epoch epoch = ++nodes_[allocator].epoch_counter;
+  // A failure past this point burns the number; reconcilers tolerate
+  // gaps via the stuck-epoch reaper.
+  std::vector<TransactionId> staged;
+  const auto abort_with = [&](Status status) {
+    AbortEpoch(peer, epoch, staged);
+    return status;
+  };
   // (2) allocator -> epoch controller: begin epoch e.
-  const size_t controller = RoutedSend(
-      peer, allocator, net::KeyHash("epoch:" + std::to_string(epoch)), 16);
+  auto begin = TryRoutedSend(peer, allocator,
+                             net::KeyHash("epoch:" + std::to_string(epoch)),
+                             16);
+  if (!begin.ok()) return abort_with(begin.status());
+  const size_t controller = *begin;
   nodes_[controller].epoch_contents[epoch];  // mark as begun (open)
   // (3) controller -> allocator: confirm epoch begun.
-  DirectSend(peer, 8);
   // (4) allocator -> publishing peer: begin publishing at epoch e.
-  DirectSend(peer, 16);
+  if (Status s = TryDirectSend(peer, 8); !s.ok()) return abort_with(s);
+  if (Status s = TryDirectSend(peer, 16); !s.ok()) return abort_with(s);
+
+  // Validate before any transaction lands: a duplicate — within the
+  // batch or against a *committed* epoch — must leave no trace, or one
+  // bad publish would freeze the stable watermark for every peer.
+  // Residue of an aborted epoch is republishable and gets overwritten.
+  TxnIdSet batch_ids;
+  for (Transaction& txn : txns) {
+    txn.epoch = epoch;
+    if (!batch_ids.insert(txn.id).second || IsCommittedTxn(txn.id)) {
+      return abort_with(Status::AlreadyExists(
+          "transaction " + txn.id.ToString() + " already published"));
+    }
+  }
 
   // (5) publish transaction IDs for epoch e -> epoch controller.
   std::vector<TransactionId> ids;
   ids.reserve(txns.size());
-  for (Transaction& txn : txns) {
-    txn.epoch = epoch;
-    ids.push_back(txn.id);
+  for (const Transaction& txn : txns) ids.push_back(txn.id);
+  if (Status s = TryRoutedSend(peer, my_node,
+                               net::KeyHash("epoch:" + std::to_string(epoch)),
+                               static_cast<int64_t>(16 * ids.size() + 16))
+                     .status();
+      !s.ok()) {
+    return abort_with(s);
   }
-  RoutedSend(peer, my_node, net::KeyHash("epoch:" + std::to_string(epoch)),
-             static_cast<int64_t>(16 * ids.size() + 16));
   nodes_[controller].epoch_contents[epoch] = ids;
-  // (6) controller confirms the epoch finished.
-  nodes_[controller].epoch_done.insert(epoch);
-  DirectSend(peer, 8);
 
-  // Then the peer sends each transaction to its transaction controller,
+  // (6) the peer sends each transaction to its transaction controller,
   // which records the publisher's implicit self-acceptance.
   for (Transaction& txn : txns) {
     const int64_t size =
         static_cast<int64_t>(core::EncodedTransactionSize(txn));
     const TransactionId id = txn.id;
-    const size_t txn_node =
-        RoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()), size);
-    if (nodes_[txn_node].txns.count(id) != 0) {
-      return Status::AlreadyExists("transaction " + id.ToString() +
-                                   " already published");
-    }
-    nodes_[txn_node].txns.emplace(id, std::move(txn));
-    nodes_[txn_node].decisions[id][peer] = 'A';
-    DirectSend(peer, 8);  // ack
+    auto sent =
+        TryRoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()),
+                      size);
+    if (!sent.ok()) return abort_with(sent.status());
+    nodes_[*sent].txns.insert_or_assign(id, std::move(txn));
+    nodes_[*sent].decisions[id][peer] = Decision{'A', 0};
+    staged.push_back(id);
+    if (Status s = TryDirectSend(peer, 8); !s.ok()) return abort_with(s);
   }
+
+  // (7) controller confirms the epoch finished: the commit point. The
+  // reaper may have aborted the epoch under a slow publisher; an aborted
+  // epoch can never finish (peers already advanced past it).
+  if (Status s = TryRoutedSend(peer, my_node,
+                               net::KeyHash("epoch:" + std::to_string(epoch)),
+                               16)
+                     .status();
+      !s.ok()) {
+    return abort_with(s);
+  }
+  if (nodes_[controller].epoch_aborted.count(epoch) != 0) {
+    return abort_with(Status::Unavailable(
+        "epoch " + std::to_string(epoch) +
+        " was aborted before commit; republish"));
+  }
+  nodes_[controller].epoch_done.insert(epoch);
+  DirectSend(peer, 8);  // ack to publisher (commit already durable)
   cpu_micros_[peer] += cpu.ElapsedMicros();
   calls_[peer] += 1;
   return epoch;
@@ -107,52 +220,70 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
   ReconcileFetch fetch;
 
   // Most recent epoch from the allocator (request + reply).
-  const size_t allocator =
-      RoutedSend(peer, my_node, net::KeyHash("epoch-allocator"), 16);
+  ORCH_ASSIGN_OR_RETURN(
+      const size_t allocator,
+      TryRoutedSend(peer, my_node, net::KeyHash("epoch-allocator"), 16));
   const Epoch latest = nodes_[allocator].epoch_counter;
-  DirectSend(peer, 16);
+  ORCH_RETURN_IF_ERROR(TryDirectSend(peer, 16));
 
-  // Prior watermark from this peer's coordinator.
-  const size_t coordinator =
-      RoutedSend(peer, my_node, net::KeyHash("peer:" + std::to_string(peer)),
-                 16);
-  auto& coord_entry = nodes_[coordinator].coordinated[peer];
-  const Epoch prev = coord_entry.second;
-  DirectSend(peer, 16);
+  // Prior watermark and recno from this peer's coordinator. The recno is
+  // allocated now (a failure later burns it, harmlessly); the watermark
+  // is committed only once the whole fetch has been assembled.
+  ORCH_ASSIGN_OR_RETURN(
+      const size_t coordinator,
+      TryRoutedSend(peer, my_node, net::KeyHash("peer:" + std::to_string(peer)),
+                    16));
+  CoordEntry& coord_entry = nodes_[coordinator].coordinated[peer];
+  const Epoch prev = coord_entry.epoch;
+  coord_entry.recno += 1;
+  fetch.recno = coord_entry.recno;
+  ORCH_RETURN_IF_ERROR(TryDirectSend(peer, 16));
 
   // Fetch the contents of every epoch since the previous reconciliation
   // from the epoch controllers, and find the latest stable epoch (no
-  // unfinished epoch preceding it).
+  // unfinished epoch preceding it). Aborted epochs are empty and are
+  // skipped; an epoch observed unfinished by `stuck_epoch_reap_threshold`
+  // scans belongs to a crashed publisher and is reaped to aborted so it
+  // cannot freeze the watermark.
   Epoch stable = prev;
   std::vector<TransactionId> published;
   for (Epoch e = prev + 1; e <= latest; ++e) {
-    const size_t controller =
-        RoutedSend(peer, my_node, net::KeyHash("epoch:" + std::to_string(e)),
-                   16);
-    const bool done = nodes_[controller].epoch_done.count(e) != 0;
-    const auto contents_it = nodes_[controller].epoch_contents.find(e);
-    const size_t count =
-        contents_it == nodes_[controller].epoch_contents.end()
-            ? 0
-            : contents_it->second.size();
-    DirectSend(peer, static_cast<int64_t>(16 * count + 16));
-    if (!done) break;  // everything after an unfinished epoch is unstable
+    ORCH_ASSIGN_OR_RETURN(
+        const size_t controller,
+        TryRoutedSend(peer, my_node,
+                      net::KeyHash("epoch:" + std::to_string(e)), 16));
+    NodeState& node = nodes_[controller];
+    if (node.epoch_aborted.count(e) != 0) {
+      ORCH_RETURN_IF_ERROR(TryDirectSend(peer, 8));
+      stable = e;  // nothing to ship, but the watermark passes over it
+      continue;
+    }
+    const bool done = node.epoch_done.count(e) != 0;
+    const auto contents_it = node.epoch_contents.find(e);
+    const size_t count = contents_it == node.epoch_contents.end()
+                             ? 0
+                             : contents_it->second.size();
+    ORCH_RETURN_IF_ERROR(
+        TryDirectSend(peer, static_cast<int64_t>(16 * count + 16)));
+    if (!done) {
+      const int strikes = ++epoch_strikes_[e];
+      if (strikes >= options_.stuck_epoch_reap_threshold) {
+        node.epoch_contents.erase(e);
+        node.epoch_aborted.insert(e);
+        epoch_strikes_.erase(e);
+        stable = e;
+        continue;
+      }
+      break;  // everything after an unfinished epoch is unstable
+    }
     stable = e;
-    if (contents_it != nodes_[controller].epoch_contents.end()) {
+    if (contents_it != node.epoch_contents.end()) {
       for (const TransactionId& id : contents_it->second) {
         published.push_back(id);
       }
     }
   }
-
-  // Record the reconciliation number and new watermark at the
-  // coordinator.
-  coord_entry.first += 1;
-  coord_entry.second = stable;
-  fetch.recno = coord_entry.first;
   fetch.epoch = stable;
-  RoutedSend(peer, my_node, net::KeyHash("peer:" + std::to_string(peer)), 24);
-  DirectSend(peer, 8);
 
   // Request every published transaction from its transaction controller,
   // following antecedent chains through a pending set (Fig. 7). The
@@ -167,11 +298,15 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
     const auto [id, as_antecedent] = pending.front();
     pending.pop_front();
     if (!requested.insert(id).second) continue;
-    const size_t txn_node =
-        RoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()), 24);
+    ORCH_ASSIGN_OR_RETURN(
+        const size_t txn_node,
+        TryRoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()),
+                      24));
     const NodeState& node = nodes_[txn_node];
     auto txn_it = node.txns.find(id);
     if (txn_it == node.txns.end()) {
+      // Unreachable once publishing commits last: every id in a finished
+      // epoch's contents has its transaction durably at its controller.
       return Status::Internal("transaction controller lost " + id.ToString());
     }
     const Transaction& txn = txn_it->second;
@@ -180,26 +315,36 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
     auto dec_it = node.decisions.find(id);
     if (dec_it != node.decisions.end()) {
       auto peer_it = dec_it->second.find(peer);
-      if (peer_it != dec_it->second.end()) decided = peer_it->second;
+      if (peer_it != dec_it->second.end()) decided = peer_it->second.verdict;
     }
     if (decided == 'A' || (!as_antecedent && decided != 0)) {
-      DirectSend(peer, 8);  // "not relevant"
+      ORCH_RETURN_IF_ERROR(TryDirectSend(peer, 8));  // "not relevant"
       continue;
     }
     const int priority = policy.PriorityOfTransaction(txn);
     if (!as_antecedent && priority <= 0) {
-      DirectSend(peer, 8);  // "untrusted"
+      ORCH_RETURN_IF_ERROR(TryDirectSend(peer, 8));  // "untrusted"
       continue;
     }
     // Ship the transaction, its priority, and its antecedents.
-    DirectSend(peer,
-               static_cast<int64_t>(core::EncodedTransactionSize(txn)) + 8);
+    ORCH_RETURN_IF_ERROR(TryDirectSend(
+        peer, static_cast<int64_t>(core::EncodedTransactionSize(txn)) + 8));
     if (!as_antecedent) fetch.trusted.emplace_back(id, priority);
     fetch.transactions.push_back(txn);
     for (const TransactionId& ante : txn.antecedents) {
       pending.emplace_back(ante, true);
     }
   }
+
+  // Commit the new watermark at the coordinator only now that the fetch
+  // is fully assembled: a lost message anywhere above must not advance
+  // it, or the window (prev, stable] would be skipped forever.
+  ORCH_RETURN_IF_ERROR(
+      TryRoutedSend(peer, my_node,
+                    net::KeyHash("peer:" + std::to_string(peer)), 24)
+          .status());
+  coord_entry.epoch = stable;
+  DirectSend(peer, 8);  // ack
   cpu_micros_[peer] += cpu.ElapsedMicros();
   calls_[peer] += 1;
   return fetch;
@@ -208,20 +353,33 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
 Status DhtStore::RecordDecisions(ParticipantId peer, int64_t recno,
                                  const std::vector<TransactionId>& applied,
                                  const std::vector<TransactionId>& rejected) {
-  (void)recno;
   Stopwatch cpu;
   const size_t my_node = NodeOfPeer(peer);
-  // Notify each transaction's controller (no ack required).
+  // Notify each transaction's controller, tagging the decision with the
+  // reconciliation that produced it. Recording is idempotent, so a retry
+  // after a lost message simply re-sends the whole outcome.
   for (const TransactionId& id : applied) {
-    const size_t node =
-        RoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()), 24);
-    nodes_[node].decisions[id][peer] = 'A';
+    ORCH_ASSIGN_OR_RETURN(
+        const size_t node,
+        TryRoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()),
+                      24));
+    nodes_[node].decisions[id][peer] = Decision{'A', recno};
   }
   for (const TransactionId& id : rejected) {
-    const size_t node =
-        RoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()), 24);
-    nodes_[node].decisions[id][peer] = 'R';
+    ORCH_ASSIGN_OR_RETURN(
+        const size_t node,
+        TryRoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()),
+                      24));
+    nodes_[node].decisions[id][peer] = Decision{'R', recno};
   }
+  // Last message: the coordinator's completion witness. Until it lands,
+  // recovery reports the reconciliation as interrupted
+  // (last_decided_recno < recno).
+  ORCH_ASSIGN_OR_RETURN(
+      const size_t coordinator,
+      TryRoutedSend(peer, my_node,
+                    net::KeyHash("peer:" + std::to_string(peer)), 24));
+  nodes_[coordinator].coordinated[peer].decided_recno = recno;
   cpu_micros_[peer] += cpu.ElapsedMicros();
   calls_[peer] += 1;
   return Status::OK();
@@ -238,13 +396,15 @@ Result<core::RecoveryBundle> DhtStore::FetchRecoveryState(
   const core::TrustPolicy& policy = *policy_it->second;
   core::RecoveryBundle bundle;
 
-  // Watermark and recno from the peer coordinator (one round trip).
+  // Watermark, recno and completion witness from the peer coordinator
+  // (one round trip).
   {
     const size_t coordinator = CoordinatorNode(peer);
     auto it = nodes_[coordinator].coordinated.find(peer);
     if (it != nodes_[coordinator].coordinated.end()) {
-      bundle.recno = it->second.first;
-      bundle.epoch = it->second.second;
+      bundle.recno = it->second.recno;
+      bundle.epoch = it->second.epoch;
+      bundle.last_decided_recno = it->second.decided_recno;
     }
     const auto route = ring_.Route(NodeOfPeer(peer), ring_.IdOf(coordinator));
     network_->Charge(peer, route.hops + 1, 24);
@@ -263,7 +423,7 @@ Result<core::RecoveryBundle> DhtStore::FetchRecoveryState(
       auto peer_it = dec_it->second.find(peer);
       if (peer_it == dec_it->second.end()) continue;
       decided.insert(id);
-      if (peer_it->second == 'A') {
+      if (peer_it->second.verdict == 'A') {
         bundle.applied.push_back(txn);
         bytes += static_cast<int64_t>(core::EncodedTransactionSize(txn));
       } else {
@@ -289,8 +449,12 @@ Result<core::RecoveryBundle> DhtStore::FetchRecoveryState(
   std::deque<std::pair<TransactionId, bool>> pending;
   for (Epoch e = 1; e <= bundle.epoch; ++e) {
     const size_t controller = EpochControllerNode(e);
-    const auto contents = nodes_[controller].epoch_contents.find(e);
     const auto route = ring_.Route(NodeOfPeer(peer), ring_.IdOf(controller));
+    if (!EpochCommitted(e)) {  // aborted or unfinished: nothing to ship
+      network_->Charge(peer, route.hops + 1, 16);
+      continue;
+    }
+    const auto contents = nodes_[controller].epoch_contents.find(e);
     const size_t count = contents == nodes_[controller].epoch_contents.end()
                              ? 0
                              : contents->second.size();
@@ -427,12 +591,12 @@ Result<core::RecoveryBundle> DhtStore::Bootstrap(ParticipantId new_peer,
     const size_t src_coord = CoordinatorNode(source_peer);
     auto it = nodes_[src_coord].coordinated.find(source_peer);
     if (it != nodes_[src_coord].coordinated.end()) {
-      bundle.epoch = it->second.second;
+      bundle.epoch = it->second.epoch;
     }
     const auto route = ring_.Route(my_node, ring_.IdOf(src_coord));
     network_->Charge(new_peer, route.hops + 1, 24);
-    nodes_[CoordinatorNode(new_peer)].coordinated[new_peer] = {0,
-                                                               bundle.epoch};
+    nodes_[CoordinatorNode(new_peer)].coordinated[new_peer] =
+        CoordEntry{0, bundle.epoch, 0};
     const auto route2 =
         ring_.Route(my_node, ring_.IdOf(CoordinatorNode(new_peer)));
     network_->Charge(new_peer, route2.hops + 1, 24);
@@ -445,8 +609,8 @@ Result<core::RecoveryBundle> DhtStore::Bootstrap(ParticipantId new_peer,
     int64_t bytes = 16;
     for (auto& [id, decisions] : nodes_[node].decisions) {
       auto src_it = decisions.find(source_peer);
-      if (src_it == decisions.end() || src_it->second != 'A') continue;
-      decisions[new_peer] = 'A';
+      if (src_it == decisions.end() || src_it->second.verdict != 'A') continue;
+      decisions[new_peer] = Decision{'A', 0};
       adopted.insert(id);
       auto txn_it = nodes_[node].txns.find(id);
       ORCH_CHECK(txn_it != nodes_[node].txns.end());
@@ -469,8 +633,12 @@ Result<core::RecoveryBundle> DhtStore::Bootstrap(ParticipantId new_peer,
   std::deque<std::pair<TransactionId, bool>> pending;
   for (Epoch e = 1; e <= bundle.epoch; ++e) {
     const size_t controller = EpochControllerNode(e);
-    const auto contents = nodes_[controller].epoch_contents.find(e);
     const auto route = ring_.Route(my_node, ring_.IdOf(controller));
+    if (!EpochCommitted(e)) {  // aborted or unfinished: nothing to ship
+      network_->Charge(new_peer, route.hops + 1, 16);
+      continue;
+    }
+    const auto contents = nodes_[controller].epoch_contents.find(e);
     const size_t count = contents == nodes_[controller].epoch_contents.end()
                              ? 0
                              : contents->second.size();

@@ -32,8 +32,23 @@ namespace orchestra::store {
 /// Every key-addressed message is routed over the overlay and charged
 /// hop-by-hop to the initiating peer; replies take one direct hop.
 /// Requests to follow antecedent chains dominate reconciliation cost,
-/// exactly as the paper reports. Message delivery is assumed reliable
-/// (as in the paper; fault tolerance is future work there and here).
+/// exactly as the paper reports.
+///
+/// Messages on the publish/reconcile/record paths can be lost when a
+/// fault injector is installed on the network. Publishing is
+/// stage-then-commit: the epoch controller marks the epoch finished (the
+/// commit point) only after every transaction controller has accepted
+/// its transaction; any earlier loss aborts the epoch, and an epoch left
+/// unfinished by a crashed publisher is reaped to "aborted" once enough
+/// reconciliation scans have observed it stuck.
+struct DhtStoreOptions {
+  /// An epoch still unfinished after this many reconciliation scans have
+  /// observed it is marked aborted at its controller so it stops
+  /// blocking the stable watermark. Finished epochs are never touched;
+  /// an aborted epoch can never finish.
+  int stuck_epoch_reap_threshold = 3;
+};
+
 class DhtStore : public core::UpdateStore,
                  public core::NetworkCentricStore {
  public:
@@ -43,7 +58,7 @@ class DhtStore : public core::UpdateStore,
   /// know the shared schema Σ to flatten and compare updates); pass
   /// nullptr to run client-centric only.
   DhtStore(size_t nodes, net::SimNetwork* network,
-           const db::Catalog* catalog = nullptr);
+           const db::Catalog* catalog = nullptr, DhtStoreOptions options = {});
 
   Status RegisterParticipant(core::ParticipantId peer,
                              const core::TrustPolicy* policy) override;
@@ -67,27 +82,44 @@ class DhtStore : public core::UpdateStore,
   const net::DhtRing& ring() const { return ring_; }
 
  private:
+  /// One recorded accept/reject, tagged with the reconciliation that
+  /// produced it (0 for the publisher's implicit self-acceptance).
+  struct Decision {
+    char verdict = 0;  // 'A' or 'R'
+    int64_t recno = 0;
+  };
+
+  /// Peer coordinator entry. `decided_recno` is the last reconciliation
+  /// whose decisions were recorded in full — updated only after every
+  /// transaction controller acknowledged, it is the completion witness
+  /// recovery uses to detect an interrupted reconciliation.
+  struct CoordEntry {
+    int64_t recno = 0;
+    core::Epoch epoch = 0;
+    int64_t decided_recno = 0;
+  };
+
   /// Per-DHT-node state; the role a node plays for a given key follows
   /// from ring ownership.
   struct NodeState {
     /// Epoch allocator state (meaningful only on the allocator node).
     int64_t epoch_counter = 0;
-    /// Epoch controller state: epoch -> published transaction ids, and
-    /// whether the epoch is complete.
+    /// Epoch controller state: epoch -> published transaction ids,
+    /// whether the epoch finished (committed), and whether it aborted.
     std::map<core::Epoch, std::vector<core::TransactionId>> epoch_contents;
     std::unordered_set<core::Epoch> epoch_done;
+    std::unordered_set<core::Epoch> epoch_aborted;
     /// Transaction controller state.
     std::unordered_map<core::TransactionId, core::Transaction,
                        core::TransactionIdHash>
         txns;
-    /// Decisions recorded per transaction: peer -> 'A'/'R'.
+    /// Decisions recorded per transaction, per peer.
     std::unordered_map<core::TransactionId,
-                       std::unordered_map<core::ParticipantId, char>,
+                       std::unordered_map<core::ParticipantId, Decision>,
                        core::TransactionIdHash>
         decisions;
-    /// Peer coordinator state: peer -> (recno, last reconciled epoch).
-    std::unordered_map<core::ParticipantId, std::pair<int64_t, core::Epoch>>
-        coordinated;
+    /// Peer coordinator state.
+    std::unordered_map<core::ParticipantId, CoordEntry> coordinated;
   };
 
   size_t NodeOfPeer(core::ParticipantId peer) const {
@@ -112,12 +144,35 @@ class DhtStore : public core::UpdateStore,
                     net::NodeId key, int64_t bytes);
   /// One direct (already-located) message.
   void DirectSend(core::ParticipantId peer, int64_t bytes);
+  /// Failable variants for the publish/reconcile/record protocol paths:
+  /// the message is charged either way, but an installed fault injector
+  /// may declare it lost (Unavailable).
+  Result<size_t> TryRoutedSend(core::ParticipantId peer, size_t from_node,
+                               net::NodeId key, int64_t bytes);
+  Status TryDirectSend(core::ParticipantId peer, int64_t bytes);
+
+  /// True when epoch `e` committed (finished and not aborted).
+  bool EpochCommitted(core::Epoch e) const;
+  /// True when the transaction is stored under a committed epoch.
+  /// Residue of an aborted publish does not count: it is overwritten on
+  /// republish.
+  bool IsCommittedTxn(const core::TransactionId& id) const;
+  /// Best-effort rollback of a failed publish: removes the staged
+  /// transactions, erases the epoch's contents, and marks the epoch
+  /// aborted at its controller. Skipped entirely when the fault injector
+  /// reports a sticky (crash) fault — a dead publisher cannot clean up,
+  /// and the stuck-epoch reaper takes over.
+  void AbortEpoch(core::ParticipantId peer, core::Epoch epoch,
+                  const std::vector<core::TransactionId>& staged);
 
   net::DhtRing ring_;
   net::SimNetwork* network_;
   const db::Catalog* catalog_ = nullptr;
+  DhtStoreOptions options_;
   std::vector<NodeState> nodes_;
   std::unordered_map<core::ParticipantId, const core::TrustPolicy*> policies_;
+  /// Soft state: unfinished-epoch observation counts driving the reaper.
+  std::unordered_map<core::Epoch, int> epoch_strikes_;
   mutable std::unordered_map<core::ParticipantId, int64_t> cpu_micros_;
   mutable std::unordered_map<core::ParticipantId, int64_t> calls_;
 };

@@ -1,0 +1,121 @@
+// Unit tests for the deterministic fault injector: trigger composition
+// (probability, fail-at-call, sticky), site filtering, determinism
+// across same-seed runs, and the Disable/ScopedDisable machinery the
+// stores' rollback paths rely on.
+#include "common/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace orchestra {
+namespace {
+
+TEST(FaultInjectorTest, InertByDefault) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(injector.MaybeFail("storage.put").ok());
+  }
+  // Disabled injectors do not even count calls (the hot path is free).
+  EXPECT_EQ(injector.calls(), 0);
+  EXPECT_EQ(injector.injected(), 0);
+  EXPECT_FALSE(injector.tripped());
+}
+
+TEST(FaultInjectorTest, FailAtCallHitsExactlyTheNthCall) {
+  FaultInjectorConfig cfg;
+  cfg.fail_at_call = 3;
+  FaultInjector injector(cfg);
+  EXPECT_TRUE(injector.MaybeFail("storage.put").ok());
+  EXPECT_TRUE(injector.MaybeFail("storage.put").ok());
+  const Status third = injector.MaybeFail("storage.put");
+  EXPECT_EQ(third.code(), StatusCode::kUnavailable);
+  // Non-sticky: the outage is a single call.
+  EXPECT_TRUE(injector.MaybeFail("storage.put").ok());
+  EXPECT_EQ(injector.injected(), 1);
+  EXPECT_FALSE(injector.tripped());
+}
+
+TEST(FaultInjectorTest, StickyTurnsOneFaultIntoAPermanentOutage) {
+  FaultInjectorConfig cfg;
+  cfg.fail_at_call = 2;
+  cfg.sticky = true;
+  FaultInjector injector(cfg);
+  EXPECT_TRUE(injector.MaybeFail("net.send").ok());
+  EXPECT_FALSE(injector.MaybeFail("net.send").ok());
+  EXPECT_TRUE(injector.tripped());
+  // The simulated process is dead: every later call fails too.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(injector.MaybeFail("net.send").code(),
+              StatusCode::kUnavailable);
+  }
+}
+
+TEST(FaultInjectorTest, SitePrefixFiltersEligibleCalls) {
+  FaultInjectorConfig cfg;
+  cfg.fail_at_call = 1;
+  cfg.site_prefix = "storage.";
+  FaultInjector injector(cfg);
+  // Non-matching sites are ignored entirely (not counted, never fail).
+  EXPECT_TRUE(injector.MaybeFail("net.send").ok());
+  EXPECT_EQ(injector.calls(), 0);
+  EXPECT_EQ(injector.MaybeFail("storage.sync").code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(FaultInjectorTest, SameSeedSameFaultSequence) {
+  FaultInjectorConfig cfg;
+  cfg.failure_probability = 0.2;
+  cfg.seed = 7;
+  FaultInjector a(cfg);
+  FaultInjector b(cfg);
+  std::vector<bool> pattern_a, pattern_b;
+  for (int i = 0; i < 200; ++i) {
+    pattern_a.push_back(a.MaybeFail("storage.put").ok());
+    pattern_b.push_back(b.MaybeFail("storage.put").ok());
+  }
+  EXPECT_EQ(pattern_a, pattern_b);
+  EXPECT_GT(a.injected(), 0);       // p=0.2 over 200 calls fires w.h.p.
+  EXPECT_LT(a.injected(), 200);     // ... and not always
+}
+
+TEST(FaultInjectorTest, ConfigureResetsStreamAndCounters) {
+  FaultInjectorConfig cfg;
+  cfg.failure_probability = 0.5;
+  cfg.seed = 3;
+  cfg.sticky = true;
+  FaultInjector injector(cfg);
+  while (!injector.tripped()) {
+    (void)injector.MaybeFail("storage.put");
+  }
+  injector.Configure(cfg);  // "reboot": same config, fresh stream
+  EXPECT_FALSE(injector.tripped());
+  EXPECT_EQ(injector.calls(), 0);
+  EXPECT_EQ(injector.injected(), 0);
+  // And Configure({}) turns injection off completely.
+  injector.Configure(FaultInjectorConfig{});
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_TRUE(injector.MaybeFail("storage.put").ok());
+}
+
+TEST(FaultInjectorTest, ScopedDisableSuppressesAndRestores) {
+  FaultInjectorConfig cfg;
+  cfg.fail_at_call = 1;
+  FaultInjector injector(cfg);
+  {
+    FaultInjector::ScopedDisable guard(&injector);
+    // Rollback paths run fault-free even though injection is armed.
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_TRUE(injector.MaybeFail("storage.delete").ok());
+    }
+  }
+  EXPECT_TRUE(injector.enabled());
+  EXPECT_EQ(injector.MaybeFail("storage.put").code(),
+            StatusCode::kUnavailable);
+  // A null injector is fine: components hold nullable pointers.
+  FaultInjector::ScopedDisable null_guard(nullptr);
+}
+
+}  // namespace
+}  // namespace orchestra

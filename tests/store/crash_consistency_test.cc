@@ -1,0 +1,267 @@
+// Crash consistency under injected faults: atomic (stage-then-commit)
+// publishing, stuck-epoch reaping, republish of aborted epochs, WAL
+// replay after a faulted run, and the recno-keyed decision log that
+// lets recovery distinguish an interrupted reconciliation. The failure
+// model is the fault injector's: transient faults (one lost call) and
+// sticky faults (a crashed process whose cleanup never runs).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <unistd.h>
+
+#include "common/fault_injector.h"
+#include "core/participant.h"
+#include "net/sim_network.h"
+#include "storage/engine.h"
+#include "store/central_store.h"
+#include "store/dht_store.h"
+#include "test_util.h"
+
+namespace orchestra::store {
+namespace {
+
+using core::Epoch;
+using core::Participant;
+using core::ParticipantId;
+using core::ReconcileRetryOptions;
+using core::Transaction;
+using core::TrustPolicy;
+using orchestra::testing::Ins;
+using orchestra::testing::InstanceHasExactly;
+using orchestra::testing::MakeProteinCatalog;
+using orchestra::testing::T;
+using orchestra::testing::Txn;
+
+enum class Kind { kCentral, kDht };
+
+class CrashConsistencyTest : public ::testing::TestWithParam<Kind> {
+ protected:
+  CrashConsistencyTest() : catalog_(MakeProteinCatalog()) {
+    if (GetParam() == Kind::kCentral) {
+      engine_ = storage::StorageEngine::InMemory();
+      engine_->set_fault_injector(&injector_);
+      store_ = std::make_unique<CentralStore>(engine_.get(), &network_);
+    } else {
+      network_.set_fault_injector(&injector_);
+      store_ = std::make_unique<DhtStore>(8, &network_);
+    }
+    for (ParticipantId id = 1; id <= 3; ++id) {
+      auto policy = std::make_unique<TrustPolicy>(id);
+      for (ParticipantId other = 1; other <= 3; ++other) {
+        if (other != id) policy->TrustPeer(other, 1);
+      }
+      ORCH_CHECK(store_->RegisterParticipant(id, policy.get()).ok());
+      policies_.push_back(std::move(policy));
+      participants_.push_back(std::make_unique<Participant>(
+          id, &catalog_, *policies_.back()));
+    }
+  }
+
+  Participant& P(size_t i) { return *participants_[i - 1]; }
+
+  db::Catalog catalog_;
+  net::SimNetwork network_;
+  FaultInjector injector_;
+  std::unique_ptr<storage::StorageEngine> engine_;
+  std::unique_ptr<core::UpdateStore> store_;
+  std::vector<std::unique_ptr<TrustPolicy>> policies_;
+  std::vector<std::unique_ptr<Participant>> participants_;
+};
+
+// Satellite regression: a duplicate transaction in the middle of a
+// batch must leave no trace. Before stage-then-commit, the central
+// store's half-written epoch stayed "open" forever and froze every
+// peer's stable watermark; the DHT's epoch went "done" before its
+// transactions landed, making later fetches fail with Internal.
+TEST_P(CrashConsistencyTest, DuplicateMidBatchLeavesNoTrace) {
+  Transaction a = Txn(1, 0, {Ins("rat", "p1", "a", 1)});
+  ASSERT_TRUE(store_->Publish(1, {a}).ok());
+
+  Transaction b = Txn(1, 1, {Ins("rat", "p2", "b", 1)});
+  Transaction a_dup = Txn(1, 0, {Ins("rat", "p1", "a", 1)});
+  // b stages first; the duplicate is detected mid-batch.
+  EXPECT_EQ(store_->Publish(1, {b, a_dup}).status().code(),
+            StatusCode::kAlreadyExists);
+
+  // The failed batch left nothing behind: b republishes fine, and the
+  // watermark passes over the aborted epoch to deliver everything.
+  ASSERT_TRUE(store_->Publish(1, {b}).ok());
+  auto report = P(2).Reconcile(store_.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->accepted.size(), 2u);
+  EXPECT_TRUE(InstanceHasExactly(
+      P(2).instance(), {T({"rat", "p1", "a"}), T({"rat", "p2", "b"})}));
+  auto again = P(2).Reconcile(store_.get());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->fetched, 0u);  // delivered exactly once
+}
+
+// A publisher that crashes mid-publish (sticky fault: its abort code
+// never runs) leaves a stuck epoch. Reconcilers strike it and reap it
+// after the configured number of observations; the watermark then
+// passes over it, and the recovered publisher republishes the same
+// transactions in a fresh epoch — delivered exactly once, never
+// surfacing Internal.
+TEST_P(CrashConsistencyTest, StickyCrashMidPublishIsReapedAndRepublishable) {
+  // Crash at the third injectable call: in both stores this lands after
+  // the epoch has been opened (the central store's first two calls are
+  // the epoch sequence and the "open" row; the DHT's begin-epoch message
+  // is at latest its second charged send) and before the commit point,
+  // so the epoch is left durably stuck.
+  FaultInjectorConfig crash;
+  crash.fail_at_call = 3;
+  crash.sticky = true;
+  injector_.Configure(crash);
+
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  auto failed = P(1).Publish(store_.get());
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(injector_.tripped());
+
+  // The crashed publisher is gone; the store itself is healthy again.
+  injector_.Disable();
+
+  // Another peer publishes past the stuck epoch.
+  ASSERT_TRUE(P(2).ExecuteTransaction({Ins("rat", "p2", "y", 2)}).ok());
+  ASSERT_TRUE(P(2).PublishAndReconcile(store_.get()).ok());
+
+  // Peer 3 reconciles repeatedly. Within the reap threshold (default 3
+  // observations) the stuck epoch is aborted and peer 2's transaction
+  // comes through; no reconciliation ever fails.
+  size_t delivered = 0;
+  for (int round = 0; round < 4 && delivered == 0; ++round) {
+    auto report = P(3).Reconcile(store_.get());
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    delivered += report->accepted.size();
+  }
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_TRUE(InstanceHasExactly(P(3).instance(), {T({"rat", "p2", "y"})}));
+
+  // Peer 1 "recovers": its publish queue survived the failed attempt,
+  // and the aborted epoch's residue does not block republication.
+  auto republished = P(1).Publish(store_.get());
+  ASSERT_TRUE(republished.ok()) << republished.status().ToString();
+  auto report = P(3).Reconcile(store_.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->accepted.size(), 1u);
+  EXPECT_TRUE(InstanceHasExactly(
+      P(3).instance(), {T({"rat", "p1", "x"}), T({"rat", "p2", "y"})}));
+  auto drained = P(3).Reconcile(store_.get());
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->fetched, 0u);  // exactly once, even after the crash
+}
+
+// Satellite: decisions are recorded keyed by reconciliation number, and
+// the store exposes the last fully recorded recno. A recovery bundle
+// whose last_decided_recno trails recno pinpoints a participant that
+// crashed between fetching and recording.
+TEST_P(CrashConsistencyTest, LastDecidedRecnoTracksRecordedDecisions) {
+  Transaction a = Txn(1, 0, {Ins("rat", "p1", "a", 1)});
+  ASSERT_TRUE(store_->Publish(1, {a}).ok());
+
+  auto fetch = store_->BeginReconciliation(2);
+  ASSERT_TRUE(fetch.ok());
+  ASSERT_EQ(fetch->trusted.size(), 1u);
+
+  // Crash window: fetched but never recorded.
+  auto interrupted = store_->FetchRecoveryState(2);
+  ASSERT_TRUE(interrupted.ok());
+  EXPECT_LT(interrupted->last_decided_recno, fetch->recno);
+  EXPECT_EQ(interrupted->undecided.size(), 1u);
+
+  ASSERT_TRUE(store_->RecordDecisions(2, fetch->recno, {a.id}, {}).ok());
+  auto recorded = store_->FetchRecoveryState(2);
+  ASSERT_TRUE(recorded.ok());
+  EXPECT_EQ(recorded->last_decided_recno, fetch->recno);
+  EXPECT_EQ(recorded->undecided.size(), 0u);
+  ASSERT_EQ(recorded->applied.size(), 1u);
+  EXPECT_EQ(recorded->applied[0].id, a.id);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStores, CrashConsistencyTest,
+                         ::testing::Values(Kind::kCentral, Kind::kDht),
+                         [](const auto& info) {
+                           return info.param == Kind::kCentral ? "Central"
+                                                               : "Dht";
+                         });
+
+// A confederation over the WAL-backed engine runs with transient faults
+// absorbed by the retry layer; after a store crash, WAL replay rebuilds
+// a store that serves the same state — nothing re-delivered, nothing
+// lost, staged residue of failed attempts filtered out.
+TEST(WalCrashConsistencyTest, FaultedRunSurvivesWalReplay) {
+  db::Catalog catalog = MakeProteinCatalog();
+  net::SimNetwork network;
+  const std::string wal_path =
+      (std::filesystem::temp_directory_path() /
+       ("crash_consistency_" + std::to_string(::getpid()) + ".wal"))
+          .string();
+  std::remove(wal_path.c_str());
+
+  std::vector<std::unique_ptr<TrustPolicy>> policies;
+  for (ParticipantId id = 1; id <= 2; ++id) {
+    auto policy = std::make_unique<TrustPolicy>(id);
+    policy->TrustPeer(id == 1 ? 2 : 1, 1);
+    policies.push_back(std::move(policy));
+  }
+  Participant alice(1, &catalog, *policies[0]);
+  Participant bob(2, &catalog, *policies[1]);
+
+  FaultInjector injector;
+  FaultInjectorConfig faults;
+  faults.failure_probability = 0.05;
+  faults.seed = 11;
+  ReconcileRetryOptions retry;  // defaults: up to 8 attempts
+
+  {
+    auto engine = storage::StorageEngine::OpenDurable(wal_path);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    (*engine)->set_fault_injector(&injector);
+    injector.Configure(faults);
+    CentralStore store(engine->get(), &network);
+    ASSERT_TRUE(store.RegisterParticipant(1, policies[0].get()).ok());
+    ASSERT_TRUE(store.RegisterParticipant(2, policies[1].get()).ok());
+
+    for (int round = 0; round < 6; ++round) {
+      Participant& p = (round % 2 == 0) ? alice : bob;
+      const std::string key = "p" + std::to_string(round);
+      ASSERT_TRUE(
+          p.ExecuteTransaction({Ins("rat", key.c_str(), "v", p.id())}).ok());
+      ASSERT_TRUE(p.PublishWithRetry(&store, retry).ok());
+      ASSERT_TRUE(p.ReconcileWithRetry(&store, retry).ok());
+    }
+    ASSERT_TRUE(alice.ReconcileWithRetry(&store, retry).ok());
+    ASSERT_GT(injector.injected(), 0);  // the run was actually faulted
+    // Store process dies here; the WAL is all that survives.
+  }
+
+  auto engine = storage::StorageEngine::OpenDurable(wal_path);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  CentralStore store(engine->get(), &network);
+  ASSERT_TRUE(store.RegisterParticipant(1, policies[0].get()).ok());
+  ASSERT_TRUE(store.RegisterParticipant(2, policies[1].get()).ok());
+
+  // Replay reproduced the committed state exactly: both peers are
+  // already caught up and nothing is re-delivered.
+  auto a = alice.Reconcile(&store);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->fetched, 0u);
+  auto b = bob.Reconcile(&store);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(b->fetched, 0u);
+  EXPECT_EQ(alice.applied_count(), bob.applied_count());
+
+  // A participant rebuilt from the replayed store matches the original.
+  auto recovered = Participant::RecoverFromStore(2, &catalog, *policies[1],
+                                                 &store);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->applied_count(), bob.applied_count());
+  EXPECT_EQ((*recovered)->instance().TotalTuples(),
+            bob.instance().TotalTuples());
+  std::remove(wal_path.c_str());
+}
+
+}  // namespace
+}  // namespace orchestra::store
