@@ -16,6 +16,16 @@
 // run is compared field-by-field against the fault-free baseline, and
 // the outcome is written to BENCH_fault_sweep.json (override with
 // ORCH_FAULT_SWEEP_JSON).
+//
+// Setting ORCH_CHURN_SWEEP=1 instead runs the DHT node-churn sweep: a
+// 25-peer confederation on the DHT store with replication factor 3
+// endures a seeded schedule of node crashes, joins and graceful leaves
+// interleaved with the reconciliation rounds, and every run's final
+// per-peer decisions must be bit-identical to the churn-free baseline.
+// A control leg repeats the schedule with replication disabled (k=1) and
+// must demonstrably lose data, proving the replication layer is
+// load-bearing. Output goes to BENCH_churn_sweep.json (override with
+// ORCH_CHURN_SWEEP_JSON).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -532,6 +542,181 @@ bool RunFaultSweep() {
   return true;
 }
 
+// --- Churn sweep (ORCH_CHURN_SWEEP=1). ---
+//
+// The robustness claim under test: DHT node churn — crashes, joins,
+// graceful leaves between reconciliation rounds — changes *costs* but
+// never *outcomes*. Replica groups (k=3) absorb each crash, key-range
+// re-replication restores the invariant after every event, and failover
+// reads keep every controller readable, so each peer's final
+// applied/rejected decision sets are bit-identical to a churn-free run.
+// The k=1 control leg runs the same schedule with replication disabled
+// and must lose data (an error or diverging decisions).
+
+// One peer's final decision sets, in comparable (sorted) form.
+std::vector<std::pair<uint32_t, uint64_t>> SortedIds(
+    const core::TxnIdSet& ids) {
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  out.reserve(ids.size());
+  for (const core::TransactionId& id : ids) out.emplace_back(id.origin, id.seq);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct PeerSnapshot {
+  std::vector<std::pair<uint32_t, uint64_t>> applied;
+  std::vector<std::pair<uint32_t, uint64_t>> rejected;
+  bool operator==(const PeerSnapshot&) const = default;
+};
+
+struct ChurnRow {
+  uint64_t seed = 0;  // 0 = churn-free baseline
+  size_t replication_factor = 3;
+  bool ok = false;
+  bool matches_baseline = false;
+  std::string error;
+  sim::CdssResult result;
+  std::vector<PeerSnapshot> peers;
+};
+
+sim::CdssConfig ChurnSweepConfig() {
+  sim::CdssConfig cfg;
+  cfg.participants = 25;
+  cfg.store = sim::StoreKind::kDht;
+  cfg.rounds = 8;
+  cfg.txns_between_recons = 2;
+  cfg.replication_factor = 3;
+  return cfg;
+}
+
+ChurnRow RunChurnLeg(uint64_t churn_seed, size_t replication_factor) {
+  ChurnRow row;
+  row.seed = churn_seed;
+  row.replication_factor = replication_factor;
+  sim::CdssConfig cfg = ChurnSweepConfig();
+  cfg.replication_factor = replication_factor;
+  if (churn_seed != 0) {
+    cfg.churn.enabled = true;
+    cfg.churn.seed = churn_seed;
+    cfg.churn.crash_probability = 0.04;
+    cfg.churn.join_probability = 0.6;
+    cfg.churn.leave_probability = 0.25;
+    cfg.churn.min_live_nodes = 8;
+  }
+  auto cdss = sim::Cdss::Make(cfg);
+  if (!cdss.ok()) {
+    row.error = cdss.status().ToString();
+    return row;
+  }
+  auto result = (*cdss)->Run();
+  if (!result.ok()) {
+    row.error = result.status().ToString();
+    return row;
+  }
+  row.ok = true;
+  row.result = *result;
+  for (size_t i = 0; i < (*cdss)->participant_count(); ++i) {
+    const core::Participant& p = (*cdss)->participant(i);
+    row.peers.push_back(
+        PeerSnapshot{SortedIds(p.applied()), SortedIds(p.rejected())});
+  }
+  return row;
+}
+
+bool RunChurnSweep() {
+  const char* flag = std::getenv("ORCH_CHURN_SWEEP");
+  if (flag == nullptr || flag[0] == '\0' || flag[0] == '0') return false;
+
+  const uint64_t kSeeds[] = {11, 12, 13};
+  std::vector<ChurnRow> rows;
+  bool all_ok = true;
+
+  const ChurnRow baseline = RunChurnLeg(0, 3);
+  all_ok = all_ok && baseline.ok;
+  rows.push_back(baseline);
+  for (uint64_t seed : kSeeds) {
+    ChurnRow row = RunChurnLeg(seed, 3);
+    if (row.ok && baseline.ok) {
+      row.matches_baseline =
+          row.peers == baseline.peers &&
+          row.result.state_ratio == baseline.result.state_ratio;
+    }
+    // The schedule itself must be substantial, and the replica-placement
+    // invariant must have held after every single event.
+    const bool schedule_ok = row.result.node_crashes >= 5 &&
+                             row.result.node_joins >= 3 &&
+                             row.result.replication_invariant_ok;
+    all_ok = all_ok && row.ok && row.matches_baseline && schedule_ok;
+    std::printf(
+        "churn sweep k=3 seed %llu: %s, %lld crashes, %lld joins, "
+        "%lld leaves, invariant %s, %s baseline\n",
+        static_cast<unsigned long long>(seed),
+        row.ok ? "completed" : row.error.c_str(),
+        static_cast<long long>(row.result.node_crashes),
+        static_cast<long long>(row.result.node_joins),
+        static_cast<long long>(row.result.node_leaves),
+        row.result.replication_invariant_ok ? "held" : "VIOLATED",
+        row.matches_baseline ? "matches" : "DIVERGES FROM");
+    rows.push_back(std::move(row));
+  }
+
+  // Control: replication off. The same churn must now visibly lose data,
+  // either as a hard error (a transaction controller's only copy died)
+  // or as decisions diverging from the baseline.
+  ChurnRow control = RunChurnLeg(kSeeds[0], 1);
+  control.matches_baseline =
+      control.ok && baseline.ok && control.peers == baseline.peers &&
+      control.result.state_ratio == baseline.result.state_ratio;
+  const bool data_lost = !control.ok || !control.matches_baseline;
+  all_ok = all_ok && data_lost;
+  std::printf("churn sweep k=1 seed %llu (control): %s — %s\n",
+              static_cast<unsigned long long>(control.seed),
+              control.ok ? "completed" : control.error.c_str(),
+              data_lost ? "data lost as expected (replication is load-bearing)"
+                        : "NO DATA LOST (replication not exercised)");
+  rows.push_back(std::move(control));
+
+  const char* path = std::getenv("ORCH_CHURN_SWEEP_JSON");
+  if (path == nullptr) path = "BENCH_churn_sweep.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return true;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"churn_sweep\",\n");
+  std::fprintf(f, "  \"participants\": 25,\n  \"rounds\": 8,\n");
+  std::fprintf(f, "  \"all_checks_pass\": %s,\n", all_ok ? "true" : "false");
+  std::fprintf(f, "  \"k1_control_lost_data\": %s,\n",
+               data_lost ? "true" : "false");
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ChurnRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"seed\": %llu, \"replication_factor\": %zu, "
+        "\"completed\": %s, \"crashes\": %lld, \"joins\": %lld, "
+        "\"leaves\": %lld, \"invariant_held\": %s, \"accepted\": %zu, "
+        "\"deferred\": %zu, \"state_ratio\": %.6f, "
+        "\"matches_baseline\": %s%s%s}%s\n",
+        static_cast<unsigned long long>(r.seed), r.replication_factor,
+        r.ok ? "true" : "false",
+        static_cast<long long>(r.result.node_crashes),
+        static_cast<long long>(r.result.node_joins),
+        static_cast<long long>(r.result.node_leaves),
+        r.result.replication_invariant_ok ? "true" : "false",
+        r.result.accepted, r.result.deferred, r.result.state_ratio,
+        r.seed == 0 ? "true" : (r.matches_baseline ? "true" : "false"),
+        r.error.empty() ? "" : ", \"error\": \"",
+        r.error.empty() ? "" : (r.error + "\"").c_str(),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("churn sweep written to %s (%s)\n", path,
+              all_ok ? "all checks pass" : "CHECK FAILED");
+  return true;
+}
+
 // The same workload as a google-benchmark, parameterized by threads, so
 // `--benchmark_filter=ReconcileStudy` tracks scaling interactively.
 void BM_ReconcileStudy(benchmark::State& state) {
@@ -551,6 +736,7 @@ BENCHMARK(BM_ReconcileStudy)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 int main(int argc, char** argv) {
   if (RunFaultSweep()) return 0;
+  if (RunChurnSweep()) return 0;
   RunReconcileStudy();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

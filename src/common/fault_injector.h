@@ -15,6 +15,8 @@ namespace orchestra {
 /// at named *sites* — narrow choke points the storage engine, the
 /// simulated network, and the update stores thread their side-effecting
 /// operations through ("storage.put", "storage.sync", "net.send", ...).
+/// The simulator's churn schedule draws DHT node crashes through the
+/// "net.node_crash" site of a dedicated injector (see sim::ChurnConfig).
 /// Two triggers compose:
 ///   - `failure_probability`: each matching call fails independently with
 ///     this probability, drawn from a seeded xoshiro256** stream so a

@@ -17,7 +17,8 @@ Participant::Participant(ParticipantId id, const db::Catalog* catalog,
       catalog_(catalog),
       policy_(std::move(policy)),
       instance_(catalog),
-      reconciler_(catalog, options) {
+      reconciler_(catalog, options),
+      retry_rng_(0x9e3779b97f4a7c15ULL ^ id) {
   ORCH_CHECK(policy_.self() == id, "trust policy self id mismatch");
 }
 
@@ -481,10 +482,12 @@ namespace {
 
 /// Runs `op` up to retry.max_attempts times, retrying only Unavailable
 /// (transient) failures. Backoff is accumulated into `stats`, never
-/// slept: the simulation charges it as time without paying it.
+/// slept: the simulation charges it as time without paying it. Each
+/// step is jittered from the caller's seeded stream (see
+/// ReconcileRetryOptions::backoff_jitter) to break retry lockstep.
 template <typename Op>
 auto RetryUnavailable(const ReconcileRetryOptions& retry, RetryStats* stats,
-                      Op&& op) -> decltype(op()) {
+                      Rng* rng, Op&& op) -> decltype(op()) {
   int64_t backoff = retry.initial_backoff_micros;
   for (int attempt = 1;; ++attempt) {
     auto result = op();
@@ -494,7 +497,13 @@ auto RetryUnavailable(const ReconcileRetryOptions& retry, RetryStats* stats,
         attempt >= retry.max_attempts) {
       return result;
     }
-    if (stats != nullptr) stats->backoff_micros += backoff;
+    int64_t step = backoff;
+    if (retry.backoff_jitter > 0 && rng != nullptr) {
+      const double factor = 1.0 - retry.backoff_jitter +
+                            2.0 * retry.backoff_jitter * rng->NextDouble();
+      step = static_cast<int64_t>(static_cast<double>(backoff) * factor);
+    }
+    if (stats != nullptr) stats->backoff_micros += step;
     backoff = static_cast<int64_t>(static_cast<double>(backoff) *
                                    retry.backoff_multiplier);
   }
@@ -507,21 +516,21 @@ Result<Epoch> Participant::PublishWithRetry(UpdateStore* store,
                                             RetryStats* stats) {
   // Publish keeps the queue on failure and the store stages the epoch,
   // so each attempt starts from a clean slate.
-  return RetryUnavailable(retry, stats,
+  return RetryUnavailable(retry, stats, &retry_rng_,
                           [&]() { return Publish(store); });
 }
 
 Result<ReconcileReport> Participant::ReconcileWithRetry(
     UpdateStore* store, const ReconcileRetryOptions& retry,
     RetryStats* stats) {
-  return RetryUnavailable(retry, stats,
+  return RetryUnavailable(retry, stats, &retry_rng_,
                           [&]() { return Reconcile(store); });
 }
 
 Result<ReconcileReport> Participant::ReconcileNetworkCentricWithRetry(
     UpdateStore* store, const ReconcileRetryOptions& retry,
     RetryStats* stats) {
-  return RetryUnavailable(retry, stats,
+  return RetryUnavailable(retry, stats, &retry_rng_,
                           [&]() { return ReconcileNetworkCentric(store); });
 }
 

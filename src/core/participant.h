@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/random.h"
 #include "common/result.h"
 #include "db/instance.h"
 #include "core/decision.h"
@@ -46,6 +47,12 @@ struct ReconcileRetryOptions {
   int max_attempts = 8;
   int64_t initial_backoff_micros = 1000;
   double backoff_multiplier = 2.0;
+  /// Each backoff step is scaled by a uniform factor in
+  /// [1 - backoff_jitter, 1 + backoff_jitter], drawn from the
+  /// participant's own seeded stream. After a shared outage every peer
+  /// observes the same Unavailable at the same simulated moment; without
+  /// jitter they would all retry in lockstep and re-collide. 0 disables.
+  double backoff_jitter = 0.25;
 };
 
 /// What a retried operation actually did.
@@ -200,6 +207,9 @@ class Participant {
   Reconciler reconciler_;
 
   uint64_t next_seq_ = 0;
+  /// Per-participant stream behind retry-backoff jitter; seeded from the
+  /// participant id so runs stay deterministic yet peers decorrelate.
+  Rng retry_rng_;
   std::vector<Transaction> publish_queue_;
   /// Updates executed locally since the previous reconciliation — the
   /// "delta for recno" used by CheckState.

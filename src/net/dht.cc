@@ -4,39 +4,163 @@
 
 namespace orchestra::net {
 
-DhtRing::DhtRing(size_t n) {
+DhtRing::DhtRing(size_t n, size_t successor_list_length)
+    : successor_list_length_(successor_list_length) {
   ORCH_CHECK_GT(n, 0u);
+  ORCH_CHECK_GT(successor_list_length_, 0u);
   ids_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    NodeId id = KeyHash("node:" + std::to_string(i));
-    // Exceedingly unlikely, but ids must be unique for ring ownership to
-    // be well-defined; nudge duplicates.
-    while (std::find(ids_.begin(), ids_.end(), id) != ids_.end()) ++id;
+    const NodeId id = KeyHash("node:" + std::to_string(next_name_++));
+    // Two nodes on the same ring position would silently shadow one
+    // node's arc (every key in it routes to whichever sorts first), so a
+    // collision is a hard configuration error, not something to paper
+    // over by nudging ids.
+    ORCH_CHECK(std::find(ids_.begin(), ids_.end(), id) == ids_.end(),
+               "ring id collision: two nodes hash to %llu",
+               static_cast<unsigned long long>(id));
     ids_.push_back(id);
   }
+  alive_.assign(n, 1);
   sorted_.resize(n);
   for (size_t i = 0; i < n; ++i) sorted_[i] = i;
   std::sort(sorted_.begin(), sorted_.end(),
             [this](size_t a, size_t b) { return ids_[a] < ids_[b]; });
 
-  // Finger tables: finger[k] of node x owns id(x) + 2^k.
   fingers_.assign(n, std::vector<size_t>(64));
-  for (size_t i = 0; i < n; ++i) {
-    for (int k = 0; k < 64; ++k) {
-      const NodeId target = ids_[i] + (NodeId{1} << k);  // wraps mod 2^64
-      fingers_[i][k] = OwnerOf(target);
-    }
-  }
+  for (size_t i = 0; i < n; ++i) BuildFingers(i);
+  succ_.assign(n, {});
+  RebuildSuccessorLists();
 }
 
 size_t DhtRing::OwnerOf(NodeId key) const {
-  // Successor ownership: the first node id >= key, wrapping to the
+  // Successor ownership: the first live node id >= key, wrapping to the
   // smallest id.
   auto it = std::lower_bound(
       sorted_.begin(), sorted_.end(), key,
       [this](size_t node, NodeId k) { return ids_[node] < k; });
   if (it == sorted_.end()) it = sorted_.begin();
   return *it;
+}
+
+std::vector<size_t> DhtRing::ReplicaGroup(NodeId key, size_t k) const {
+  ORCH_CHECK_GT(k, 0u);
+  const size_t count = std::min(k, sorted_.size());
+  std::vector<size_t> group;
+  group.reserve(count);
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), key,
+      [this](size_t node, NodeId kk) { return ids_[node] < kk; });
+  size_t pos = it == sorted_.end()
+                   ? 0
+                   : static_cast<size_t>(it - sorted_.begin());
+  for (size_t i = 0; i < count; ++i) {
+    group.push_back(sorted_[(pos + i) % sorted_.size()]);
+  }
+  return group;
+}
+
+void DhtRing::BuildFingers(size_t index) {
+  for (int k = 0; k < 64; ++k) {
+    const NodeId target = ids_[index] + (NodeId{1} << k);  // wraps mod 2^64
+    fingers_[index][k] = OwnerOf(target);
+  }
+}
+
+void DhtRing::RebuildSuccessorLists() {
+  const size_t n = sorted_.size();
+  const size_t len = std::min(successor_list_length_, n > 0 ? n - 1 : 0);
+  for (size_t pos = 0; pos < n; ++pos) {
+    const size_t node = sorted_[pos];
+    succ_[node].clear();
+    for (size_t i = 1; i <= len; ++i) {
+      succ_[node].push_back(sorted_[(pos + i) % n]);
+    }
+  }
+}
+
+size_t DhtRing::Insert(NodeId id) {
+  const size_t index = ids_.size();
+  ids_.push_back(id);
+  alive_.push_back(1);
+  fingers_.emplace_back(64);
+  succ_.emplace_back();
+
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), id,
+      [this](size_t node, NodeId k) { return ids_[node] < k; });
+  const size_t pos = static_cast<size_t>(it - sorted_.begin());
+  sorted_.insert(it, index);
+
+  BuildFingers(index);
+  // Incremental repair: the new node took over the arc (pred, id], so
+  // exactly the finger entries whose target falls in that arc must move
+  // to it. With one live node before the insert the arc is the whole
+  // ring minus the old node's own id; the interval test handles both.
+  if (sorted_.size() > 1) {
+    const size_t pred =
+        sorted_[(pos + sorted_.size() - 1) % sorted_.size()];
+    const NodeId pred_id = ids_[pred];
+    for (size_t node : sorted_) {
+      if (node == index) continue;
+      for (int k = 0; k < 64; ++k) {
+        const NodeId target = ids_[node] + (NodeId{1} << k);
+        if (InInterval(target, pred_id, id)) fingers_[node][k] = index;
+      }
+    }
+  }
+  RebuildSuccessorLists();
+  return index;
+}
+
+Result<size_t> DhtRing::Join() {
+  return JoinWithId(KeyHash("node:" + std::to_string(next_name_++)));
+}
+
+Result<size_t> DhtRing::JoinWithId(NodeId id) {
+  for (size_t node : sorted_) {
+    if (ids_[node] == id) {
+      return Status::AlreadyExists(
+          "ring id collision: node " + std::to_string(node) +
+          " already occupies ring position " + std::to_string(id));
+    }
+  }
+  return Insert(id);
+}
+
+Status DhtRing::Remove(size_t index, bool repair_fingers) {
+  if (index >= ids_.size() || !IsLive(index)) {
+    return Status::InvalidArgument("node " + std::to_string(index) +
+                                   " is not a live ring member");
+  }
+  if (sorted_.size() == 1) {
+    return Status::InvalidArgument(
+        "cannot remove the last live node from the ring");
+  }
+  auto it = std::find(sorted_.begin(), sorted_.end(), index);
+  ORCH_CHECK(it != sorted_.end());
+  sorted_.erase(it);
+  alive_[index] = 0;
+  if (repair_fingers) {
+    // The departed node's arc transferred to its live successor; every
+    // finger entry through it moves there too.
+    const size_t heir = OwnerOf(ids_[index]);
+    for (size_t node : sorted_) {
+      for (int k = 0; k < 64; ++k) {
+        if (fingers_[node][k] == index) fingers_[node][k] = heir;
+      }
+    }
+  }
+  RebuildSuccessorLists();
+  return Status::OK();
+}
+
+Status DhtRing::Leave(size_t index) { return Remove(index, true); }
+
+Status DhtRing::Crash(size_t index) {
+  // Successor lists (the correctness substrate) are repaired eagerly by
+  // stabilization; finger tables are not — routes discover the dead
+  // entries, pay a failed probe, and fix them lazily.
+  return Remove(index, false);
 }
 
 bool DhtRing::InInterval(NodeId x, NodeId a, NodeId b) {
@@ -47,28 +171,49 @@ bool DhtRing::InInterval(NodeId x, NodeId a, NodeId b) {
 }
 
 RouteResult DhtRing::Route(size_t from, NodeId key) const {
+  ORCH_CHECK(IsLive(from), "route must start at a live node");
   RouteResult result;
   size_t current = from;
   const size_t owner = OwnerOf(key);
   // Greedy Chord routing: forward to the farthest finger that does not
-  // overshoot the key, until the current node's successor owns it.
+  // overshoot the key, until the current node's successor owns it. A
+  // finger still pointing at a crashed node costs a failed probe; the
+  // entry is repaired to the dead node's live successor on the spot.
   while (current != owner) {
     size_t next = current;
     for (int k = 63; k >= 0; --k) {
-      const size_t candidate = fingers_[current][k];
+      size_t candidate = fingers_[current][k];
       if (candidate == current) continue;
-      if (InInterval(ids_[candidate], ids_[current], key)) {
-        next = candidate;
-        break;
+      if (!InInterval(ids_[candidate], ids_[current], key)) continue;
+      if (!IsLive(candidate)) {
+        ++result.failed_probes;
+        const size_t repaired = OwnerOf(ids_[candidate]);
+        fingers_[current][k] = repaired;
+        candidate = repaired;
+        if (candidate == current ||
+            !InInterval(ids_[candidate], ids_[current], key)) {
+          continue;  // the repaired finger overshoots; try a shorter one
+        }
       }
+      next = candidate;
+      break;
     }
     if (next == current) {
-      // No finger strictly precedes the key: the successor owns it.
-      next = owner;
+      // No live finger strictly precedes the key: detour via the
+      // successor list — the farthest live successor not past the key,
+      // else the immediate successor, which owns it.
+      for (auto s = succ_[current].rbegin(); s != succ_[current].rend();
+           ++s) {
+        if (InInterval(ids_[*s], ids_[current], key)) {
+          next = *s;
+          break;
+        }
+      }
+      if (next == current) next = owner;
     }
     ++result.hops;
     current = next;
-    if (result.hops > static_cast<int64_t>(ids_.size())) {
+    if (result.hops > static_cast<int64_t>(ids_.size()) + 64) {
       // Defensive: routing must converge within n hops.
       ORCH_CHECK(false, "DHT routing failed to converge");
     }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/result.h"
 #include "common/string_util.h"
 
 namespace orchestra::net {
@@ -26,51 +27,122 @@ inline NodeId KeyHash(std::string_view key) {
   return z ^ (z >> 31);
 }
 
-/// Result of routing a key lookup: which node owns the key and how many
-/// overlay hops the lookup message traversed.
+/// Result of routing a key lookup: which node owns the key, how many
+/// overlay hops the lookup message traversed, and how many dead fingers
+/// the route probed before detouring around them (each failed probe is a
+/// timed-out message the initiator paid for).
 struct RouteResult {
-  size_t owner = 0;  // index into the ring's node list
-  int64_t hops = 0;  // messages sent to reach the owner
+  size_t owner = 0;          // index into the ring's node list
+  int64_t hops = 0;          // messages sent to reach the owner
+  int64_t failed_probes = 0; // probes to crashed nodes along the way
 };
 
-/// A Chord-style structured overlay: nodes own the arc of the identifier
-/// ring ending at their id (successor ownership), and each node keeps a
-/// finger table with successors of n + 2^k for greedy O(log n) routing.
+/// A Chord-style structured overlay with dynamic membership: nodes own
+/// the arc of the identifier ring ending at their id (successor
+/// ownership), each node keeps a finger table with successors of
+/// n + 2^k for greedy O(log n) routing, plus a successor list used for
+/// replica placement and for detouring around failed fingers.
 ///
 /// This is the stand-in for the paper's FreePastry substrate (§5.2.2):
 /// the reconciliation experiments depend on key→owner placement and
 /// per-message hop counts, both of which a Chord ring reproduces with
-/// the same asymptotics. Fault tolerance is out of scope, as in the
-/// paper ("we assume successful message delivery").
+/// the same asymptotics. Like Pastry, the overlay tolerates node
+/// failures: nodes may Join, Leave gracefully, or Crash, and routing
+/// detects dead hops and detours via the successor list.
+///
+/// Node *indices* are stable handles: a departed or crashed node keeps
+/// its slot (IsLive(i) == false) so external per-node state can stay
+/// index-addressed across membership changes.
+///
+/// Membership repair is deliberately asymmetric, as in Chord:
+///  - Join/Leave are cooperative, so successor lists and the finger
+///    entries whose targets changed owner are repaired eagerly and
+///    incrementally (no full table rebuild);
+///  - Crash is abrupt: successor lists (the correctness substrate) are
+///    repaired eagerly, but other nodes' finger tables keep stale
+///    entries pointing at the dead node until a route trips over one —
+///    Route() counts the failed probe and repairs that entry in place,
+///    Chord's lazy finger fixing.
 class DhtRing {
  public:
-  /// Builds a ring of `n` nodes. Node i gets id hash("node:<i>"), so
-  /// placement is deterministic yet well-spread.
-  explicit DhtRing(size_t n);
+  static constexpr size_t kDefaultSuccessorListLength = 8;
 
+  /// Builds a ring of `n` live nodes. Node i gets id hash("node:<i>"),
+  /// so placement is deterministic yet well-spread. CHECK-fails on a
+  /// ring-id collision (two nodes hashing to the same id would silently
+  /// shadow one node's arc).
+  explicit DhtRing(size_t n,
+                   size_t successor_list_length = kDefaultSuccessorListLength);
+
+  /// Total node slots ever allocated, live or not.
   size_t size() const { return ids_.size(); }
+  /// Live nodes currently on the ring.
+  size_t live_count() const { return sorted_.size(); }
+  bool IsLive(size_t index) const { return alive_[index] != 0; }
 
-  /// Ring id of node `index`.
+  /// Ring id of node `index` (valid for dead slots too).
   NodeId IdOf(size_t index) const { return ids_[index]; }
 
-  /// Index of the node owning `key` (its successor on the ring).
+  /// Adds a node with the next deterministic id hash("node:<j>") and
+  /// returns its index. AlreadyExists on a ring-id collision.
+  Result<size_t> Join();
+  /// Adds a node with an explicit id (tests use this to craft rings).
+  Result<size_t> JoinWithId(NodeId id);
+  /// Graceful departure: ownership of the node's arc moves to its
+  /// successor and finger entries through it are repaired eagerly.
+  /// FailedPrecondition when the node is not live or is the last one.
+  Status Leave(size_t index);
+  /// Abrupt failure: like Leave, but other nodes' finger tables are left
+  /// stale — routes discover the dead entries and detour (see Route).
+  Status Crash(size_t index);
+
+  /// Index of the live node owning `key` (its successor on the ring).
   size_t OwnerOf(NodeId key) const;
 
-  /// Routes a lookup for `key` starting at node `from` using finger
-  /// tables; returns the owner and the number of hops taken (0 when
-  /// `from` already owns the key).
+  /// The first min(k, live_count) live successors of `key`, primary
+  /// first: the key's replica group.
+  std::vector<size_t> ReplicaGroup(NodeId key, size_t k) const;
+
+  /// The successor list of live node `index`: up to
+  /// `successor_list_length` live nodes following it on the ring.
+  const std::vector<size_t>& SuccessorList(size_t index) const {
+    ORCH_CHECK(IsLive(index));
+    return succ_[index];
+  }
+
+  /// Routes a lookup for `key` starting at live node `from` using finger
+  /// tables; returns the owner, the number of hops taken (0 when `from`
+  /// already owns the key), and the number of dead fingers probed. A
+  /// probe that hits a crashed node repairs that finger entry to the
+  /// dead node's live successor and the route detours via the successor
+  /// list, so the lookup always terminates at the true owner.
   RouteResult Route(size_t from, NodeId key) const;
 
-  /// The k-th finger of node `index`: the node owning id + 2^k.
+  /// The k-th finger of node `index`: the node owning id + 2^k (may be
+  /// stale — pointing at a crashed node — until a route repairs it).
   size_t Finger(size_t index, int k) const { return fingers_[index][k]; }
 
  private:
   /// True if `x` lies in the half-open ring interval (a, b].
   static bool InInterval(NodeId x, NodeId a, NodeId b);
 
-  std::vector<NodeId> ids_;          // per node index
-  std::vector<size_t> sorted_;       // node indices sorted by id
-  std::vector<std::vector<size_t>> fingers_;  // [node][k] -> node index
+  /// Inserts an already-validated node into the live structures and
+  /// incrementally repairs fingers whose targets it now owns.
+  size_t Insert(NodeId id);
+  /// Shared tail of Leave/Crash; `repair_fingers` distinguishes them.
+  Status Remove(size_t index, bool repair_fingers);
+  /// Fully (re)builds node `index`'s own finger table.
+  void BuildFingers(size_t index);
+  /// Rebuilds every live node's successor list from the sorted order.
+  void RebuildSuccessorLists();
+
+  size_t successor_list_length_;
+  size_t next_name_ = 0;             // counter behind hash("node:<j>") ids
+  std::vector<NodeId> ids_;          // per node index (stable slots)
+  std::vector<char> alive_;          // per node index
+  std::vector<size_t> sorted_;       // live node indices sorted by id
+  mutable std::vector<std::vector<size_t>> fingers_;  // [node][k] -> index
+  std::vector<std::vector<size_t>> succ_;  // [node] -> successor list
 };
 
 }  // namespace orchestra::net

@@ -37,10 +37,27 @@ Result<std::unique_ptr<Cdss>> Cdss::Make(CdssConfig config) {
       cdss->network_.set_fault_injector(&cdss->fault_injector_);
       store::DhtStoreOptions opts;
       opts.stuck_epoch_reap_threshold = cfg.stuck_epoch_reap_threshold;
-      cdss->store_ = std::make_unique<store::DhtStore>(
+      opts.replication_factor = cfg.replication_factor;
+      auto dht = std::make_unique<store::DhtStore>(
           cfg.participants, &cdss->network_, &cdss->catalog_, opts);
+      cdss->dht_ = dht.get();
+      cdss->store_ = std::move(dht);
       break;
     }
+  }
+
+  if (cfg.churn.enabled) {
+    if (cdss->dht_ == nullptr) {
+      return Status::InvalidArgument(
+          "churn schedules need the DHT store; the central store has no "
+          "ring to churn");
+    }
+    FaultInjectorConfig churn_fault;
+    churn_fault.failure_probability = cfg.churn.crash_probability;
+    churn_fault.seed = cfg.churn.seed;
+    churn_fault.site_prefix = "net.node_crash";
+    cdss->churn_injector_.Configure(churn_fault);
+    cdss->churn_rng_.Seed(cfg.churn.seed ^ 0xc2b2ae3d27d4eb4fULL);
   }
 
   // Trust topology (kUniform reproduces §6's equal mutual trust).
@@ -124,9 +141,54 @@ Result<core::ReconcileReport> Cdss::StepParticipant(size_t index) {
   return report;
 }
 
+Status Cdss::ApplyChurn() {
+  if (!config_.churn.enabled || dht_ == nullptr) return Status::OK();
+  const ChurnConfig& churn = config_.churn;
+  const auto check_invariant = [&] {
+    if (!dht_->CheckReplicationInvariant()) {
+      running_.replication_invariant_ok = false;
+    }
+  };
+  // One possible join first: fresh capacity arrives before any departure
+  // this boundary.
+  if (churn.join_probability > 0 &&
+      churn_rng_.NextBool(churn.join_probability)) {
+    ORCH_RETURN_IF_ERROR(dht_->JoinNode().status());
+    ++running_.node_joins;
+    check_invariant();
+  }
+  // One possible graceful leave of a uniformly chosen live node.
+  if (churn.leave_probability > 0 &&
+      churn_rng_.NextBool(churn.leave_probability) &&
+      dht_->live_node_count() > churn.min_live_nodes) {
+    std::vector<size_t> live;
+    for (size_t node = 0; node < dht_->ring().size(); ++node) {
+      if (dht_->ring().IsLive(node)) live.push_back(node);
+    }
+    const size_t victim = live[churn_rng_.NextBounded(live.size())];
+    ORCH_RETURN_IF_ERROR(dht_->LeaveNode(victim));
+    ++running_.node_leaves;
+    check_invariant();
+  }
+  // Crash draws: one per live node through the net.node_crash site. Each
+  // crash re-replicates before the next draw, so only the loss of a
+  // whole replica group in a *single* event could destroy data — which a
+  // single-node crash cannot, for replication_factor > 1.
+  for (size_t node = 0; node < dht_->ring().size(); ++node) {
+    if (!dht_->ring().IsLive(node)) continue;
+    if (dht_->live_node_count() <= churn.min_live_nodes) break;
+    if (churn_injector_.MaybeFail("net.node_crash").ok()) continue;
+    ORCH_RETURN_IF_ERROR(dht_->CrashNode(node));
+    ++running_.node_crashes;
+    check_invariant();
+  }
+  return Status::OK();
+}
+
 Result<CdssResult> Cdss::Run() {
   running_ = CdssResult{};
   for (size_t round = 0; round < config_.rounds; ++round) {
+    if (round > 0) ORCH_RETURN_IF_ERROR(ApplyChurn());
     for (size_t i = 0; i < participants_.size(); ++i) {
       ORCH_RETURN_IF_ERROR(StepParticipant(i).status());
     }

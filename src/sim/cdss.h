@@ -20,6 +20,31 @@ namespace orchestra::sim {
 
 enum class StoreKind { kCentral, kDht };
 
+/// Seeded DHT node-churn schedule (StoreKind::kDht only): membership
+/// events applied at round boundaries, interleaved with the
+/// publish/reconcile schedule. Crash draws flow through a dedicated
+/// FaultInjector at the "net.node_crash" site — one draw per live node
+/// per boundary — so a given (seed, schedule) always kills the same
+/// nodes; joins and graceful leaves come from a separate stream of the
+/// same seed. Every event triggers the store's key-range re-replication
+/// immediately, so no two events can compound against one replica group.
+struct ChurnConfig {
+  bool enabled = false;
+  /// Per live node, per round boundary: probability the node crashes
+  /// (abrupt — its state dies; replicas restore it).
+  double crash_probability = 0.0;
+  /// Per round boundary: probability one fresh node joins the ring.
+  double join_probability = 0.0;
+  /// Per round boundary: probability one random live node leaves
+  /// gracefully (handing off its keys first).
+  double leave_probability = 0.0;
+  uint64_t seed = 1;
+  /// The schedule never shrinks the ring below this many live nodes
+  /// (it must stay above the replication factor for crashes to be
+  /// survivable).
+  size_t min_live_nodes = 4;
+};
+
 /// Shape of the confederation's trust relationships.
 enum class TrustTopology {
   /// Everyone trusts everyone at the same priority (§6's setup — every
@@ -74,6 +99,12 @@ struct CdssConfig {
   /// Stuck-epoch reaping threshold passed to the store (see
   /// CentralStoreOptions / DhtStoreOptions).
   int stuck_epoch_reap_threshold = 3;
+  /// Replicas per DHT key (DhtStoreOptions::replication_factor); 1
+  /// disables replication, so a node crash loses data.
+  size_t replication_factor = 3;
+  /// DHT node churn interleaved with the rounds (kDht only; rejected for
+  /// the central store, which has no ring to churn).
+  ChurnConfig churn;
 };
 
 /// Aggregated results of a run.
@@ -89,6 +120,12 @@ struct CdssResult {
   int64_t faults_injected = 0;
   int64_t retried_operations = 0;
   int64_t backoff_micros = 0;
+  /// Churn accounting: membership events the schedule actually applied,
+  /// and whether the replica-placement invariant held after every event.
+  int64_t node_crashes = 0;
+  int64_t node_joins = 0;
+  int64_t node_leaves = 0;
+  bool replication_invariant_ok = true;
   /// Mean per-reconciliation times (microseconds).
   double avg_local_micros = 0;
   double avg_store_micros = 0;
@@ -124,6 +161,8 @@ class Cdss {
   /// The fault injector threaded through the store (always present;
   /// inert when the config disables injection).
   FaultInjector& fault_injector() { return fault_injector_; }
+  /// The DHT store when StoreKind::kDht was configured, else nullptr.
+  store::DhtStore* dht_store() { return dht_; }
 
   /// Current state ratio over the Function relation.
   double CurrentStateRatio() const;
@@ -131,10 +170,22 @@ class Cdss {
  private:
   explicit Cdss(CdssConfig config) : config_(std::move(config)) {}
 
+  /// Applies one round boundary's worth of churn: a possible join, a
+  /// possible graceful leave, then per-node crash draws through the
+  /// "net.node_crash" site. Checks the replication invariant after each
+  /// event and latches any violation into the running result.
+  Status ApplyChurn();
+
   CdssConfig config_;
   db::Catalog catalog_;
   net::SimNetwork network_;
   FaultInjector fault_injector_;
+  /// Dedicated injector for the churn schedule's crash draws; kept apart
+  /// from fault_injector_ so message-loss faults and membership churn
+  /// compose without perturbing each other's random streams.
+  FaultInjector churn_injector_;
+  Rng churn_rng_{0};
+  store::DhtStore* dht_ = nullptr;
   std::unique_ptr<storage::StorageEngine> engine_;
   std::unique_ptr<core::UpdateStore> store_;
   std::vector<std::unique_ptr<core::TrustPolicy>> policies_;

@@ -1,5 +1,6 @@
 #include "store/dht_store.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "common/check.h"
@@ -20,17 +21,36 @@ DhtStore::DhtStore(size_t nodes, net::SimNetwork* network,
     : ring_(nodes), network_(network), catalog_(catalog), options_(options),
       nodes_(nodes) {
   ORCH_CHECK(network != nullptr);
+  ORCH_CHECK_GT(options_.replication_factor, 0u);
+}
+
+size_t DhtStore::NodeOfPeer(ParticipantId peer) const {
+  const size_t slot = static_cast<size_t>(peer) % ring_.size();
+  if (ring_.IsLive(slot)) return slot;
+  // The peer's home node churned away; its client re-attaches to the
+  // slot's live successor on the ring.
+  return ring_.OwnerOf(ring_.IdOf(slot) + 1);
 }
 
 size_t DhtStore::RoutedSend(ParticipantId peer, size_t from_node,
                             net::NodeId key, int64_t bytes) {
   const net::RouteResult route = ring_.Route(from_node, key);
+  // A probe into a crashed node is a timed-out message the initiator
+  // paid for before detouring via the successor list.
+  if (route.failed_probes > 0) network_->Charge(peer, route.failed_probes, 8);
   if (route.hops > 0) network_->Charge(peer, route.hops, bytes);
   return route.owner;
 }
 
 void DhtStore::DirectSend(ParticipantId peer, int64_t bytes) {
   network_->Charge(peer, 1, bytes);
+}
+
+void DhtStore::ReplicatedSend(ParticipantId peer, size_t from_node,
+                              const std::string& key, int64_t bytes) {
+  RoutedSend(peer, from_node, net::KeyHash(key), bytes);
+  const size_t fanout = GroupFor(key).size() - 1;
+  if (fanout > 0) network_->Charge(peer, static_cast<int64_t>(fanout), bytes);
 }
 
 namespace {
@@ -46,6 +66,7 @@ constexpr int kMaxTransmits = 5;
 Result<size_t> DhtStore::TryRoutedSend(ParticipantId peer, size_t from_node,
                                        net::NodeId key, int64_t bytes) {
   const net::RouteResult route = ring_.Route(from_node, key);
+  if (route.failed_probes > 0) network_->Charge(peer, route.failed_probes, 8);
   if (route.hops > 0) {
     Status sent;
     for (int attempt = 0; attempt < kMaxTransmits; ++attempt) {
@@ -66,16 +87,33 @@ Status DhtStore::TryDirectSend(ParticipantId peer, int64_t bytes) {
   return sent;
 }
 
+Status DhtStore::TryReplicatedSend(ParticipantId peer, size_t from_node,
+                                   const std::string& key, int64_t bytes) {
+  ORCH_RETURN_IF_ERROR(
+      TryRoutedSend(peer, from_node, net::KeyHash(key), bytes).status());
+  const size_t fanout = GroupFor(key).size() - 1;
+  for (size_t i = 0; i < fanout; ++i) {
+    ORCH_RETURN_IF_ERROR(TryDirectSend(peer, bytes));
+  }
+  return Status::OK();
+}
+
 bool DhtStore::EpochCommitted(Epoch e) const {
-  const NodeState& node = nodes_[EpochControllerNode(e)];
-  return node.epoch_done.count(e) != 0 && node.epoch_aborted.count(e) == 0;
+  for (size_t node : GroupFor("epoch:" + std::to_string(e))) {
+    if (!nodes_[node].KnowsEpoch(e)) continue;
+    return nodes_[node].epoch_done.count(e) != 0 &&
+           nodes_[node].epoch_aborted.count(e) == 0;
+  }
+  return false;
 }
 
 bool DhtStore::IsCommittedTxn(const TransactionId& id) const {
-  const NodeState& node = nodes_[TxnControllerNode(id)];
-  auto it = node.txns.find(id);
-  if (it == node.txns.end()) return false;
-  return EpochCommitted(it->second.epoch);
+  for (size_t node : GroupFor("txn:" + id.ToString())) {
+    auto it = nodes_[node].txns.find(id);
+    if (it == nodes_[node].txns.end()) continue;
+    return EpochCommitted(it->second.epoch);
+  }
+  return false;
 }
 
 void DhtStore::AbortEpoch(ParticipantId peer, Epoch epoch,
@@ -88,26 +126,31 @@ void DhtStore::AbortEpoch(ParticipantId peer, Epoch epoch,
   FaultInjector::ScopedDisable guard(injector);
   const size_t my_node = NodeOfPeer(peer);
   for (const TransactionId& id : staged) {
-    NodeState& node = nodes_[TxnControllerNode(id)];
-    node.txns.erase(id);
-    auto dec_it = node.decisions.find(id);
-    if (dec_it != node.decisions.end()) {
-      dec_it->second.erase(peer);
-      if (dec_it->second.empty()) node.decisions.erase(dec_it);
-    }
-    RoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()), 24);
+    const std::string key = "txn:" + id.ToString();
+    ReplicatedSend(peer, my_node, key, 24);
+    MutateGroup(key, [&](NodeState& node) {
+      node.txns.erase(id);
+      auto dec_it = node.decisions.find(id);
+      if (dec_it != node.decisions.end()) {
+        dec_it->second.erase(peer);
+        if (dec_it->second.empty()) node.decisions.erase(dec_it);
+      }
+    });
   }
-  const size_t controller = RoutedSend(
-      peer, my_node, net::KeyHash("epoch:" + std::to_string(epoch)), 24);
-  nodes_[controller].epoch_contents.erase(epoch);
-  nodes_[controller].epoch_aborted.insert(epoch);
+  const std::string ekey = "epoch:" + std::to_string(epoch);
+  ReplicatedSend(peer, my_node, ekey, 24);
+  MutateGroup(ekey, [&](NodeState& node) {
+    node.epoch_contents.erase(epoch);
+    node.epoch_aborted.insert(epoch);
+  });
 }
 
 Status DhtStore::RegisterParticipant(ParticipantId peer,
                                      const core::TrustPolicy* policy) {
   ORCH_CHECK(policy != nullptr);
   policies_[peer] = policy;
-  nodes_[CoordinatorNode(peer)].coordinated.emplace(peer, CoordEntry{});
+  MutateGroup("peer:" + std::to_string(peer),
+              [&](NodeState& node) { node.coordinated.emplace(peer, CoordEntry{}); });
   return Status::OK();
 }
 
@@ -120,11 +163,15 @@ Result<Epoch> DhtStore::Publish(ParticipantId peer,
   // confirms the epoch *finished* — the commit point — only after every
   // transaction controller has accepted its transaction. Any message
   // lost before that aborts the epoch and leaves nothing visible.
-  // (1) request epoch -> allocator.
-  ORCH_ASSIGN_OR_RETURN(
-      const size_t allocator,
-      TryRoutedSend(peer, my_node, net::KeyHash("epoch-allocator"), 16));
-  const Epoch epoch = ++nodes_[allocator].epoch_counter;
+  // Every controller write fans out to the key's whole replica group so
+  // a node crash between operations loses nothing (for k > 1).
+  // (1) request epoch -> allocator group.
+  ORCH_RETURN_IF_ERROR(
+      TryReplicatedSend(peer, my_node, "epoch-allocator", 16));
+  const Epoch epoch = nodes_[AllocatorNode()].epoch_counter + 1;
+  MutateGroup("epoch-allocator",
+              [&](NodeState& node) { node.epoch_counter = epoch; });
+  const std::string ekey = "epoch:" + std::to_string(epoch);
   // A failure past this point burns the number; reconcilers tolerate
   // gaps via the stuck-epoch reaper.
   std::vector<TransactionId> staged;
@@ -132,13 +179,13 @@ Result<Epoch> DhtStore::Publish(ParticipantId peer,
     AbortEpoch(peer, epoch, staged);
     return status;
   };
-  // (2) allocator -> epoch controller: begin epoch e.
-  auto begin = TryRoutedSend(peer, allocator,
-                             net::KeyHash("epoch:" + std::to_string(epoch)),
-                             16);
-  if (!begin.ok()) return abort_with(begin.status());
-  const size_t controller = *begin;
-  nodes_[controller].epoch_contents[epoch];  // mark as begun (open)
+  // (2) allocator -> epoch controller group: begin epoch e.
+  if (Status s = TryReplicatedSend(peer, AllocatorNode(), ekey, 16); !s.ok()) {
+    return abort_with(s);
+  }
+  MutateGroup(ekey, [&](NodeState& node) {
+    node.epoch_contents[epoch];  // mark as begun (open)
+  });
   // (3) controller -> allocator: confirm epoch begun.
   // (4) allocator -> publishing peer: begin publishing at epoch e.
   if (Status s = TryDirectSend(peer, 8); !s.ok()) return abort_with(s);
@@ -157,31 +204,32 @@ Result<Epoch> DhtStore::Publish(ParticipantId peer,
     }
   }
 
-  // (5) publish transaction IDs for epoch e -> epoch controller.
+  // (5) publish transaction IDs for epoch e -> epoch controller group.
   std::vector<TransactionId> ids;
   ids.reserve(txns.size());
   for (const Transaction& txn : txns) ids.push_back(txn.id);
-  if (Status s = TryRoutedSend(peer, my_node,
-                               net::KeyHash("epoch:" + std::to_string(epoch)),
-                               static_cast<int64_t>(16 * ids.size() + 16))
-                     .status();
+  if (Status s = TryReplicatedSend(
+          peer, my_node, ekey, static_cast<int64_t>(16 * ids.size() + 16));
       !s.ok()) {
     return abort_with(s);
   }
-  nodes_[controller].epoch_contents[epoch] = ids;
+  MutateGroup(ekey,
+              [&](NodeState& node) { node.epoch_contents[epoch] = ids; });
 
-  // (6) the peer sends each transaction to its transaction controller,
-  // which records the publisher's implicit self-acceptance.
+  // (6) the peer sends each transaction to its transaction controller
+  // group, which records the publisher's implicit self-acceptance.
   for (Transaction& txn : txns) {
     const int64_t size =
         static_cast<int64_t>(core::EncodedTransactionSize(txn));
     const TransactionId id = txn.id;
-    auto sent =
-        TryRoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()),
-                      size);
-    if (!sent.ok()) return abort_with(sent.status());
-    nodes_[*sent].txns.insert_or_assign(id, std::move(txn));
-    nodes_[*sent].decisions[id][peer] = Decision{'A', 0};
+    const std::string key = "txn:" + id.ToString();
+    if (Status s = TryReplicatedSend(peer, my_node, key, size); !s.ok()) {
+      return abort_with(s);
+    }
+    MutateGroup(key, [&](NodeState& node) {
+      node.txns.insert_or_assign(id, txn);
+      node.decisions[id][peer] = Decision{'A', 0};
+    });
     staged.push_back(id);
     if (Status s = TryDirectSend(peer, 8); !s.ok()) return abort_with(s);
   }
@@ -189,19 +237,15 @@ Result<Epoch> DhtStore::Publish(ParticipantId peer,
   // (7) controller confirms the epoch finished: the commit point. The
   // reaper may have aborted the epoch under a slow publisher; an aborted
   // epoch can never finish (peers already advanced past it).
-  if (Status s = TryRoutedSend(peer, my_node,
-                               net::KeyHash("epoch:" + std::to_string(epoch)),
-                               16)
-                     .status();
-      !s.ok()) {
+  if (Status s = TryReplicatedSend(peer, my_node, ekey, 16); !s.ok()) {
     return abort_with(s);
   }
-  if (nodes_[controller].epoch_aborted.count(epoch) != 0) {
+  if (nodes_[EpochControllerNode(epoch)].epoch_aborted.count(epoch) != 0) {
     return abort_with(Status::Unavailable(
         "epoch " + std::to_string(epoch) +
         " was aborted before commit; republish"));
   }
-  nodes_[controller].epoch_done.insert(epoch);
+  MutateGroup(ekey, [&](NodeState& node) { node.epoch_done.insert(epoch); });
   DirectSend(peer, 8);  // ack to publisher (commit already durable)
   cpu_micros_[peer] += cpu.ElapsedMicros();
   calls_[peer] += 1;
@@ -220,22 +264,22 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
   ReconcileFetch fetch;
 
   // Most recent epoch from the allocator (request + reply).
-  ORCH_ASSIGN_OR_RETURN(
-      const size_t allocator,
-      TryRoutedSend(peer, my_node, net::KeyHash("epoch-allocator"), 16));
-  const Epoch latest = nodes_[allocator].epoch_counter;
+  ORCH_RETURN_IF_ERROR(
+      TryRoutedSend(peer, my_node, net::KeyHash("epoch-allocator"), 16)
+          .status());
+  const Epoch latest = nodes_[AllocatorNode()].epoch_counter;
   ORCH_RETURN_IF_ERROR(TryDirectSend(peer, 16));
 
-  // Prior watermark and recno from this peer's coordinator. The recno is
-  // allocated now (a failure later burns it, harmlessly); the watermark
-  // is committed only once the whole fetch has been assembled.
-  ORCH_ASSIGN_OR_RETURN(
-      const size_t coordinator,
-      TryRoutedSend(peer, my_node, net::KeyHash("peer:" + std::to_string(peer)),
-                    16));
-  CoordEntry& coord_entry = nodes_[coordinator].coordinated[peer];
+  // Prior watermark and recno from this peer's coordinator group. The
+  // recno is allocated now (a failure later burns it, harmlessly); the
+  // watermark is committed only once the whole fetch has been assembled.
+  const std::string pkey = "peer:" + std::to_string(peer);
+  ORCH_RETURN_IF_ERROR(TryReplicatedSend(peer, my_node, pkey, 16));
+  CoordEntry coord_entry = nodes_[CoordinatorNode(peer)].coordinated[peer];
   const Epoch prev = coord_entry.epoch;
   coord_entry.recno += 1;
+  MutateGroup(pkey,
+              [&](NodeState& node) { node.coordinated[peer] = coord_entry; });
   fetch.recno = coord_entry.recno;
   ORCH_RETURN_IF_ERROR(TryDirectSend(peer, 16));
 
@@ -244,32 +288,39 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
   // unfinished epoch preceding it). Aborted epochs are empty and are
   // skipped; an epoch observed unfinished by `stuck_epoch_reap_threshold`
   // scans belongs to a crashed publisher and is reaped to aborted so it
-  // cannot freeze the watermark.
+  // cannot freeze the watermark. Reads try the primary and fail over
+  // down the replica group.
   Epoch stable = prev;
   std::vector<TransactionId> published;
   for (Epoch e = prev + 1; e <= latest; ++e) {
-    ORCH_ASSIGN_OR_RETURN(
-        const size_t controller,
-        TryRoutedSend(peer, my_node,
-                      net::KeyHash("epoch:" + std::to_string(e)), 16));
-    NodeState& node = nodes_[controller];
-    if (node.epoch_aborted.count(e) != 0) {
+    const std::string ekey = "epoch:" + std::to_string(e);
+    ORCH_RETURN_IF_ERROR(
+        TryRoutedSend(peer, my_node, net::KeyHash(ekey), 16).status());
+    const auto holder = FirstHolder(
+        peer, ekey, [&](const NodeState& n) { return n.KnowsEpoch(e); });
+    if (holder.has_value() &&
+        nodes_[*holder].epoch_aborted.count(e) != 0) {
       ORCH_RETURN_IF_ERROR(TryDirectSend(peer, 8));
       stable = e;  // nothing to ship, but the watermark passes over it
       continue;
     }
-    const bool done = node.epoch_done.count(e) != 0;
-    const auto contents_it = node.epoch_contents.find(e);
-    const size_t count = contents_it == node.epoch_contents.end()
-                             ? 0
-                             : contents_it->second.size();
+    const bool done =
+        holder.has_value() && nodes_[*holder].epoch_done.count(e) != 0;
+    const auto* contents =
+        holder.has_value() &&
+                nodes_[*holder].epoch_contents.count(e) != 0
+            ? &nodes_[*holder].epoch_contents.at(e)
+            : nullptr;
+    const size_t count = contents == nullptr ? 0 : contents->size();
     ORCH_RETURN_IF_ERROR(
         TryDirectSend(peer, static_cast<int64_t>(16 * count + 16)));
     if (!done) {
       const int strikes = ++epoch_strikes_[e];
       if (strikes >= options_.stuck_epoch_reap_threshold) {
-        node.epoch_contents.erase(e);
-        node.epoch_aborted.insert(e);
+        MutateGroup(ekey, [&](NodeState& node) {
+          node.epoch_contents.erase(e);
+          node.epoch_aborted.insert(e);
+        });
         epoch_strikes_.erase(e);
         stable = e;
         continue;
@@ -277,10 +328,8 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
       break;  // everything after an unfinished epoch is unstable
     }
     stable = e;
-    if (contents_it != node.epoch_contents.end()) {
-      for (const TransactionId& id : contents_it->second) {
-        published.push_back(id);
-      }
+    if (contents != nullptr) {
+      for (const TransactionId& id : *contents) published.push_back(id);
     }
   }
   fetch.epoch = stable;
@@ -298,18 +347,19 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
     const auto [id, as_antecedent] = pending.front();
     pending.pop_front();
     if (!requested.insert(id).second) continue;
-    ORCH_ASSIGN_OR_RETURN(
-        const size_t txn_node,
-        TryRoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()),
-                      24));
-    const NodeState& node = nodes_[txn_node];
-    auto txn_it = node.txns.find(id);
-    if (txn_it == node.txns.end()) {
-      // Unreachable once publishing commits last: every id in a finished
-      // epoch's contents has its transaction durably at its controller.
+    const std::string tkey = "txn:" + id.ToString();
+    ORCH_RETURN_IF_ERROR(
+        TryRoutedSend(peer, my_node, net::KeyHash(tkey), 24).status());
+    const auto holder = FirstHolder(
+        peer, tkey, [&](const NodeState& n) { return n.txns.count(id) != 0; });
+    if (!holder.has_value()) {
+      // Every id in a finished epoch's contents had its transaction
+      // durably replicated at its controller group; no surviving replica
+      // means churn outran the replication factor and the data is gone.
       return Status::Internal("transaction controller lost " + id.ToString());
     }
-    const Transaction& txn = txn_it->second;
+    const NodeState& node = nodes_[*holder];
+    const Transaction& txn = node.txns.at(id);
     // Decision check at the controller.
     char decided = 0;
     auto dec_it = node.decisions.find(id);
@@ -336,14 +386,13 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
     }
   }
 
-  // Commit the new watermark at the coordinator only now that the fetch
-  // is fully assembled: a lost message anywhere above must not advance
-  // it, or the window (prev, stable] would be skipped forever.
-  ORCH_RETURN_IF_ERROR(
-      TryRoutedSend(peer, my_node,
-                    net::KeyHash("peer:" + std::to_string(peer)), 24)
-          .status());
+  // Commit the new watermark at the coordinator group only now that the
+  // fetch is fully assembled: a lost message anywhere above must not
+  // advance it, or the window (prev, stable] would be skipped forever.
+  ORCH_RETURN_IF_ERROR(TryReplicatedSend(peer, my_node, pkey, 24));
   coord_entry.epoch = stable;
+  MutateGroup(pkey,
+              [&](NodeState& node) { node.coordinated[peer] = coord_entry; });
   DirectSend(peer, 8);  // ack
   cpu_micros_[peer] += cpu.ElapsedMicros();
   calls_[peer] += 1;
@@ -355,31 +404,31 @@ Status DhtStore::RecordDecisions(ParticipantId peer, int64_t recno,
                                  const std::vector<TransactionId>& rejected) {
   Stopwatch cpu;
   const size_t my_node = NodeOfPeer(peer);
-  // Notify each transaction's controller, tagging the decision with the
-  // reconciliation that produced it. Recording is idempotent, so a retry
-  // after a lost message simply re-sends the whole outcome.
+  // Notify each transaction's controller group, tagging the decision
+  // with the reconciliation that produced it. Recording is idempotent,
+  // so a retry after a lost message simply re-sends the whole outcome.
   for (const TransactionId& id : applied) {
-    ORCH_ASSIGN_OR_RETURN(
-        const size_t node,
-        TryRoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()),
-                      24));
-    nodes_[node].decisions[id][peer] = Decision{'A', recno};
+    const std::string key = "txn:" + id.ToString();
+    ORCH_RETURN_IF_ERROR(TryReplicatedSend(peer, my_node, key, 24));
+    MutateGroup(key, [&](NodeState& node) {
+      node.decisions[id][peer] = Decision{'A', recno};
+    });
   }
   for (const TransactionId& id : rejected) {
-    ORCH_ASSIGN_OR_RETURN(
-        const size_t node,
-        TryRoutedSend(peer, my_node, net::KeyHash("txn:" + id.ToString()),
-                      24));
-    nodes_[node].decisions[id][peer] = Decision{'R', recno};
+    const std::string key = "txn:" + id.ToString();
+    ORCH_RETURN_IF_ERROR(TryReplicatedSend(peer, my_node, key, 24));
+    MutateGroup(key, [&](NodeState& node) {
+      node.decisions[id][peer] = Decision{'R', recno};
+    });
   }
   // Last message: the coordinator's completion witness. Until it lands,
   // recovery reports the reconciliation as interrupted
   // (last_decided_recno < recno).
-  ORCH_ASSIGN_OR_RETURN(
-      const size_t coordinator,
-      TryRoutedSend(peer, my_node,
-                    net::KeyHash("peer:" + std::to_string(peer)), 24));
-  nodes_[coordinator].coordinated[peer].decided_recno = recno;
+  const std::string pkey = "peer:" + std::to_string(peer);
+  ORCH_RETURN_IF_ERROR(TryReplicatedSend(peer, my_node, pkey, 24));
+  MutateGroup(pkey, [&](NodeState& node) {
+    node.coordinated[peer].decided_recno = recno;
+  });
   cpu_micros_[peer] += cpu.ElapsedMicros();
   calls_[peer] += 1;
   return Status::OK();
@@ -397,32 +446,36 @@ Result<core::RecoveryBundle> DhtStore::FetchRecoveryState(
   core::RecoveryBundle bundle;
 
   // Watermark, recno and completion witness from the peer coordinator
-  // (one round trip).
+  // group (one round trip, failing over past crashed members).
   {
-    const size_t coordinator = CoordinatorNode(peer);
-    auto it = nodes_[coordinator].coordinated.find(peer);
-    if (it != nodes_[coordinator].coordinated.end()) {
-      bundle.recno = it->second.recno;
-      bundle.epoch = it->second.epoch;
-      bundle.last_decided_recno = it->second.decided_recno;
+    const auto holder = FirstHolder(
+        peer, "peer:" + std::to_string(peer),
+        [&](const NodeState& n) { return n.coordinated.count(peer) != 0; });
+    if (holder.has_value()) {
+      const CoordEntry& entry = nodes_[*holder].coordinated.at(peer);
+      bundle.recno = entry.recno;
+      bundle.epoch = entry.epoch;
+      bundle.last_decided_recno = entry.decided_recno;
+      const auto route = ring_.Route(NodeOfPeer(peer), ring_.IdOf(*holder));
+      network_->Charge(peer, route.hops + 1, 24);
     }
-    const auto route = ring_.Route(NodeOfPeer(peer), ring_.IdOf(coordinator));
-    network_->Charge(peer, route.hops + 1, 24);
   }
 
   // Without its soft state the peer cannot know which transaction
-  // controllers hold its decisions, so recovery sweeps every node: one
-  // request per node, one bulk reply carrying that node's transactions
-  // and this peer's decisions on them.
+  // controllers hold its decisions, so recovery sweeps every live node:
+  // one request per node, one bulk reply carrying that node's
+  // transactions and this peer's decisions on them. Replicas resend the
+  // same decisions; the `decided` set dedupes them.
   core::TxnIdSet decided;
   for (size_t node = 0; node < nodes_.size(); ++node) {
+    if (!ring_.IsLive(node)) continue;
     int64_t bytes = 16;
     for (const auto& [id, txn] : nodes_[node].txns) {
       auto dec_it = nodes_[node].decisions.find(id);
       if (dec_it == nodes_[node].decisions.end()) continue;
       auto peer_it = dec_it->second.find(peer);
       if (peer_it == dec_it->second.end()) continue;
-      decided.insert(id);
+      if (!decided.insert(id).second) continue;  // already from a replica
       if (peer_it->second.verdict == 'A') {
         bundle.applied.push_back(txn);
         bytes += static_cast<int64_t>(core::EncodedTransactionSize(txn));
@@ -448,7 +501,10 @@ Result<core::RecoveryBundle> DhtStore::FetchRecoveryState(
   core::TxnIdSet shipped;
   std::deque<std::pair<TransactionId, bool>> pending;
   for (Epoch e = 1; e <= bundle.epoch; ++e) {
-    const size_t controller = EpochControllerNode(e);
+    const std::string ekey = "epoch:" + std::to_string(e);
+    const auto holder = FirstHolder(
+        peer, ekey, [&](const NodeState& n) { return n.KnowsEpoch(e); });
+    const size_t controller = holder.value_or(EpochControllerNode(e));
     const auto route = ring_.Route(NodeOfPeer(peer), ring_.IdOf(controller));
     if (!EpochCommitted(e)) {  // aborted or unfinished: nothing to ship
       network_->Charge(peer, route.hops + 1, 16);
@@ -470,13 +526,15 @@ Result<core::RecoveryBundle> DhtStore::FetchRecoveryState(
     pending.pop_front();
     if (!shipped.insert(id).second) continue;
     if (applied_ids.count(id) != 0) continue;
-    const size_t node = TxnControllerNode(id);
-    const auto route = ring_.Route(NodeOfPeer(peer), ring_.IdOf(node));
-    auto txn_it = nodes_[node].txns.find(id);
-    if (txn_it == nodes_[node].txns.end()) {
+    const std::string tkey = "txn:" + id.ToString();
+    const auto holder = FirstHolder(
+        peer, tkey, [&](const NodeState& n) { return n.txns.count(id) != 0; });
+    if (!holder.has_value()) {
       return Status::Internal("transaction controller lost " + id.ToString());
     }
-    const Transaction& txn = txn_it->second;
+    const size_t node = *holder;
+    const auto route = ring_.Route(NodeOfPeer(peer), ring_.IdOf(node));
+    const Transaction& txn = nodes_[node].txns.at(id);
     const int priority = policy.PriorityOfTransaction(txn);
     if (!as_antecedent && priority <= 0) {
       network_->Charge(peer, route.hops + 1, 24);
@@ -585,33 +643,40 @@ Result<core::RecoveryBundle> DhtStore::Bootstrap(ParticipantId new_peer,
   const size_t my_node = NodeOfPeer(new_peer);
   core::RecoveryBundle bundle;
 
-  // Watermark from the source's coordinator; record it as the new
-  // peer's watermark at its own coordinator.
+  // Watermark from the source's coordinator group; record it as the new
+  // peer's watermark at its own coordinator group.
   {
-    const size_t src_coord = CoordinatorNode(source_peer);
-    auto it = nodes_[src_coord].coordinated.find(source_peer);
-    if (it != nodes_[src_coord].coordinated.end()) {
-      bundle.epoch = it->second.epoch;
+    const auto holder = FirstHolder(
+        new_peer, "peer:" + std::to_string(source_peer),
+        [&](const NodeState& n) {
+          return n.coordinated.count(source_peer) != 0;
+        });
+    if (holder.has_value()) {
+      bundle.epoch = nodes_[*holder].coordinated.at(source_peer).epoch;
+      const auto route = ring_.Route(my_node, ring_.IdOf(*holder));
+      network_->Charge(new_peer, route.hops + 1, 24);
     }
-    const auto route = ring_.Route(my_node, ring_.IdOf(src_coord));
-    network_->Charge(new_peer, route.hops + 1, 24);
-    nodes_[CoordinatorNode(new_peer)].coordinated[new_peer] =
-        CoordEntry{0, bundle.epoch, 0};
+    MutateGroup("peer:" + std::to_string(new_peer), [&](NodeState& node) {
+      node.coordinated[new_peer] = CoordEntry{0, bundle.epoch, 0};
+    });
     const auto route2 =
         ring_.Route(my_node, ring_.IdOf(CoordinatorNode(new_peer)));
     network_->Charge(new_peer, route2.hops + 1, 24);
   }
 
-  // Sweep every node: copy the source's accept decisions onto the new
-  // peer (one bulk round trip per node, as in recovery).
+  // Sweep every live node: copy the source's accept decisions onto the
+  // new peer (one bulk round trip per node, as in recovery). Visiting a
+  // replica re-adopts the same ids; `adopted` dedupes the bundle while
+  // the decision write itself lands on every replica of the group.
   core::TxnIdSet adopted;
   for (size_t node = 0; node < nodes_.size(); ++node) {
+    if (!ring_.IsLive(node)) continue;
     int64_t bytes = 16;
     for (auto& [id, decisions] : nodes_[node].decisions) {
       auto src_it = decisions.find(source_peer);
       if (src_it == decisions.end() || src_it->second.verdict != 'A') continue;
       decisions[new_peer] = Decision{'A', 0};
-      adopted.insert(id);
+      if (!adopted.insert(id).second) continue;
       auto txn_it = nodes_[node].txns.find(id);
       ORCH_CHECK(txn_it != nodes_[node].txns.end());
       bundle.applied.push_back(txn_it->second);
@@ -632,7 +697,10 @@ Result<core::RecoveryBundle> DhtStore::Bootstrap(ParticipantId new_peer,
   core::TxnIdSet shipped;
   std::deque<std::pair<TransactionId, bool>> pending;
   for (Epoch e = 1; e <= bundle.epoch; ++e) {
-    const size_t controller = EpochControllerNode(e);
+    const std::string ekey = "epoch:" + std::to_string(e);
+    const auto holder = FirstHolder(
+        new_peer, ekey, [&](const NodeState& n) { return n.KnowsEpoch(e); });
+    const size_t controller = holder.value_or(EpochControllerNode(e));
     const auto route = ring_.Route(my_node, ring_.IdOf(controller));
     if (!EpochCommitted(e)) {  // aborted or unfinished: nothing to ship
       network_->Charge(new_peer, route.hops + 1, 16);
@@ -654,13 +722,16 @@ Result<core::RecoveryBundle> DhtStore::Bootstrap(ParticipantId new_peer,
     pending.pop_front();
     if (!shipped.insert(id).second) continue;
     if (adopted.count(id) != 0) continue;
-    const size_t node = TxnControllerNode(id);
-    const auto route = ring_.Route(my_node, ring_.IdOf(node));
-    auto txn_it = nodes_[node].txns.find(id);
-    if (txn_it == nodes_[node].txns.end()) {
+    const std::string tkey = "txn:" + id.ToString();
+    const auto holder = FirstHolder(
+        new_peer, tkey,
+        [&](const NodeState& n) { return n.txns.count(id) != 0; });
+    if (!holder.has_value()) {
       return Status::Internal("transaction controller lost " + id.ToString());
     }
-    const Transaction& txn = txn_it->second;
+    const size_t node = *holder;
+    const auto route = ring_.Route(my_node, ring_.IdOf(node));
+    const Transaction& txn = nodes_[node].txns.at(id);
     const int priority = policy.PriorityOfTransaction(txn);
     if (!as_antecedent && priority <= 0) {
       network_->Charge(new_peer, route.hops + 1, 24);
@@ -680,10 +751,245 @@ Result<core::RecoveryBundle> DhtStore::Bootstrap(ParticipantId new_peer,
   return bundle;
 }
 
+Result<size_t> DhtStore::JoinNode() {
+  ORCH_ASSIGN_OR_RETURN(const size_t node, ring_.Join());
+  if (node >= nodes_.size()) nodes_.resize(node + 1);
+  RepairReplication();
+  return node;
+}
+
+Status DhtStore::LeaveNode(size_t node) {
+  ORCH_RETURN_IF_ERROR(ring_.Leave(node));
+  // The departed node's state is still readable during the handoff —
+  // RepairReplication collects from every slot — so a graceful leave
+  // loses nothing even with replication off.
+  RepairReplication();
+  nodes_[node] = NodeState{};
+  return Status::OK();
+}
+
+Status DhtStore::CrashNode(size_t node, bool repair) {
+  ORCH_RETURN_IF_ERROR(ring_.Crash(node));
+  nodes_[node] = NodeState{};  // state dies with the node
+  if (repair) RepairReplication();
+  return Status::OK();
+}
+
+void DhtStore::RepairReplication() {
+  // Key-range re-replication: for every item held anywhere, install it
+  // on the replica-group members that lack it and drop it from nodes no
+  // longer in the group. Collection reads every slot (a gracefully
+  // departing node's state is a valid copy source until it is cleared);
+  // placement touches only live nodes. Each installed copy is one
+  // replica-to-replica transfer charged to kRepairEndpoint.
+  const auto is_member = [](const std::vector<size_t>& group, size_t node) {
+    return std::find(group.begin(), group.end(), node) != group.end();
+  };
+
+  // Epoch allocator counter: the authoritative value is the largest
+  // surviving copy (replicas only ever agree or trail after a partial
+  // fan-out abort); ex-replicas are reset so a later repair cannot
+  // resurrect a stale counter.
+  {
+    const auto group = GroupFor("epoch-allocator");
+    int64_t counter = 0;
+    for (const NodeState& n : nodes_) {
+      counter = std::max(counter, n.epoch_counter);
+    }
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (!ring_.IsLive(i)) continue;
+      const int64_t want = is_member(group, i) ? counter : 0;
+      if (nodes_[i].epoch_counter != want) {
+        if (want != 0) network_->Charge(kRepairEndpoint, 1, 16);
+        nodes_[i].epoch_counter = want;
+      }
+    }
+  }
+
+  // Epoch controller records.
+  struct EpochRec {
+    std::vector<TransactionId> contents;
+    bool has_contents = false;
+    bool done = false;
+    bool aborted = false;
+  };
+  std::map<Epoch, EpochRec> epochs;
+  for (const NodeState& n : nodes_) {
+    for (const auto& [e, contents] : n.epoch_contents) {
+      EpochRec& rec = epochs[e];
+      if (!rec.has_contents) {
+        rec.contents = contents;
+        rec.has_contents = true;
+      }
+    }
+    for (Epoch e : n.epoch_done) epochs[e].done = true;
+    for (Epoch e : n.epoch_aborted) epochs[e].aborted = true;
+  }
+  for (const auto& [e, rec] : epochs) {
+    const auto group = GroupFor("epoch:" + std::to_string(e));
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (!ring_.IsLive(i)) continue;
+      NodeState& n = nodes_[i];
+      if (!is_member(group, i)) {
+        n.epoch_contents.erase(e);
+        n.epoch_done.erase(e);
+        n.epoch_aborted.erase(e);
+        continue;
+      }
+      const bool knew = n.KnowsEpoch(e);
+      if (rec.has_contents) {
+        n.epoch_contents[e] = rec.contents;
+      } else {
+        n.epoch_contents.erase(e);
+      }
+      if (rec.done) n.epoch_done.insert(e); else n.epoch_done.erase(e);
+      if (rec.aborted) n.epoch_aborted.insert(e); else n.epoch_aborted.erase(e);
+      if (!knew) {
+        network_->Charge(kRepairEndpoint, 1,
+                         static_cast<int64_t>(16 * rec.contents.size() + 16));
+      }
+    }
+  }
+
+  // Transactions and the decision logs that ride on the same key.
+  std::unordered_map<TransactionId, Transaction, core::TransactionIdHash>
+      txn_union;
+  std::unordered_map<TransactionId,
+                     std::unordered_map<ParticipantId, Decision>,
+                     core::TransactionIdHash>
+      dec_union;
+  for (const NodeState& n : nodes_) {
+    for (const auto& [id, txn] : n.txns) txn_union.emplace(id, txn);
+    for (const auto& [id, per_peer] : n.decisions) {
+      auto& merged = dec_union[id];
+      for (const auto& [p, d] : per_peer) merged.emplace(p, d);
+    }
+  }
+  for (const auto& [id, txn] : txn_union) {
+    const auto group = GroupFor("txn:" + id.ToString());
+    const auto dec_it = dec_union.find(id);
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (!ring_.IsLive(i)) continue;
+      NodeState& n = nodes_[i];
+      if (!is_member(group, i)) {
+        n.txns.erase(id);
+        n.decisions.erase(id);
+        continue;
+      }
+      if (n.txns.count(id) == 0) {
+        network_->Charge(
+            kRepairEndpoint, 1,
+            static_cast<int64_t>(core::EncodedTransactionSize(txn)));
+      }
+      n.txns.insert_or_assign(id, txn);
+      if (dec_it != dec_union.end()) {
+        n.decisions[id] = dec_it->second;
+      } else {
+        n.decisions.erase(id);
+      }
+    }
+  }
+  // Decision logs whose transaction is gone (aborted residue): keep them
+  // placed with the same key discipline.
+  for (const auto& [id, per_peer] : dec_union) {
+    if (txn_union.count(id) != 0) continue;
+    const auto group = GroupFor("txn:" + id.ToString());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (!ring_.IsLive(i)) continue;
+      if (!is_member(group, i)) {
+        nodes_[i].decisions.erase(id);
+      } else {
+        nodes_[i].decisions[id] = per_peer;
+      }
+    }
+  }
+
+  // Peer coordinator entries.
+  std::unordered_map<ParticipantId, CoordEntry> coord_union;
+  for (const NodeState& n : nodes_) {
+    for (const auto& [p, entry] : n.coordinated) {
+      CoordEntry& merged = coord_union[p];
+      merged.recno = std::max(merged.recno, entry.recno);
+      merged.epoch = std::max(merged.epoch, entry.epoch);
+      merged.decided_recno = std::max(merged.decided_recno, entry.decided_recno);
+    }
+  }
+  for (const auto& [p, entry] : coord_union) {
+    const auto group = GroupFor("peer:" + std::to_string(p));
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (!ring_.IsLive(i)) continue;
+      if (!is_member(group, i)) {
+        nodes_[i].coordinated.erase(p);
+        continue;
+      }
+      if (nodes_[i].coordinated.count(p) == 0) {
+        network_->Charge(kRepairEndpoint, 1, 24);
+      }
+      nodes_[i].coordinated[p] = entry;
+    }
+  }
+}
+
+bool DhtStore::CheckReplicationInvariant() const {
+  const auto holders_equal_group = [&](const std::string& key,
+                                       auto&& has) {
+    const auto group = GroupFor(key);
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      const bool member =
+          std::find(group.begin(), group.end(), i) != group.end();
+      const bool holds = ring_.IsLive(i) && has(nodes_[i]);
+      if (member != holds) return false;
+    }
+    return true;
+  };
+
+  bool any_allocated = false;
+  for (const NodeState& n : nodes_) any_allocated |= n.epoch_counter != 0;
+  if (any_allocated &&
+      !holders_equal_group("epoch-allocator", [](const NodeState& n) {
+        return n.epoch_counter != 0;
+      })) {
+    return false;
+  }
+
+  std::unordered_set<Epoch> epochs;
+  std::unordered_set<TransactionId, core::TransactionIdHash> txn_ids;
+  std::unordered_set<ParticipantId> peers;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!ring_.IsLive(i)) continue;
+    const NodeState& n = nodes_[i];
+    for (const auto& [e, c] : n.epoch_contents) epochs.insert(e);
+    for (Epoch e : n.epoch_done) epochs.insert(e);
+    for (Epoch e : n.epoch_aborted) epochs.insert(e);
+    for (const auto& [id, txn] : n.txns) txn_ids.insert(id);
+    for (const auto& [p, entry] : n.coordinated) peers.insert(p);
+  }
+  for (Epoch e : epochs) {
+    if (!holders_equal_group(
+            "epoch:" + std::to_string(e),
+            [&](const NodeState& n) { return n.KnowsEpoch(e); })) {
+      return false;
+    }
+  }
+  for (const TransactionId& id : txn_ids) {
+    if (!holders_equal_group(
+            "txn:" + id.ToString(),
+            [&](const NodeState& n) { return n.txns.count(id) != 0; })) {
+      return false;
+    }
+  }
+  for (ParticipantId p : peers) {
+    if (!holders_equal_group("peer:" + std::to_string(p),
+                             [&](const NodeState& n) {
+                               return n.coordinated.count(p) != 0;
+                             })) {
+      return false;
+    }
+  }
+  return true;
+}
+
 core::StoreStats DhtStore::StatsFor(ParticipantId peer) const {
-
-
-
   const net::NetStats net = network_->StatsFor(peer);
   core::StoreStats stats;
   stats.sim_network_micros = net.micros;

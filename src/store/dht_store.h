@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -34,6 +35,15 @@ namespace orchestra::store {
 /// Requests to follow antecedent chains dominate reconciliation cost,
 /// exactly as the paper reports.
 ///
+/// The store survives node churn: every controller's state is
+/// replicated across the key's *replica group* — the key's first
+/// `replication_factor` live successors on the ring. Writes fan out
+/// from the primary to the whole group, reads try the primary and fail
+/// over down the group, and membership changes (JoinNode / LeaveNode /
+/// CrashNode) trigger key-range re-replication so that after each event
+/// every key again has min(k, live nodes) replicas. With k=1
+/// (replication off) a crash genuinely loses the crashed node's keys.
+///
 /// Messages on the publish/reconcile/record paths can be lost when a
 /// fault injector is installed on the network. Publishing is
 /// stage-then-commit: the epoch controller marks the epoch finished (the
@@ -47,13 +57,18 @@ struct DhtStoreOptions {
   /// blocking the stable watermark. Finished epochs are never touched;
   /// an aborted epoch can never finish.
   int stuck_epoch_reap_threshold = 3;
+  /// Replicas per key (the key's replica group is its first
+  /// `replication_factor` live successors). 1 disables replication: a
+  /// node crash then loses every key the node owned.
+  size_t replication_factor = 3;
 };
 
 class DhtStore : public core::UpdateStore,
                  public core::NetworkCentricStore {
  public:
   /// Creates a store whose ring has `nodes` DHT nodes. Peers must be
-  /// registered before use; peer p runs on node p % nodes.
+  /// registered before use; peer p runs on (the live successor of) node
+  /// p % nodes.
   /// `catalog` enables network-centric reconciliation (controllers must
   /// know the shared schema Σ to flatten and compare updates); pass
   /// nullptr to run client-centric only.
@@ -81,6 +96,38 @@ class DhtStore : public core::UpdateStore,
 
   const net::DhtRing& ring() const { return ring_; }
 
+  /// --- Membership (churn) ------------------------------------------
+  ///
+  /// Each event updates the overlay and then re-replicates so the
+  /// replica invariant holds again. Re-replication traffic is charged
+  /// to the synthetic kRepairEndpoint, not to any peer.
+
+  /// Adds a fresh (empty) node to the ring and migrates onto it the key
+  /// ranges it now participates in. Returns the node's index.
+  Result<size_t> JoinNode();
+  /// Graceful departure: the node hands its key ranges to the new
+  /// owners before going away; no data is lost even with k=1.
+  Status LeaveNode(size_t node);
+  /// Abrupt failure: the node's state dies with it. `repair` re-creates
+  /// the missing replicas from the survivors immediately (the default);
+  /// tests pass false to observe the degraded window where reads must
+  /// fail over down the replica group.
+  Status CrashNode(size_t node, bool repair = true);
+  /// Re-replication pass: for every item held by any node, copies it to
+  /// replica-group members that lack it and drops it from nodes no
+  /// longer in the group. Idempotent.
+  void RepairReplication();
+  /// True when every item held anywhere is held by exactly its replica
+  /// group (min(k, live) live successors of its key) — the invariant
+  /// membership events must restore. Exposed for tests.
+  bool CheckReplicationInvariant() const;
+
+  size_t live_node_count() const { return ring_.live_count(); }
+
+  /// Endpoint re-replication traffic is charged to (membership repair
+  /// has no initiating peer).
+  static constexpr uint32_t kRepairEndpoint = 0xFFFFFFFFu;
+
  private:
   /// One recorded accept/reject, tagged with the reconciliation that
   /// produced it (0 for the publisher's implicit self-acceptance).
@@ -100,9 +147,10 @@ class DhtStore : public core::UpdateStore,
   };
 
   /// Per-DHT-node state; the role a node plays for a given key follows
-  /// from ring ownership.
+  /// from ring ownership. Under replication every member of a key's
+  /// replica group holds the same entries for that key.
   struct NodeState {
-    /// Epoch allocator state (meaningful only on the allocator node).
+    /// Epoch allocator state (meaningful only on the allocator group).
     int64_t epoch_counter = 0;
     /// Epoch controller state: epoch -> published transaction ids,
     /// whether the epoch finished (committed), and whether it aborted.
@@ -120,11 +168,19 @@ class DhtStore : public core::UpdateStore,
         decisions;
     /// Peer coordinator state.
     std::unordered_map<core::ParticipantId, CoordEntry> coordinated;
+
+    /// True when this node has any record of epoch `e`.
+    bool KnowsEpoch(core::Epoch e) const {
+      return epoch_contents.count(e) != 0 || epoch_done.count(e) != 0 ||
+             epoch_aborted.count(e) != 0;
+    }
   };
 
-  size_t NodeOfPeer(core::ParticipantId peer) const {
-    return static_cast<size_t>(peer) % ring_.size();
-  }
+  /// The live node peer p's client runs on: slot p % size, failing over
+  /// to that slot's live successor when the slot crashed or left.
+  size_t NodeOfPeer(core::ParticipantId peer) const;
+  /// Primaries (first live successor) for each controller key; reads
+  /// must still fail over down the group via FirstHolder.
   size_t AllocatorNode() const {
     return ring_.OwnerOf(net::KeyHash("epoch-allocator"));
   }
@@ -138,20 +194,53 @@ class DhtStore : public core::UpdateStore,
     return ring_.OwnerOf(net::KeyHash("peer:" + std::to_string(peer)));
   }
 
+  /// The key's replica group (primary first).
+  std::vector<size_t> GroupFor(const std::string& key) const {
+    return ring_.ReplicaGroup(net::KeyHash(key), options_.replication_factor);
+  }
+  /// Applies `fn` to every replica of `key`; group writes are atomic in
+  /// the simulation (message loss aborts the *protocol*, via the staged
+  /// publish / reaping machinery, never half a group write).
+  template <typename Fn>
+  void MutateGroup(const std::string& key, Fn fn) {
+    for (size_t node : GroupFor(key)) fn(nodes_[node]);
+  }
+  /// Failover read: the first replica of `key` satisfying `has`,
+  /// primary first. Every miss past a replica is a failed probe charged
+  /// to `peer` as one direct message. Empty when no replica holds the
+  /// item — the data is lost (k was too small for the churn).
+  template <typename Pred>
+  std::optional<size_t> FirstHolder(core::ParticipantId peer,
+                                    const std::string& key, Pred has) const {
+    for (size_t node : GroupFor(key)) {
+      if (has(nodes_[node])) return node;
+      network_->Charge(peer, 1, 16);  // probe + miss reply
+    }
+    return std::nullopt;
+  }
+
   /// Routes one key-addressed message from `from_node` to the owner of
-  /// `key`, charging `bytes` per hop to `peer`; returns the owner.
+  /// `key`, charging `bytes` per hop (and any dead-finger probe) to
+  /// `peer`; returns the owner.
   size_t RoutedSend(core::ParticipantId peer, size_t from_node,
                     net::NodeId key, int64_t bytes);
   /// One direct (already-located) message.
   void DirectSend(core::ParticipantId peer, int64_t bytes);
+  /// Routes to `key`'s primary and fans the message out to the rest of
+  /// the replica group (k-1 direct messages).
+  void ReplicatedSend(core::ParticipantId peer, size_t from_node,
+                      const std::string& key, int64_t bytes);
   /// Failable variants for the publish/reconcile/record protocol paths:
   /// the message is charged either way, but an installed fault injector
   /// may declare it lost (Unavailable).
   Result<size_t> TryRoutedSend(core::ParticipantId peer, size_t from_node,
                                net::NodeId key, int64_t bytes);
   Status TryDirectSend(core::ParticipantId peer, int64_t bytes);
+  Status TryReplicatedSend(core::ParticipantId peer, size_t from_node,
+                           const std::string& key, int64_t bytes);
 
-  /// True when epoch `e` committed (finished and not aborted).
+  /// True when epoch `e` committed (finished and not aborted) on any
+  /// replica still holding it.
   bool EpochCommitted(core::Epoch e) const;
   /// True when the transaction is stored under a committed epoch.
   /// Residue of an aborted publish does not count: it is overwritten on
@@ -159,9 +248,9 @@ class DhtStore : public core::UpdateStore,
   bool IsCommittedTxn(const core::TransactionId& id) const;
   /// Best-effort rollback of a failed publish: removes the staged
   /// transactions, erases the epoch's contents, and marks the epoch
-  /// aborted at its controller. Skipped entirely when the fault injector
-  /// reports a sticky (crash) fault — a dead publisher cannot clean up,
-  /// and the stuck-epoch reaper takes over.
+  /// aborted at its controller group. Skipped entirely when the fault
+  /// injector reports a sticky (crash) fault — a dead publisher cannot
+  /// clean up, and the stuck-epoch reaper takes over.
   void AbortEpoch(core::ParticipantId peer, core::Epoch epoch,
                   const std::vector<core::TransactionId>& staged);
 
