@@ -1,0 +1,90 @@
+#ifndef ORCHESTRA_CORE_FETCH_CACHE_H_
+#define ORCHESTRA_CORE_FETCH_CACHE_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/extension.h"
+#include "core/ids.h"
+#include "core/transaction.h"
+
+namespace orchestra::core {
+
+/// Store-side cache powering incremental (delta) fetch, per the paper's
+/// §5.2 model where each reconciliation consumes only the stable window
+/// past the peer's watermark.
+///
+/// Two parts, with different sharing:
+///
+///  - a *decoded-transaction arena*, shared by every peer: committed
+///    transactions are immutable (a committed id can never be
+///    republished), so each is decoded once and served from the arena
+///    on every later reconciliation, keyed by (epoch, txn id). Only
+///    transactions under a committed epoch may be admitted — residue of
+///    an aborted publish can be overwritten by a republish and must
+///    never be cached. Epoch-keyed invalidation covers the defensive
+///    cases (reaping, recovery).
+///
+///  - *per-peer* bookkeeping: the ids the store has durably recorded as
+///    applied by each peer, plus the peer's fetch watermark. The
+///    applied set is a conservative overlay over the store's
+///    authoritative decision state — entries are added only at commit
+///    points (publish acked, decisions recorded, bootstrap adopted), so
+///    a hit can safely suppress a per-key lookup whose answer would be
+///    "already applied / not relevant", while a miss simply falls
+///    through to the authoritative check.
+class FetchCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;        // arena lookups served without a decode
+    int64_t misses = 0;      // arena lookups that had to decode
+    int64_t admitted = 0;    // transactions decoded into the arena
+    int64_t suppressed = 0;  // per-key lookups skipped via applied sets
+  };
+
+  /// --- Decoded-transaction arena --------------------------------------
+
+  /// The cached transaction, or nullptr. Counts a hit or miss.
+  const Transaction* Lookup(const TransactionId& id) const;
+
+  /// Admits a decoded transaction. The caller must have verified the
+  /// transaction's epoch is committed.
+  void Admit(Transaction txn);
+
+  /// Drops every cached transaction of `epoch` / of epochs > `floor`.
+  void InvalidateEpoch(Epoch epoch);
+  void InvalidateAbove(Epoch floor);
+
+  size_t arena_size() const { return arena_.size(); }
+
+  /// --- Per-peer applied sets and watermarks ---------------------------
+
+  void MarkApplied(ParticipantId peer, const TransactionId& id);
+  /// True when the store has durably recorded `id` as applied by `peer`.
+  /// Counts a suppression on hit.
+  bool KnownApplied(ParticipantId peer, const TransactionId& id) const;
+  /// Replaces the peer's applied set wholesale (recovery/bootstrap hand
+  /// the authoritative set over in one piece).
+  void ResetApplied(ParticipantId peer, TxnIdSet applied);
+  /// Drops everything known about the peer (its process restarted; the
+  /// store re-learns from its own durable state).
+  void ForgetPeer(ParticipantId peer);
+
+  void SetWatermark(ParticipantId peer, Epoch epoch);
+  Epoch Watermark(ParticipantId peer) const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<TransactionId, Transaction, TransactionIdHash> arena_;
+  /// Epoch index over the arena, driving watermark-based invalidation.
+  std::map<Epoch, std::vector<TransactionId>> by_epoch_;
+  std::unordered_map<ParticipantId, TxnIdSet> applied_;
+  std::unordered_map<ParticipantId, Epoch> watermarks_;
+  mutable Stats stats_;
+};
+
+}  // namespace orchestra::core
+
+#endif  // ORCHESTRA_CORE_FETCH_CACHE_H_

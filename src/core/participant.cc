@@ -253,6 +253,7 @@ Result<ReconcileReport> Participant::Reconcile(UpdateStore* store) {
                    n_reconsidered, &local, /*analysis=*/nullptr,
                    catch_up_applied, catch_up_rejected));
   report.store = store->StatsFor(id_) - before;
+  report.fetch_stats = fetch.stats;
   return report;
 }
 
@@ -475,6 +476,7 @@ Result<ReconcileReport> Participant::ReconcileNetworkCentric(
                    fetched, n_reconsidered, &local, analysis_ptr,
                    catch_up_applied, catch_up_rejected));
   report.store = store->StatsFor(id_) - before;
+  report.fetch_stats = fetch.base.stats;
   return report;
 }
 

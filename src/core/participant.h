@@ -33,6 +33,9 @@ struct ReconcileReport {
   size_t open_conflict_groups = 0;
   /// Store-side cost of this reconciliation (network + store CPU).
   StoreStats store;
+  /// How the store assembled the fetch (decodes, cache hits, suppressed
+  /// lookups, batched messages); see core::FetchStats.
+  FetchStats fetch_stats;
   /// Local (client-side) reconciliation algorithm time, measured.
   int64_t local_micros = 0;
 };

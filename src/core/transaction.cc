@@ -20,6 +20,7 @@ std::string Transaction::ToString() const {
 }
 
 void EncodeTransaction(std::string* out, const Transaction& txn) {
+  out->reserve(out->size() + EncodedTransactionSize(txn));
   db::PutVarint64(out, txn.id.origin);
   db::PutVarint64(out, txn.id.seq);
   db::PutVarint64(out, static_cast<uint64_t>(txn.epoch + 1));  // kNoEpoch -> 0
@@ -62,10 +63,28 @@ Result<Transaction> DecodeTransaction(std::string_view data, size_t* pos) {
   return txn;
 }
 
+Result<TransactionHeader> DecodeTransactionHeader(std::string_view data,
+                                                  size_t* pos) {
+  TransactionHeader header;
+  ORCH_ASSIGN_OR_RETURN(uint64_t origin, db::GetVarint64(data, pos));
+  ORCH_ASSIGN_OR_RETURN(uint64_t seq, db::GetVarint64(data, pos));
+  header.id = TransactionId{static_cast<ParticipantId>(origin), seq};
+  ORCH_ASSIGN_OR_RETURN(uint64_t epoch_plus_one, db::GetVarint64(data, pos));
+  header.epoch = static_cast<Epoch>(epoch_plus_one) - 1;
+  return header;
+}
+
 size_t EncodedTransactionSize(const Transaction& txn) {
-  std::string buf;
-  EncodeTransaction(&buf, txn);
-  return buf.size();
+  size_t size = db::VarintLength(txn.id.origin) +
+                db::VarintLength(txn.id.seq) +
+                db::VarintLength(static_cast<uint64_t>(txn.epoch + 1)) +
+                db::VarintLength(txn.updates.size()) +
+                db::VarintLength(txn.antecedents.size());
+  for (const Update& u : txn.updates) size += EncodedUpdateSize(u);
+  for (const TransactionId& a : txn.antecedents) {
+    size += db::VarintLength(a.origin) + db::VarintLength(a.seq);
+  }
+  return size;
 }
 
 }  // namespace orchestra::core

@@ -31,8 +31,21 @@ struct Transaction {
 void EncodeTransaction(std::string* out, const Transaction& txn);
 Result<Transaction> DecodeTransaction(std::string_view data, size_t* pos);
 
-/// Encoded size in bytes; used by the simulated network for bandwidth
-/// accounting.
+/// Just the fixed leading fields of an encoded transaction — enough to
+/// answer "which transaction is this, and in which epoch was it
+/// published?" without decoding updates or antecedents. Commit checks
+/// on the publish path need exactly this.
+struct TransactionHeader {
+  TransactionId id;
+  Epoch epoch = kNoEpoch;
+};
+
+Result<TransactionHeader> DecodeTransactionHeader(std::string_view data,
+                                                  size_t* pos);
+
+/// Encoded size in bytes, computed arithmetically (no encoding is
+/// materialized); used by the simulated network for bandwidth
+/// accounting on the reconciliation hot path.
 size_t EncodedTransactionSize(const Transaction& txn);
 
 /// Read-only lookup of published transactions by id; implemented by the

@@ -83,6 +83,14 @@ void EncodeUpdate(std::string* out, const Update& update) {
   db::EncodeTuple(out, update.new_tuple());
 }
 
+size_t EncodedUpdateSize(const Update& update) {
+  const size_t relation = update.relation().size();
+  return 1 + db::VarintLength(relation) + relation +
+         db::VarintLength(update.origin()) +
+         db::EncodedTupleSize(update.old_tuple()) +
+         db::EncodedTupleSize(update.new_tuple());
+}
+
 Result<Update> DecodeUpdate(std::string_view data, size_t* pos) {
   if (*pos >= data.size()) return Status::Corruption("truncated update kind");
   const auto kind = static_cast<UpdateKind>(data[(*pos)++]);

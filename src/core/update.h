@@ -115,6 +115,10 @@ class Update {
 void EncodeUpdate(std::string* out, const Update& update);
 Result<Update> DecodeUpdate(std::string_view data, size_t* pos);
 
+/// Encoded size in bytes, computed arithmetically (no encoding is
+/// materialized); must agree with EncodeUpdate exactly.
+size_t EncodedUpdateSize(const Update& update);
+
 }  // namespace orchestra::core
 
 #endif  // ORCHESTRA_CORE_UPDATE_H_

@@ -2,6 +2,7 @@
 #define ORCHESTRA_CORE_UPDATE_STORE_H_
 
 #include <cstdint>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -48,6 +49,55 @@ struct StoreStats {
   }
 };
 
+/// How a store assembles each reconciliation's fetch.
+enum class FetchMode {
+  /// Re-scan and re-filter the entire published history every round
+  /// (ignores the peer's epoch watermark for the scan window). The
+  /// honest full-fetch baseline: correct — the participant's catch-up
+  /// machinery absorbs re-sent material — but its per-round cost grows
+  /// with history.
+  kFull,
+  /// The watermark-windowed fetch: scan only epochs in (prev, stable],
+  /// one store access / DHT message per key. No caching, no batching.
+  kWindowed,
+  /// kWindowed plus the incremental pipeline: a shared decoded-
+  /// transaction arena (decode each committed transaction once across
+  /// all peers and rounds), per-peer applied-set suppression of lookups
+  /// whose answer must be "not relevant", and — on the DHT — per-owner
+  /// batched multi-get messages instead of one message per key. Fetch
+  /// contents are bit-identical to kWindowed by construction.
+  kDelta,
+};
+
+inline std::string_view FetchModeName(FetchMode mode) {
+  switch (mode) {
+    case FetchMode::kFull:
+      return "full";
+    case FetchMode::kWindowed:
+      return "windowed";
+    case FetchMode::kDelta:
+      return "delta";
+  }
+  return "unknown";
+}
+
+/// Per-fetch accounting for the incremental pipeline (all zero under
+/// kFull/kWindowed except `decoded`).
+struct FetchStats {
+  int64_t decoded = 0;              // transactions decoded this fetch
+  int64_t cache_hits = 0;           // decodes avoided via the arena
+  int64_t suppressed_lookups = 0;   // per-key lookups skipped (applied set)
+  int64_t batched_messages = 0;     // multi-get messages sent (DHT)
+
+  FetchStats& operator+=(const FetchStats& o) {
+    decoded += o.decoded;
+    cache_hits += o.cache_hits;
+    suppressed_lookups += o.suppressed_lookups;
+    batched_messages += o.batched_messages;
+    return *this;
+  }
+};
+
 /// Everything a participant needs from the store to run one
 /// reconciliation: the allocated reconciliation number, the stable epoch
 /// it covers, the fully trusted undecided transactions with their trust
@@ -59,6 +109,9 @@ struct ReconcileFetch {
   Epoch epoch = kNoEpoch;
   std::vector<std::pair<TransactionId, int>> trusted;
   std::vector<Transaction> transactions;
+  /// How the store assembled this fetch (cache hits, suppressed
+  /// lookups, batching); purely diagnostic.
+  FetchStats stats;
 };
 
 /// Everything required to reconstruct a participant that lost its local

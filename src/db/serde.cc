@@ -12,6 +12,15 @@ void PutVarint64(std::string* out, uint64_t value) {
   out->push_back(static_cast<char>(value));
 }
 
+size_t VarintLength(uint64_t value) {
+  size_t len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
 Result<uint64_t> GetVarint64(std::string_view data, size_t* pos) {
   uint64_t value = 0;
   int shift = 0;
@@ -32,14 +41,21 @@ void PutLengthPrefixed(std::string* out, std::string_view value) {
   out->append(value);
 }
 
-Result<std::string> GetLengthPrefixed(std::string_view data, size_t* pos) {
+Result<std::string_view> GetLengthPrefixedView(std::string_view data,
+                                               size_t* pos) {
   ORCH_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(data, pos));
   if (len > data.size() - *pos) {  // written to avoid uint64 overflow
     return Status::Corruption("truncated length-prefixed field");
   }
-  std::string out(data.substr(*pos, len));
+  std::string_view out = data.substr(*pos, len);
   *pos += len;
   return out;
+}
+
+Result<std::string> GetLengthPrefixed(std::string_view data, size_t* pos) {
+  ORCH_ASSIGN_OR_RETURN(std::string_view view,
+                        GetLengthPrefixedView(data, pos));
+  return std::string(view);
 }
 
 void EncodeValue(std::string* out, const Value& value) {
@@ -69,17 +85,31 @@ void EncodeValue(std::string* out, const Value& value) {
   }
 }
 
-Result<Value> DecodeValue(std::string_view data, size_t* pos) {
-  if (*pos >= data.size()) return Status::Corruption("truncated value tag");
-  const auto type = static_cast<ValueType>(data[(*pos)++]);
+Value ValueView::ToValue() const {
   switch (type) {
     case ValueType::kNull:
       return Value::Null();
+    case ValueType::kInt64:
+      return Value(i64);
+    case ValueType::kDouble:
+      return Value(f64);
+    case ValueType::kString:
+      return Value(std::string(str));
+  }
+  return Value::Null();
+}
+
+Result<ValueView> DecodeValueView(std::string_view data, size_t* pos) {
+  if (*pos >= data.size()) return Status::Corruption("truncated value tag");
+  ValueView view;
+  view.type = static_cast<ValueType>(data[(*pos)++]);
+  switch (view.type) {
+    case ValueType::kNull:
+      return view;
     case ValueType::kInt64: {
       ORCH_ASSIGN_OR_RETURN(uint64_t zz, GetVarint64(data, pos));
-      const int64_t v =
-          static_cast<int64_t>(zz >> 1) ^ -static_cast<int64_t>(zz & 1);
-      return Value(v);
+      view.i64 = static_cast<int64_t>(zz >> 1) ^ -static_cast<int64_t>(zz & 1);
+      return view;
     }
     case ValueType::kDouble: {
       if (*pos + 8 > data.size()) {
@@ -88,24 +118,31 @@ Result<Value> DecodeValue(std::string_view data, size_t* pos) {
       uint64_t bits;
       std::memcpy(&bits, data.data() + *pos, sizeof(bits));
       *pos += 8;
-      double d;
-      std::memcpy(&d, &bits, sizeof(d));
-      return Value(d);
+      std::memcpy(&view.f64, &bits, sizeof(view.f64));
+      return view;
     }
     case ValueType::kString: {
-      ORCH_ASSIGN_OR_RETURN(std::string s, GetLengthPrefixed(data, pos));
-      return Value(std::move(s));
+      ORCH_ASSIGN_OR_RETURN(view.str, GetLengthPrefixedView(data, pos));
+      return view;
     }
   }
   return Status::Corruption("unknown value type tag");
 }
 
+Result<Value> DecodeValue(std::string_view data, size_t* pos) {
+  ORCH_ASSIGN_OR_RETURN(ValueView view, DecodeValueView(data, pos));
+  return view.ToValue();
+}
+
 void EncodeTuple(std::string* out, const Tuple& tuple) {
+  out->reserve(out->size() + EncodedTupleSize(tuple));
   PutVarint64(out, tuple.size());
   for (const Value& v : tuple.values()) EncodeValue(out, v);
 }
 
-Result<Tuple> DecodeTuple(std::string_view data, size_t* pos) {
+Status DecodeTupleView(std::string_view data, size_t* pos,
+                       std::vector<ValueView>* out) {
+  out->clear();
   ORCH_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(data, pos));
   // Every value occupies at least one byte; a larger count is corrupt
   // input (and must not drive an allocation).
@@ -113,19 +150,52 @@ Result<Tuple> DecodeTuple(std::string_view data, size_t* pos) {
     return Status::Corruption("tuple arity " + std::to_string(count) +
                               " exceeds the remaining input");
   }
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ORCH_ASSIGN_OR_RETURN(ValueView v, DecodeValueView(data, pos));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+Result<Tuple> DecodeTuple(std::string_view data, size_t* pos) {
+  ORCH_ASSIGN_OR_RETURN(uint64_t count, GetVarint64(data, pos));
+  if (count > data.size() - *pos) {
+    return Status::Corruption("tuple arity " + std::to_string(count) +
+                              " exceeds the remaining input");
+  }
   std::vector<Value> values;
   values.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
-    ORCH_ASSIGN_OR_RETURN(Value v, DecodeValue(data, pos));
-    values.push_back(std::move(v));
+    ORCH_ASSIGN_OR_RETURN(ValueView v, DecodeValueView(data, pos));
+    values.push_back(v.ToValue());
   }
   return Tuple(std::move(values));
 }
 
+size_t EncodedValueSize(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt64: {
+      const int64_t v = value.AsInt64();
+      return 1 + VarintLength((static_cast<uint64_t>(v) << 1) ^
+                              static_cast<uint64_t>(v >> 63));
+    }
+    case ValueType::kDouble:
+      return 1 + 8;
+    case ValueType::kString: {
+      const size_t len = value.AsString().size();
+      return 1 + VarintLength(len) + len;
+    }
+  }
+  return 1;
+}
+
 size_t EncodedTupleSize(const Tuple& tuple) {
-  std::string buf;
-  EncodeTuple(&buf, tuple);
-  return buf.size();
+  size_t size = VarintLength(tuple.size());
+  for (const Value& v : tuple.values()) size += EncodedValueSize(v);
+  return size;
 }
 
 }  // namespace orchestra::db

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -18,9 +19,18 @@ namespace orchestra::db {
 ///   varint  LEB128 unsigned
 ///   value   [type:1 byte][payload]
 ///   tuple   [varint count][value...]
+///
+/// Two decode paths share one set of parsers: the *copying* decoders
+/// return owning Value/Tuple objects, and the *zero-copy* decoders
+/// return string_view slices over the input buffer (valid only while
+/// the buffer outlives them). The copying path is implemented on top of
+/// the zero-copy one, so the two cannot disagree about the format.
 
 /// Appends a LEB128-encoded unsigned integer to `out`.
 void PutVarint64(std::string* out, uint64_t value);
+
+/// Number of bytes PutVarint64 would append for `value`.
+size_t VarintLength(uint64_t value);
 
 /// Reads a varint from data[*pos...], advancing *pos.
 Result<uint64_t> GetVarint64(std::string_view data, size_t* pos);
@@ -29,14 +39,40 @@ Result<uint64_t> GetVarint64(std::string_view data, size_t* pos);
 void PutLengthPrefixed(std::string* out, std::string_view value);
 Result<std::string> GetLengthPrefixed(std::string_view data, size_t* pos);
 
+/// Zero-copy variant: the returned view aliases `data` and is valid
+/// only while the underlying buffer is.
+Result<std::string_view> GetLengthPrefixedView(std::string_view data,
+                                               size_t* pos);
+
 void EncodeValue(std::string* out, const Value& value);
 Result<Value> DecodeValue(std::string_view data, size_t* pos);
+
+/// A decoded value whose string payload (if any) aliases the input
+/// buffer instead of owning a copy. Convert with ToValue() only where
+/// an owning Value is actually needed.
+struct ValueView {
+  ValueType type = ValueType::kNull;
+  int64_t i64 = 0;
+  double f64 = 0;
+  std::string_view str;
+
+  Value ToValue() const;
+};
+
+Result<ValueView> DecodeValueView(std::string_view data, size_t* pos);
 
 void EncodeTuple(std::string* out, const Tuple& tuple);
 Result<Tuple> DecodeTuple(std::string_view data, size_t* pos);
 
-/// Size in bytes of the encoded tuple (for message accounting without
-/// materializing the encoding).
+/// Zero-copy tuple decode: appends one ValueView per attribute to
+/// `out` (cleared first). Views alias `data`.
+Status DecodeTupleView(std::string_view data, size_t* pos,
+                       std::vector<ValueView>* out);
+
+/// Size in bytes of the encoded value/tuple, computed arithmetically —
+/// no encoding is materialized. Used by the simulated network for
+/// message accounting on the reconciliation hot path.
+size_t EncodedValueSize(const Value& value);
 size_t EncodedTupleSize(const Tuple& tuple);
 
 }  // namespace orchestra::db

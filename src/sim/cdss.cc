@@ -29,6 +29,7 @@ Result<std::unique_ptr<Cdss>> Cdss::Make(CdssConfig config) {
       cdss->engine_->set_fault_injector(&cdss->fault_injector_);
       store::CentralStoreOptions opts;
       opts.stuck_epoch_reap_threshold = cfg.stuck_epoch_reap_threshold;
+      opts.fetch_mode = cfg.fetch_mode;
       cdss->store_ = std::make_unique<store::CentralStore>(
           cdss->engine_.get(), &cdss->network_, opts, &cdss->catalog_);
       break;
@@ -38,6 +39,7 @@ Result<std::unique_ptr<Cdss>> Cdss::Make(CdssConfig config) {
       store::DhtStoreOptions opts;
       opts.stuck_epoch_reap_threshold = cfg.stuck_epoch_reap_threshold;
       opts.replication_factor = cfg.replication_factor;
+      opts.fetch_mode = cfg.fetch_mode;
       auto dht = std::make_unique<store::DhtStore>(
           cfg.participants, &cdss->network_, &cdss->catalog_, opts);
       cdss->dht_ = dht.get();

@@ -99,6 +99,10 @@ struct CdssConfig {
   /// Stuck-epoch reaping threshold passed to the store (see
   /// CentralStoreOptions / DhtStoreOptions).
   int stuck_epoch_reap_threshold = 3;
+  /// How the store assembles reconciliation fetches (see core::FetchMode).
+  /// kDelta is the shipping default; kWindowed/kFull exist for the
+  /// equivalence tests and the delta-sweep baseline.
+  core::FetchMode fetch_mode = core::FetchMode::kDelta;
   /// Replicas per DHT key (DhtStoreOptions::replication_factor); 1
   /// disables replication, so a node crash loses data.
   size_t replication_factor = 3;

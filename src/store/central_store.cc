@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 
 #include "common/clock.h"
@@ -39,6 +40,15 @@ std::string CentralStore::EpochKey(Epoch epoch) {
   return buf;
 }
 
+TransactionId CentralStore::ParseTxnKey(const std::string& key) {
+  // TxnKey is "%010u:%016u" — fixed-width decimal, ':' at offset 10.
+  TransactionId id;
+  id.origin =
+      static_cast<ParticipantId>(std::strtoul(key.c_str(), nullptr, 10));
+  id.seq = std::strtoull(key.c_str() + 11, nullptr, 10);
+  return id;
+}
+
 Status CentralStore::RegisterParticipant(ParticipantId peer,
                                          const core::TrustPolicy* policy) {
   ORCH_CHECK(policy != nullptr);
@@ -56,6 +66,20 @@ Result<Transaction> CentralStore::LoadTxn(const TransactionId& id) const {
   ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", TxnKey(id)));
   size_t pos = 0;
   return core::DecodeTransaction(blob, &pos);
+}
+
+Result<Transaction> CentralStore::LoadTxnCached(const TransactionId& id) const {
+  if (options_.fetch_mode == core::FetchMode::kDelta) {
+    if (const Transaction* hit = cache_.Lookup(id)) return *hit;
+  }
+  ORCH_ASSIGN_OR_RETURN(Transaction txn, LoadTxn(id));
+  // Only committed transactions are immutable (a committed id can never
+  // be republished); residue of an aborted publish must not be cached.
+  if (options_.fetch_mode == core::FetchMode::kDelta &&
+      EpochCommitted(EpochKey(txn.epoch))) {
+    cache_.Admit(txn);
+  }
+  return txn;
 }
 
 bool CentralStore::HasDecision(ParticipantId peer,
@@ -77,12 +101,14 @@ bool CentralStore::EpochCommitted(const std::string& epoch_key) const {
 bool CentralStore::IsCommittedTxn(const std::string& txn_key) const {
   auto blob = engine_->Get("txn", txn_key);
   if (!blob.ok()) return false;
+  // Only the epoch field matters here; decoding the header alone skips
+  // the row's updates and antecedents on the publish hot path.
   size_t pos = 0;
-  auto txn = core::DecodeTransaction(*blob, &pos);
+  auto header = core::DecodeTransactionHeader(*blob, &pos);
   // An unreadable row is treated as present: refusing the republish is
   // safer than silently overwriting data we cannot interpret.
-  if (!txn.ok()) return true;
-  return EpochCommitted(EpochKey(txn->epoch));
+  if (!header.ok()) return true;
+  return EpochCommitted(EpochKey(header->epoch));
 }
 
 void CentralStore::AbortPublish(Epoch epoch,
@@ -158,6 +184,15 @@ Result<Epoch> CentralStore::Publish(ParticipantId peer,
     return commit;
   }
 
+  if (options_.fetch_mode == core::FetchMode::kDelta) {
+    // The batch just committed: its transactions are immutable and the
+    // publisher has accepted them durably (the staged "A" rows).
+    for (const Transaction& txn : txns) {
+      cache_.Admit(txn);
+      cache_.MarkApplied(peer, txn.id);
+    }
+  }
+
   // One begin-publish round trip, the batch upload, one finish round
   // trip (§5.2.1 records publish start and finish separately).
   network_->Charge(peer, 4, bytes / 4);
@@ -174,6 +209,9 @@ Result<ReconcileFetch> CentralStore::BeginReconciliation(ParticipantId peer) {
                             " is not registered");
   }
   const core::TrustPolicy& policy = *policy_it->second;
+  const bool delta = options_.fetch_mode == core::FetchMode::kDelta;
+  const core::FetchCache::Stats cache_before = cache_.stats();
+  int64_t decoded = 0;
 
   ReconcileFetch fetch;
   ORCH_ASSIGN_OR_RETURN(fetch.recno,
@@ -184,30 +222,53 @@ Result<ReconcileFetch> CentralStore::BeginReconciliation(ParticipantId peer) {
   // watermark passes straight over them. An epoch observed open by
   // `stuck_epoch_reap_threshold` scans belongs to a crashed publisher:
   // reap it to "aborted" rather than blocking every peer forever.
+  //
+  // Under kDelta the scan starts past the stable floor — the largest
+  // epoch with everything at or below it terminal. Epoch numbers are
+  // allocated monotonically, so no row can ever appear at or below the
+  // floor again and skipping that prefix cannot change the result.
   ORCH_ASSIGN_OR_RETURN(std::string last_epoch_key,
                         engine_->Get("peers", std::to_string(peer)));
-  Epoch stable = 0;
-  for (const auto& [key, state] : engine_->ScanRange("epochs", "", "")) {
+  Epoch stable = delta ? floor_stable_ : 0;
+  Epoch floor = delta ? stable_floor_ : 0;
+  const std::string scan_from = delta ? EpochKey(stable_floor_ + 1) : "";
+  for (const auto& [key, state] : engine_->ScanRange("epochs", scan_from, "")) {
     const Epoch e = std::strtoll(key.c_str(), nullptr, 10);
     if (state == "done") {
       stable = e;
+      floor = e;
       continue;
     }
-    if (state == "aborted") continue;
+    if (state == "aborted") {
+      floor = e;
+      continue;
+    }
     const int strikes = ++epoch_strikes_[e];
     if (strikes >= options_.stuck_epoch_reap_threshold &&
         engine_->Put("epochs", key, "aborted").ok()) {
       epoch_strikes_.erase(e);
+      floor = e;
       continue;
     }
     break;  // still open: the stable window ends just before it
   }
   fetch.epoch = stable;
-  const Epoch prev = std::strtoll(last_epoch_key.c_str(), nullptr, 10);
+  if (delta && floor > stable_floor_) {
+    stable_floor_ = floor;
+    floor_stable_ = stable;
+  }
+  // kFull ignores the watermark and re-scans the whole history; the
+  // participant's catch-up path absorbs the resent material.
+  const Epoch prev =
+      options_.fetch_mode == core::FetchMode::kFull
+          ? 0
+          : std::strtoll(last_epoch_key.c_str(), nullptr, 10);
 
   // Relevant transactions: everything published in (prev, stable] whose
   // epoch committed. Rows under open/aborted epochs in the window are
-  // residue of unfinished publishes and must stay invisible.
+  // residue of unfinished publishes and must stay invisible. Under
+  // kDelta each transaction is decoded at most once across all peers
+  // and rounds: an arena hit skips the engine read and the decode.
   std::unordered_map<std::string, bool> committed_cache;
   auto epoch_committed = [&](const std::string& epoch_key) {
     auto it = committed_cache.find(epoch_key);
@@ -224,17 +285,31 @@ Result<ReconcileFetch> CentralStore::BeginReconciliation(ParticipantId peer) {
     const size_t sep = key.find(':');
     if (!epoch_committed(key.substr(0, sep))) continue;
     const std::string txn_key = key.substr(sep + 1);
+    if (delta) {
+      if (const Transaction* hit = cache_.Lookup(ParseTxnKey(txn_key))) {
+        relevant.push_back(*hit);
+        continue;
+      }
+    }
     ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", txn_key));
     size_t pos = 0;
     ORCH_ASSIGN_OR_RETURN(Transaction txn, core::DecodeTransaction(blob, &pos));
+    ++decoded;
+    // The window filter above established the epoch committed, so the
+    // decoded transaction is immutable and admissible.
+    if (delta) cache_.Admit(txn);
     relevant.push_back(std::move(txn));
   }
 
   // Trust predicates are evaluated inside the store so that only fully
-  // trusted transactions and their antecedent closures are shipped.
+  // trusted transactions and their antecedent closures are shipped. A
+  // known-applied hit suppresses the decision lookup whose answer must
+  // be "already decided" — the applied overlay only ever holds durably
+  // recorded accepts, so the filter outcome is unchanged.
   TxnIdSet shipped;
   std::deque<TransactionId> pending;
   for (const Transaction& txn : relevant) {
+    if (delta && cache_.KnownApplied(peer, txn.id)) continue;
     if (HasDecision(peer, txn.id)) continue;  // own or already decided
     const int priority = policy.PriorityOfTransaction(txn);
     if (priority <= 0) continue;
@@ -252,11 +327,20 @@ Result<ReconcileFetch> CentralStore::BeginReconciliation(ParticipantId peer) {
     const TransactionId id = pending.front();
     pending.pop_front();
     if (shipped.count(id) != 0) continue;
+    if (delta && cache_.KnownApplied(peer, id)) continue;
     if (IsApplied(peer, id)) continue;
-    ORCH_ASSIGN_OR_RETURN(Transaction txn, LoadTxn(id));
+    ORCH_ASSIGN_OR_RETURN(Transaction txn, LoadTxnCached(id));
     shipped.insert(id);
     for (const TransactionId& ante : txn.antecedents) pending.push_back(ante);
     fetch.transactions.push_back(std::move(txn));
+  }
+  if (delta) {
+    const core::FetchCache::Stats& after = cache_.stats();
+    fetch.stats.cache_hits = after.hits - cache_before.hits;
+    fetch.stats.decoded = after.misses - cache_before.misses;
+    fetch.stats.suppressed_lookups = after.suppressed - cache_before.suppressed;
+  } else {
+    fetch.stats.decoded = decoded;
   }
 
   // Record the reconciliation and advance the peer's epoch watermark
@@ -301,6 +385,12 @@ Status CentralStore::RecordDecisions(
   ORCH_RETURN_IF_ERROR(engine_->Put("decmeta:" + std::to_string(peer),
                                     "last_recno", EpochKey(recno)));
   ORCH_RETURN_IF_ERROR(engine_->Sync());
+  if (options_.fetch_mode == core::FetchMode::kDelta) {
+    // Only now — past the sync — are the accepts durable enough for the
+    // suppression overlay. A failure above leaves the overlay untouched
+    // and the next fetch falls back to the engine's decision rows.
+    for (const TransactionId& id : applied) cache_.MarkApplied(peer, id);
+  }
   const int64_t bytes =
       static_cast<int64_t>((applied.size() + rejected.size()) * 16);
   network_->Charge(peer, 2, bytes / 2);
@@ -331,18 +421,18 @@ Result<core::RecoveryBundle> CentralStore::FetchRecoveryState(
   bundle.last_decided_recno =
       last_recno.ok() ? std::strtoll(last_recno->c_str(), nullptr, 10) : 0;
 
-  // Recorded decisions.
+  // Recorded decisions. Rejected rows need only the id, which the key
+  // itself encodes; applied rows load through the arena.
   int64_t bytes = 0;
   for (const auto& [txn_key, decision] :
        engine_->ScanRange("dec:" + std::to_string(peer), "", "")) {
-    ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", txn_key));
-    size_t pos = 0;
-    ORCH_ASSIGN_OR_RETURN(Transaction txn, core::DecodeTransaction(blob, &pos));
+    const TransactionId id = ParseTxnKey(txn_key);
     if (decision == "A") {
-      bytes += static_cast<int64_t>(blob.size());
+      ORCH_ASSIGN_OR_RETURN(Transaction txn, LoadTxnCached(id));
+      bytes += static_cast<int64_t>(core::EncodedTransactionSize(txn));
       bundle.applied.push_back(std::move(txn));
     } else {
-      bundle.rejected.push_back(txn.id);
+      bundle.rejected.push_back(id);
       bytes += 16;
     }
   }
@@ -351,6 +441,14 @@ Result<core::RecoveryBundle> CentralStore::FetchRecoveryState(
               if (a.epoch != b.epoch) return a.epoch < b.epoch;
               return a.id < b.id;
             });
+  if (options_.fetch_mode == core::FetchMode::kDelta) {
+    // The scan above is the authoritative applied set; replace the
+    // conservative overlay with it so the recovered peer's first fetch
+    // suppresses everything it durably applied.
+    TxnIdSet applied_ids;
+    for (const Transaction& txn : bundle.applied) applied_ids.insert(txn.id);
+    cache_.ResetApplied(peer, std::move(applied_ids));
+  }
 
   // Undecided trusted transactions within the watermark: the deferred
   // backlog, plus the antecedent closures needed to re-reconcile them.
@@ -463,11 +561,9 @@ Result<core::RecoveryBundle> CentralStore::Bootstrap(
   for (const auto& [txn_key, decision] :
        engine_->ScanRange(source_dec, "", "")) {
     if (decision != "A") continue;
-    ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", txn_key));
-    size_t pos = 0;
-    ORCH_ASSIGN_OR_RETURN(Transaction txn, core::DecodeTransaction(blob, &pos));
+    ORCH_ASSIGN_OR_RETURN(Transaction txn, LoadTxnCached(ParseTxnKey(txn_key)));
     ORCH_RETURN_IF_ERROR(engine_->Put(new_dec, txn_key, "A"));
-    bytes += static_cast<int64_t>(blob.size());
+    bytes += static_cast<int64_t>(core::EncodedTransactionSize(txn));
     bundle.applied.push_back(std::move(txn));
   }
   std::sort(bundle.applied.begin(), bundle.applied.end(),
@@ -516,6 +612,12 @@ Result<core::RecoveryBundle> CentralStore::Bootstrap(
     bundle.closure.push_back(std::move(txn));
   }
   ORCH_RETURN_IF_ERROR(engine_->Sync());
+  if (options_.fetch_mode == core::FetchMode::kDelta) {
+    // The adopted accepts just synced under the new peer's own name.
+    for (const Transaction& txn : bundle.applied) {
+      cache_.MarkApplied(new_peer, txn.id);
+    }
+  }
 
   network_->Charge(new_peer, 2, bytes / 2);
   cpu_micros_[new_peer] +=

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/fetch_cache.h"
 #include "core/update_store.h"
 #include "net/sim_network.h"
 #include "storage/engine.h"
@@ -53,6 +54,11 @@ struct CentralStoreOptions {
   /// freeze every peer forever). Committed ("done") epochs are never
   /// touched; an aborted epoch can never commit.
   int stuck_epoch_reap_threshold = 3;
+  /// How reconciliation fetches are assembled; kDelta adds the decoded-
+  /// transaction arena, applied-set lookup suppression, and the
+  /// monotone stable-floor scan bound. Decisions are identical across
+  /// modes (see core::FetchMode).
+  core::FetchMode fetch_mode = core::FetchMode::kDelta;
 };
 
 class CentralStore : public core::UpdateStore,
@@ -100,8 +106,15 @@ class CentralStore : public core::UpdateStore,
   /// Order-preserving key for a transaction.
   static std::string TxnKey(const core::TransactionId& id);
   static std::string EpochKey(core::Epoch epoch);
+  /// Inverse of TxnKey (the key format is fixed-width decimal).
+  static core::TransactionId ParseTxnKey(const std::string& key);
 
   Result<core::Transaction> LoadTxn(const core::TransactionId& id) const;
+  /// LoadTxn via the decoded-transaction arena (kDelta): an arena hit
+  /// skips both the engine read and the decode; a miss decodes and
+  /// admits the transaction when its epoch committed. Under
+  /// kFull/kWindowed this is exactly LoadTxn.
+  Result<core::Transaction> LoadTxnCached(const core::TransactionId& id) const;
   bool HasDecision(core::ParticipantId peer,
                    const core::TransactionId& id) const;
   bool IsApplied(core::ParticipantId peer, const core::TransactionId& id) const;
@@ -126,6 +139,18 @@ class CentralStore : public core::UpdateStore,
   std::unordered_map<core::ParticipantId, const core::TrustPolicy*> policies_;
   /// Soft state: open-epoch observation counts driving the reaper.
   std::unordered_map<core::Epoch, int> epoch_strikes_;
+  /// Soft state for kDelta: the shared decoded-transaction arena and
+  /// per-peer applied overlays. Mutable because recovery reads
+  /// (FetchRecoveryState) refresh it.
+  mutable core::FetchCache cache_;
+  /// Largest epoch with every epoch at or below it terminal (done or
+  /// aborted). Epoch numbers are allocated monotonically, so rows never
+  /// appear at or below the floor again and the stable-epoch scan can
+  /// start past it (kDelta only).
+  core::Epoch stable_floor_ = 0;
+  /// Largest committed ("done") epoch at or below stable_floor_ — the
+  /// scan's starting value for the stable watermark.
+  core::Epoch floor_stable_ = 0;
   mutable std::unordered_map<core::ParticipantId, int64_t> cpu_micros_;
   mutable std::unordered_map<core::ParticipantId, int64_t> calls_;
 };

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/fetch_cache.h"
 #include "core/update_store.h"
 #include "net/dht.h"
 #include "net/sim_network.h"
@@ -61,6 +62,11 @@ struct DhtStoreOptions {
   /// `replication_factor` live successors). 1 disables replication: a
   /// node crash then loses every key the node owned.
   size_t replication_factor = 3;
+  /// How reconciliation fetches are assembled. kDelta coalesces
+  /// same-controller lookups into per-owner multi-get messages and
+  /// suppresses lookups whose reply must be "not relevant"; decisions
+  /// are identical across modes (see core::FetchMode).
+  core::FetchMode fetch_mode = core::FetchMode::kDelta;
 };
 
 class DhtStore : public core::UpdateStore,
@@ -262,6 +268,11 @@ class DhtStore : public core::UpdateStore,
   std::unordered_map<core::ParticipantId, const core::TrustPolicy*> policies_;
   /// Soft state: unfinished-epoch observation counts driving the reaper.
   std::unordered_map<core::Epoch, int> epoch_strikes_;
+  /// Soft state for kDelta: per-peer applied overlays behind lookup
+  /// suppression. DHT nodes already hold decoded transactions, so the
+  /// arena half of the cache is unused here. Mutable because recovery
+  /// reads (FetchRecoveryState) refresh it.
+  mutable core::FetchCache cache_;
   mutable std::unordered_map<core::ParticipantId, int64_t> cpu_micros_;
   mutable std::unordered_map<core::ParticipantId, int64_t> calls_;
 };

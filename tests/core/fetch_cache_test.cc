@@ -1,0 +1,107 @@
+// Unit tests for the FetchCache behind incremental (delta) fetch: the
+// shared decoded-transaction arena with epoch-keyed invalidation, and
+// the per-peer applied sets / watermarks that suppress redundant
+// per-key lookups.
+#include <gtest/gtest.h>
+
+#include "core/fetch_cache.h"
+
+namespace orchestra::core {
+namespace {
+
+Transaction MakeTxn(ParticipantId origin, uint64_t seq, Epoch epoch) {
+  Transaction txn;
+  txn.id = {origin, seq};
+  txn.epoch = epoch;
+  return txn;
+}
+
+TEST(FetchCacheTest, LookupMissesThenHitsAfterAdmit) {
+  FetchCache cache;
+  const TransactionId id{1, 7};
+  EXPECT_EQ(cache.Lookup(id), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 0);
+
+  cache.Admit(MakeTxn(1, 7, 3));
+  EXPECT_EQ(cache.stats().admitted, 1);
+  const Transaction* hit = cache.Lookup(id);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id, id);
+  EXPECT_EQ(hit->epoch, 3);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.arena_size(), 1u);
+}
+
+TEST(FetchCacheTest, InvalidateEpochDropsOnlyThatEpoch) {
+  FetchCache cache;
+  cache.Admit(MakeTxn(1, 1, 3));
+  cache.Admit(MakeTxn(1, 2, 4));
+  cache.Admit(MakeTxn(2, 1, 4));
+  ASSERT_EQ(cache.arena_size(), 3u);
+
+  cache.InvalidateEpoch(4);
+  EXPECT_EQ(cache.arena_size(), 1u);
+  EXPECT_NE(cache.Lookup({1, 1}), nullptr);
+  EXPECT_EQ(cache.Lookup({1, 2}), nullptr);
+  EXPECT_EQ(cache.Lookup({2, 1}), nullptr);
+}
+
+TEST(FetchCacheTest, InvalidateAboveDropsEverythingPastTheFloor) {
+  FetchCache cache;
+  cache.Admit(MakeTxn(1, 1, 2));
+  cache.Admit(MakeTxn(1, 2, 3));
+  cache.Admit(MakeTxn(1, 3, 5));
+  cache.InvalidateAbove(3);
+  EXPECT_EQ(cache.arena_size(), 2u);
+  EXPECT_NE(cache.Lookup({1, 1}), nullptr);
+  EXPECT_NE(cache.Lookup({1, 2}), nullptr);
+  EXPECT_EQ(cache.Lookup({1, 3}), nullptr);
+}
+
+TEST(FetchCacheTest, AppliedSetsArePerPeer) {
+  FetchCache cache;
+  const TransactionId id{3, 9};
+  EXPECT_FALSE(cache.KnownApplied(1, id));
+  EXPECT_EQ(cache.stats().suppressed, 0);
+
+  cache.MarkApplied(1, id);
+  EXPECT_TRUE(cache.KnownApplied(1, id));
+  EXPECT_EQ(cache.stats().suppressed, 1);
+  // A different peer's overlay is untouched.
+  EXPECT_FALSE(cache.KnownApplied(2, id));
+}
+
+TEST(FetchCacheTest, ResetAppliedReplacesTheOverlayWholesale) {
+  FetchCache cache;
+  cache.MarkApplied(1, {1, 1});
+  cache.MarkApplied(1, {1, 2});
+
+  TxnIdSet authoritative;
+  authoritative.insert({2, 5});
+  cache.ResetApplied(1, std::move(authoritative));
+  EXPECT_FALSE(cache.KnownApplied(1, {1, 1}));
+  EXPECT_FALSE(cache.KnownApplied(1, {1, 2}));
+  EXPECT_TRUE(cache.KnownApplied(1, {2, 5}));
+}
+
+TEST(FetchCacheTest, ForgetPeerDropsOverlayAndWatermark) {
+  FetchCache cache;
+  cache.MarkApplied(4, {1, 1});
+  cache.SetWatermark(4, 12);
+  ASSERT_EQ(cache.Watermark(4), 12);
+
+  cache.ForgetPeer(4);
+  EXPECT_FALSE(cache.KnownApplied(4, {1, 1}));
+  EXPECT_EQ(cache.Watermark(4), 0);
+}
+
+TEST(FetchCacheTest, WatermarksStartAtZero) {
+  FetchCache cache;
+  EXPECT_EQ(cache.Watermark(9), 0);
+  cache.SetWatermark(9, 4);
+  EXPECT_EQ(cache.Watermark(9), 4);
+}
+
+}  // namespace
+}  // namespace orchestra::core

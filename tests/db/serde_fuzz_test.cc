@@ -141,6 +141,122 @@ TEST_P(SerdeFuzzTest, TruncationsNeverCrashDecoders) {
   }
 }
 
+// --- Varint edges and the zero-copy decode path. ---
+
+TEST(VarintEdgeTest, BoundaryValuesRoundTripAtExactLength) {
+  std::vector<uint64_t> edges = {0, 1, 127, 128, 129, UINT64_MAX};
+  // Every LEB128 length boundary: 2^(7k) - 1, 2^(7k), 2^(7k) + 1.
+  for (int k = 1; k < 10; ++k) {
+    const uint64_t boundary = uint64_t{1} << (7 * k);
+    edges.push_back(boundary - 1);
+    edges.push_back(boundary);
+    edges.push_back(boundary + 1);
+  }
+  for (uint64_t v : edges) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(buf.size(), VarintLength(v)) << v;
+    size_t pos = 0;
+    auto decoded = GetVarint64(buf, &pos);
+    ASSERT_TRUE(decoded.ok()) << v;
+    EXPECT_EQ(*decoded, v);
+    EXPECT_EQ(pos, buf.size()) << v;
+  }
+  // The extremes pin the length formula itself.
+  EXPECT_EQ(VarintLength(0), 1u);
+  EXPECT_EQ(VarintLength(127), 1u);
+  EXPECT_EQ(VarintLength(128), 2u);
+  EXPECT_EQ(VarintLength(UINT64_MAX), 10u);
+}
+
+TEST(VarintEdgeTest, TruncatedVarintsFailCleanly) {
+  for (uint64_t v : {uint64_t{128}, uint64_t{1} << 35, UINT64_MAX}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    for (size_t cut = 0; cut < buf.size(); ++cut) {
+      size_t pos = 0;
+      auto decoded = GetVarint64(std::string_view(buf).substr(0, cut), &pos);
+      EXPECT_FALSE(decoded.ok()) << v << " cut at " << cut;
+      EXPECT_LE(pos, cut);
+    }
+  }
+  // An unterminated run of continuation bytes must not read past the
+  // 10-byte maximum encoding.
+  const std::string runaway(11, '\x80');
+  size_t pos = 0;
+  EXPECT_FALSE(GetVarint64(runaway, &pos).ok());
+}
+
+TEST_P(SerdeFuzzTest, CopyingAndZeroCopyTupleDecodesAgree) {
+  Rng rng(GetParam() + 3000);
+  for (int i = 0; i < 300; ++i) {
+    const Tuple t = RandomTuple(rng);
+    std::string buf;
+    EncodeTuple(&buf, t);
+
+    size_t copy_pos = 0;
+    auto copied = DecodeTuple(buf, &copy_pos);
+    ASSERT_TRUE(copied.ok());
+
+    size_t view_pos = 0;
+    std::vector<ValueView> views;
+    ASSERT_TRUE(DecodeTupleView(buf, &view_pos, &views).ok());
+    EXPECT_EQ(view_pos, copy_pos);
+    ASSERT_EQ(views.size(), copied->size());
+    for (size_t a = 0; a < views.size(); ++a) {
+      EXPECT_EQ(views[a].ToValue(), (*copied)[a]) << "attribute " << a;
+    }
+  }
+}
+
+TEST_P(SerdeFuzzTest, CopyingAndZeroCopyAgreeOnGarbage) {
+  // The copying decoders are layered on the zero-copy parsers, so the
+  // two paths must agree byte-for-byte about acceptance and position
+  // advance even on arbitrary input.
+  Rng rng(GetParam() + 4000);
+  for (int i = 0; i < 500; ++i) {
+    std::string garbage;
+    const size_t len = rng.NextBounded(64);
+    for (size_t b = 0; b < len; ++b) {
+      garbage.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    size_t copy_pos = 0;
+    auto copied = DecodeTuple(garbage, &copy_pos);
+    size_t view_pos = 0;
+    std::vector<ValueView> views;
+    const Status viewed = DecodeTupleView(garbage, &view_pos, &views);
+    EXPECT_EQ(copied.ok(), viewed.ok());
+    EXPECT_EQ(copy_pos, view_pos);
+
+    copy_pos = 0;
+    auto copied_value = DecodeValue(garbage, &copy_pos);
+    view_pos = 0;
+    auto viewed_value = DecodeValueView(garbage, &view_pos);
+    EXPECT_EQ(copied_value.ok(), viewed_value.ok());
+    EXPECT_EQ(copy_pos, view_pos);
+    if (copied_value.ok() && viewed_value.ok()) {
+      EXPECT_EQ(viewed_value->ToValue(), *copied_value);
+    }
+  }
+}
+
+TEST(ZeroCopyTest, ViewsAliasTheInputBuffer) {
+  const Tuple t{db::Value("rat"), db::Value("P53"), db::Value("tumor")};
+  std::string buf;
+  EncodeTuple(&buf, t);
+  size_t pos = 0;
+  std::vector<ValueView> views;
+  ASSERT_TRUE(DecodeTupleView(buf, &pos, &views).ok());
+  ASSERT_EQ(views.size(), 3u);
+  for (const ValueView& v : views) {
+    ASSERT_EQ(v.type, ValueType::kString);
+    // The view points into buf — zero copies were made.
+    EXPECT_GE(v.str.data(), buf.data());
+    EXPECT_LE(v.str.data() + v.str.size(), buf.data() + buf.size());
+  }
+  EXPECT_EQ(views[1].str, "P53");
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SerdeFuzzTest, ::testing::Values(7u, 8u, 9u));
 
 }  // namespace

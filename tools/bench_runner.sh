@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Bench runner: build the optimized preset, run the micro_reconcile
+# study plus every ORCH_* sweep (fault, churn, delta), and diff the
+# stable fields of the freshly emitted BENCH_*.json against the
+# committed baselines at the repo root.
+#
+# Wall-clock timings (and the host-dependent thread fields derived from
+# them) vary run to run, so they are stripped before the diff. Every
+# remaining field — decision counts, simulated message/byte totals,
+# verdict flags — is deterministic and must match the committed
+# baselines exactly.
+#
+# Usage: tools/bench_runner.sh
+#   ORCH_BENCH_OUT=dir   where fresh JSON lands (default build/bench_out)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build"
+out="${ORCH_BENCH_OUT:-$build/bench_out}"
+mkdir -p "$out"
+
+(cd "$repo" && cmake --preset default >/dev/null)
+cmake --build "$build" -j"$(nproc)" --target micro_reconcile
+
+bench="$build/bench/micro_reconcile"
+
+echo "== reconcile study =="
+ORCH_BENCH_JSON="$out/BENCH_micro_reconcile.json" \
+    "$bench" --benchmark_filter=NONE
+echo "== fault sweep =="
+ORCH_FAULT_SWEEP=1 ORCH_FAULT_SWEEP_JSON="$out/BENCH_fault_sweep.json" \
+    "$bench"
+echo "== churn sweep =="
+ORCH_CHURN_SWEEP=1 ORCH_CHURN_SWEEP_JSON="$out/BENCH_churn_sweep.json" \
+    "$bench"
+echo "== delta sweep =="
+ORCH_DELTA_SWEEP=1 ORCH_DELTA_SWEEP_JSON="$out/BENCH_delta_sweep.json" \
+    "$bench"
+
+# Keys dropped before diffing: wall-time measurements (*_us, the
+# mean/p50/p95 study stats), speedups derived from them, and the
+# host-shape fields (hardware_threads, oversubscribed, speedup_note).
+stable='walk(if type == "object"
+             then with_entries(select(.key
+                  | test("_us$|speedup|hardware_threads|oversubscribed|note")
+                  | not))
+             else . end)'
+
+fail=0
+for name in micro_reconcile fault_sweep churn_sweep delta_sweep; do
+  base="$repo/BENCH_$name.json"
+  fresh="$out/BENCH_$name.json"
+  if [[ ! -f "$base" ]]; then
+    echo "BENCH_$name.json: no committed baseline at repo root" >&2
+    fail=1
+    continue
+  fi
+  if diff -u <(jq -S "$stable" "$base") <(jq -S "$stable" "$fresh"); then
+    echo "BENCH_$name.json: stable fields match the committed baseline"
+  else
+    echo "BENCH_$name.json: stable fields DIVERGE from the baseline" >&2
+    fail=1
+  fi
+done
+exit $fail
