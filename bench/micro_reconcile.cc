@@ -39,11 +39,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "core/append_only.h"
 #include "sim/cdss.h"
 #include "core/conflict.h"
@@ -400,11 +403,21 @@ void RunReconcileStudy() {
   // are marked oversubscribed and excluded from the speedup headline —
   // a 0.94x "speedup" measured on one core says nothing about the
   // parallel implementation.
+  // hardware_concurrency() returns 0 when the value is "not computable"
+  // (the standard allows it). 0 must read as *unknown*, not as "zero
+  // cores": comparing against it would mark every series — serial
+  // included — oversubscribed and null the headline on perfectly good
+  // many-core hosts.
   const unsigned hardware_threads = std::thread::hardware_concurrency();
+  const bool hw_known = hardware_threads != 0;
   std::fprintf(f, "{\n  \"bench\": \"micro_reconcile\",\n");
   std::fprintf(f, "  \"transactions\": %zu,\n  \"repetitions\": %zu,\n",
                kPeers * kPerPeer, kReps);
-  std::fprintf(f, "  \"hardware_threads\": %u,\n", hardware_threads);
+  if (hw_known) {
+    std::fprintf(f, "  \"hardware_threads\": %u,\n", hardware_threads);
+  } else {
+    std::fprintf(f, "  \"hardware_threads\": null,\n");
+  }
   std::fprintf(f, "  \"series\": {\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const auto& [name, s] = results[i];
@@ -414,7 +427,7 @@ void RunReconcileStudy() {
     const bool parallel_series = name.rfind("parallel_", 0) == 0;
     const size_t threads =
         parallel_series ? std::strtoul(name.c_str() + 9, nullptr, 10) : 1;
-    const bool oversubscribed = threads > hardware_threads;
+    const bool oversubscribed = hw_known && threads > hardware_threads;
     std::fprintf(f,
                  "    \"%s\": {\"mean_us\": %.1f, \"p50_us\": %lld, "
                  "\"p95_us\": %lld, \"oversubscribed\": %s}%s\n",
@@ -425,13 +438,15 @@ void RunReconcileStudy() {
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  },\n");
-  if (8 > hardware_threads) {
+  if (hw_known && 8 > hardware_threads) {
     std::fprintf(f, "  \"speedup_parallel_8_vs_serial\": null,\n");
     std::fprintf(f,
                  "  \"speedup_note\": \"parallel series oversubscribed on "
                  "%u hardware thread(s); no headline speedup\",\n",
                  hardware_threads);
   } else {
+    // Unknown hardware width keeps the measured number (annotated by the
+    // per-series flags staying false) rather than suppressing it.
     std::fprintf(f, "  \"speedup_parallel_8_vs_serial\": %.2f,\n",
                  serial_mean / parallel8_mean);
   }
@@ -451,6 +466,29 @@ void RunReconcileStudy() {
 // exactly the baseline's decisions and state ratio, with retries and
 // the stuck-epoch reaper absorbing the losses.
 
+// Movement of the process-wide metrics registry (common/metrics.h) over
+// one sweep, rendered as a top-level "metrics" JSON object. Time-valued
+// counters (names ending in "_micros") are dropped: everything that
+// remains counts discrete events deterministic for a fixed seed, so the
+// block participates in the baseline diff instead of being stripped.
+void WriteMetricsBlock(std::FILE* f,
+                       const std::map<std::string, int64_t>& deltas) {
+  std::fprintf(f, "  \"metrics\": {");
+  bool first = true;
+  for (const auto& [name, value] : deltas) {
+    constexpr std::string_view kTimeSuffix = "_micros";
+    if (name.size() >= kTimeSuffix.size() &&
+        name.compare(name.size() - kTimeSuffix.size(), kTimeSuffix.size(),
+                     kTimeSuffix) == 0) {
+      continue;
+    }
+    std::fprintf(f, "%s\n    \"%s\": %lld", first ? "" : ",", name.c_str(),
+                 static_cast<long long>(value));
+    first = false;
+  }
+  std::fprintf(f, "\n  },\n");
+}
+
 sim::CdssConfig SweepConfig(sim::StoreKind store) {
   sim::CdssConfig cfg;
   cfg.participants = 25;
@@ -463,6 +501,8 @@ sim::CdssConfig SweepConfig(sim::StoreKind store) {
 bool RunFaultSweep() {
   const char* flag = std::getenv("ORCH_FAULT_SWEEP");
   if (flag == nullptr || flag[0] == '\0' || flag[0] == '0') return false;
+  const std::map<std::string, int64_t> sweep_start =
+      MetricsRegistry::Global().CounterValues();
 
   struct Row {
     std::string store;
@@ -541,6 +581,8 @@ bool RunFaultSweep() {
   std::fprintf(f, "  \"failure_probability\": 0.01,\n");
   std::fprintf(f, "  \"all_runs_match_baseline\": %s,\n",
                all_ok ? "true" : "false");
+  WriteMetricsBlock(f, CounterDeltas(sweep_start,
+                                     MetricsRegistry::Global().CounterValues()));
   std::fprintf(f, "  \"runs\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
@@ -650,6 +692,8 @@ ChurnRow RunChurnLeg(uint64_t churn_seed, size_t replication_factor) {
 bool RunChurnSweep() {
   const char* flag = std::getenv("ORCH_CHURN_SWEEP");
   if (flag == nullptr || flag[0] == '\0' || flag[0] == '0') return false;
+  const std::map<std::string, int64_t> sweep_start =
+      MetricsRegistry::Global().CounterValues();
 
   const uint64_t kSeeds[] = {11, 12, 13};
   std::vector<ChurnRow> rows;
@@ -712,6 +756,8 @@ bool RunChurnSweep() {
   std::fprintf(f, "  \"all_checks_pass\": %s,\n", all_ok ? "true" : "false");
   std::fprintf(f, "  \"k1_control_lost_data\": %s,\n",
                data_lost ? "true" : "false");
+  WriteMetricsBlock(f, CounterDeltas(sweep_start,
+                                     MetricsRegistry::Global().CounterValues()));
   std::fprintf(f, "  \"runs\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const ChurnRow& r = rows[i];
@@ -896,6 +942,8 @@ void PrintDeltaRowJson(std::FILE* f, const DeltaRow& r, bool last) {
 bool RunDeltaSweep() {
   const char* flag = std::getenv("ORCH_DELTA_SWEEP");
   if (flag == nullptr || flag[0] == '\0' || flag[0] == '0') return false;
+  const std::map<std::string, int64_t> sweep_start =
+      MetricsRegistry::Global().CounterValues();
 
   const core::FetchMode kModes[] = {core::FetchMode::kFull,
                                     core::FetchMode::kWindowed,
@@ -992,6 +1040,8 @@ bool RunDeltaSweep() {
                "  \"dht_speedup_metric\": \"steady_state_sim_us\",\n"
                "  \"dht_message_reduction_delta_vs_full\": %.2f,\n",
                central_speedup, dht_speedup, dht_msg_reduction);
+  WriteMetricsBlock(f, CounterDeltas(sweep_start,
+                                     MetricsRegistry::Global().CounterValues()));
   std::fprintf(f, "  \"runs\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     PrintDeltaRowJson(f, rows[i], i + 1 == rows.size());

@@ -1,0 +1,148 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace orchestra {
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void FlushGlobalTracerAtExit() {
+  if (Tracer::Global().enabled()) {
+    Status status = Tracer::Global().Flush();
+    if (!status.ok()) {
+      std::fprintf(stderr, "orchestra: trace flush failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+}
+
+// Escapes the characters that could break a JSON string; metric/span
+// names are plain identifiers in practice, so this is belt-and-braces.
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = [] {
+    auto* t = new Tracer();
+    if (const char* path = std::getenv("ORCH_TRACE");
+        path != nullptr && path[0] != '\0') {
+      t->Enable(path);
+    }
+    return t;
+  }();
+  return *tracer;
+}
+
+void Tracer::Enable(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = std::move(path);
+  events_.clear();
+  epoch_micros_ = SteadyNowMicros();
+  if (!atexit_registered_) {
+    std::atexit(FlushGlobalTracerAtExit);
+    atexit_registered_ = true;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() {
+  if (!enabled()) return;
+  Status status = Flush();
+  if (!status.ok()) {
+    std::fprintf(stderr, "orchestra: trace flush failed: %s\n",
+                 status.ToString().c_str());
+  }
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::string Tracer::path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_;
+}
+
+uint32_t Tracer::ThreadIndexLocked() {
+  // One dense index per thread for the (singleton) tracer. Assigned
+  // under mu_ on first use; reads afterwards are thread-local.
+  thread_local uint32_t index = UINT32_MAX;
+  if (index == UINT32_MAX) {
+    index = static_cast<uint32_t>(thread_names_.size());
+    thread_names_.push_back("thread-" + std::to_string(index));
+  }
+  return index;
+}
+
+void Tracer::RecordEvent(const char* name, char phase) {
+  if (!enabled()) return;
+  const int64_t now = SteadyNowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event;
+  event.name = name;
+  event.phase = phase;
+  event.ts_micros = now - epoch_micros_;
+  event.tid = ThreadIndexLocked();
+  events_.push_back(event);
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+Status Tracer::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path_.empty()) {
+    return Status::InvalidArgument("tracer has no output path");
+  }
+  std::string json;
+  json.reserve(events_.size() * 96 + 64);
+  json += "{\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (i > 0) json += ',';
+    json += "{\"name\":\"";
+    AppendJsonEscaped(&json, e.name);
+    json += "\",\"cat\":\"orchestra\",\"ph\":\"";
+    json.push_back(e.phase);
+    json += "\",\"ts\":";
+    json += std::to_string(e.ts_micros);
+    json += ",\"pid\":1,\"tid\":";
+    json += std::to_string(e.tid);
+    json += '}';
+  }
+  json += "],\"displayTimeUnit\":\"ms\"}\n";
+
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file: " + path_);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace file: " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace orchestra

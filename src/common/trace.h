@@ -1,0 +1,96 @@
+#ifndef ORCHESTRA_COMMON_TRACE_H_
+#define ORCHESTRA_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orchestra {
+
+/// Scoped-span tracer emitting Chrome `trace_event` JSON (load the file
+/// at chrome://tracing or https://ui.perfetto.dev). Disabled by default:
+/// a disabled TraceSpan costs one relaxed atomic load, so spans stay
+/// compiled into the hot paths and tests run quiet. Enable it either
+/// programmatically (`Tracer::Global().Enable(path)`) or by setting the
+/// `ORCH_TRACE` environment variable to an output path before the first
+/// span — the file is written on Disable()/Flush() and automatically at
+/// process exit.
+///
+/// Tracing records wall-clock timestamps only; it never feeds back into
+/// simulation state, so reconciliation decisions are bit-identical with
+/// tracing on or off.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Starts buffering events, to be written to `path` on Flush().
+  void Enable(std::string path);
+
+  /// Stops tracing and flushes buffered events to the configured path.
+  void Disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  std::string path() const;
+
+  /// Appends a begin ('B') or end ('E') event; `name` must outlive the
+  /// tracer (string literals in practice). Thread-safe.
+  void RecordEvent(const char* name, char phase);
+
+  /// Writes all buffered events as Chrome trace JSON to the configured
+  /// path. Keeps the buffer; callers wanting a fresh trace re-Enable().
+  Status Flush();
+
+  /// Buffered event count (tests / diagnostics).
+  size_t event_count() const;
+
+ private:
+  Tracer() = default;
+
+  struct Event {
+    const char* name;
+    char phase;       // 'B' or 'E'
+    int64_t ts_micros;  // wall time relative to tracer enable
+    uint32_t tid;     // dense per-tracer thread index
+  };
+
+  /// Dense index for the calling thread (registered on first use).
+  uint32_t ThreadIndexLocked();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::string path_;
+  std::vector<Event> events_;
+  std::vector<std::string> thread_names_;  // index -> label
+  int64_t epoch_micros_ = 0;               // steady-clock origin
+  bool atexit_registered_ = false;
+};
+
+/// RAII scoped span: emits a 'B' event at construction and the matching
+/// 'E' at destruction when tracing is enabled, nothing otherwise. The
+/// name must be a string literal (or otherwise outlive the tracer).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (Tracer::Global().enabled()) {
+      name_ = name;
+      Tracer::Global().RecordEvent(name_, 'B');
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) Tracer::Global().RecordEvent(name_, 'E');
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+};
+
+}  // namespace orchestra
+
+#endif  // ORCHESTRA_COMMON_TRACE_H_

@@ -1,9 +1,12 @@
 #include "core/participant.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.h"
 #include "common/clock.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/analysis.h"
 #include "core/apply.h"
 #include "core/extension.h"
@@ -182,9 +185,16 @@ Result<TransactionId> Participant::ExecuteTransaction(
 
 Result<Epoch> Participant::Publish(UpdateStore* store) {
   if (publish_queue_.empty()) return kNoEpoch;
+  TraceSpan span("participant.publish");
+  static Counter& publishes =
+      MetricsRegistry::Global().GetCounter("reconcile.publishes");
+  static Counter& published_txns =
+      MetricsRegistry::Global().GetCounter("reconcile.published_txns");
   // Pass a copy: a failed publish (store unavailable) must leave the
   // queue intact so the transactions can be republished later.
   ORCH_ASSIGN_OR_RETURN(Epoch epoch, store->Publish(id_, publish_queue_));
+  publishes.Increment();
+  published_txns.Add(static_cast<int64_t>(publish_queue_.size()));
   publish_queue_.clear();
   return epoch;
 }
@@ -205,13 +215,21 @@ Result<std::vector<TrustedTxn>> Participant::ReconsiderDeferred() {
 }
 
 Result<ReconcileReport> Participant::Reconcile(UpdateStore* store) {
+  TraceSpan span("participant.reconcile");
   const StoreStats before = store->StatsFor(id_);
-  ORCH_ASSIGN_OR_RETURN(ReconcileFetch fetch, store->BeginReconciliation(id_));
+  ReconcileFetch fetch;
+  {
+    TraceSpan fetch_span("reconcile.fetch");
+    ORCH_ASSIGN_OR_RETURN(fetch, store->BeginReconciliation(id_));
+  }
 
   Stopwatch local;
   // Fold the fetched bundle into the local transaction cache.
-  for (Transaction& txn : fetch.transactions) {
-    txn_cache_.Put(std::move(txn));
+  {
+    TraceSpan fold_span("reconcile.fold_cache");
+    for (Transaction& txn : fetch.transactions) {
+      txn_cache_.Put(std::move(txn));
+    }
   }
 
   std::vector<TrustedTxn> txns;
@@ -254,7 +272,36 @@ Result<ReconcileReport> Participant::Reconcile(UpdateStore* store) {
                    catch_up_applied, catch_up_rejected));
   report.store = store->StatsFor(id_) - before;
   report.fetch_stats = fetch.stats;
+  RecordFetchMetrics(fetched, n_reconsidered, fetch.stats);
   return report;
+}
+
+// Registry-side accounting shared by the client-centric and
+// network-centric reconcile paths; mirrors FetchStats so registry
+// consumers see the same cache numbers `ReconcileReport` carries.
+void Participant::RecordFetchMetrics(size_t fetched, size_t reconsidered,
+                                     const FetchStats& stats) {
+  static Counter& rounds =
+      MetricsRegistry::Global().GetCounter("reconcile.rounds");
+  static Counter& fetched_txns =
+      MetricsRegistry::Global().GetCounter("reconcile.fetched_txns");
+  static Counter& reconsidered_txns =
+      MetricsRegistry::Global().GetCounter("reconcile.reconsidered_txns");
+  static Counter& decoded =
+      MetricsRegistry::Global().GetCounter("reconcile.fetch.decoded_txns");
+  static Counter& cache_hits =
+      MetricsRegistry::Global().GetCounter("reconcile.fetch.cache_hits");
+  static Counter& suppressed =
+      MetricsRegistry::Global().GetCounter("reconcile.fetch.suppressed_lookups");
+  static Counter& batched =
+      MetricsRegistry::Global().GetCounter("reconcile.fetch.batched_messages");
+  rounds.Increment();
+  fetched_txns.Add(static_cast<int64_t>(fetched));
+  reconsidered_txns.Add(static_cast<int64_t>(reconsidered));
+  decoded.Add(stats.decoded);
+  cache_hits.Add(stats.cache_hits);
+  suppressed.Add(stats.suppressed_lookups);
+  batched.Add(stats.batched_messages);
 }
 
 Result<ReconcileReport> Participant::RunAndCommit(
@@ -284,8 +331,11 @@ Result<ReconcileReport> Participant::RunAndCommit(
   input.rejected = &rejected_;
   input.dirty = &dirty_;
 
-  ORCH_ASSIGN_OR_RETURN(ReconcileOutcome outcome,
-                        reconciler_.Run(input, &instance_));
+  ReconcileOutcome outcome;
+  {
+    TraceSpan run_span("reconcile.run");
+    ORCH_ASSIGN_OR_RETURN(outcome, reconciler_.Run(input, &instance_));
+  }
 
   // Fold the outcome into durable and soft state.
   UpdateVersionMap(outcome.applied_txns);
@@ -349,8 +399,11 @@ Result<ReconcileReport> Participant::RunAndCommit(
     to_apply = &record_applied;
     to_reject = &record_rejected;
   }
-  const Status recorded =
-      store->RecordDecisions(id_, recno, *to_apply, *to_reject);
+  Status recorded;
+  {
+    TraceSpan record_span("reconcile.record_decisions");
+    recorded = store->RecordDecisions(id_, recno, *to_apply, *to_reject);
+  }
   if (recorded.ok()) {
     unrecorded_applied_.clear();
     unrecorded_rejected_.clear();
@@ -363,6 +416,19 @@ Result<ReconcileReport> Participant::RunAndCommit(
   } else {
     return recorded;
   }
+
+  static Counter& accepted_roots =
+      MetricsRegistry::Global().GetCounter("reconcile.accepted_roots");
+  static Counter& rejected_roots =
+      MetricsRegistry::Global().GetCounter("reconcile.rejected_roots");
+  static Counter& deferred_roots =
+      MetricsRegistry::Global().GetCounter("reconcile.deferred_roots");
+  static Histogram& local_hist =
+      MetricsRegistry::Global().GetHistogram("reconcile.local_micros");
+  accepted_roots.Add(static_cast<int64_t>(outcome.accepted_roots.size()));
+  rejected_roots.Add(static_cast<int64_t>(outcome.rejected_roots.size()));
+  deferred_roots.Add(static_cast<int64_t>(outcome.deferred_roots.size()));
+  local_hist.Observe(local_micros);
 
   ReconcileReport report;
   report.local_micros = local_micros;
@@ -418,13 +484,20 @@ Result<ReconcileReport> Participant::ReconcileNetworkCentric(
                                 " store does not support network-centric "
                                 "reconciliation");
   }
+  TraceSpan span("participant.reconcile_network_centric");
   const StoreStats before = store->StatsFor(id_);
-  ORCH_ASSIGN_OR_RETURN(NetworkCentricFetch fetch,
-                        nc->BeginNetworkCentricReconciliation(id_));
+  NetworkCentricFetch fetch;
+  {
+    TraceSpan fetch_span("reconcile.fetch");
+    ORCH_ASSIGN_OR_RETURN(fetch, nc->BeginNetworkCentricReconciliation(id_));
+  }
 
   Stopwatch local;
-  for (Transaction& txn : fetch.base.transactions) {
-    txn_cache_.Put(std::move(txn));
+  {
+    TraceSpan fold_span("reconcile.fold_cache");
+    for (Transaction& txn : fetch.base.transactions) {
+      txn_cache_.Put(std::move(txn));
+    }
   }
   // If the store resent something we already know, the shipped analysis
   // indices no longer line up — drop those entries and recompute
@@ -477,37 +550,81 @@ Result<ReconcileReport> Participant::ReconcileNetworkCentric(
                    catch_up_applied, catch_up_rejected));
   report.store = store->StatsFor(id_) - before;
   report.fetch_stats = fetch.base.stats;
+  RecordFetchMetrics(fetched, n_reconsidered, fetch.base.stats);
   return report;
 }
 
 namespace {
 
+/// Adds `delta` to `*total`, saturating at INT64_MAX instead of
+/// wrapping (signed overflow is UB). Both operands non-negative.
+void SaturatingAdd(int64_t* total, int64_t delta) {
+  if (*total > std::numeric_limits<int64_t>::max() - delta) {
+    *total = std::numeric_limits<int64_t>::max();
+  } else {
+    *total += delta;
+  }
+}
+
 /// Runs `op` up to retry.max_attempts times, retrying only Unavailable
 /// (transient) failures. Backoff is accumulated into `stats`, never
 /// slept: the simulation charges it as time without paying it. Each
-/// step is jittered from the caller's seeded stream (see
+/// step is capped at retry.max_backoff_micros *before* jitter (the
+/// exponential growth itself is clamped, so no intermediate value can
+/// overflow int64), then jittered from the caller's seeded stream (see
 /// ReconcileRetryOptions::backoff_jitter) to break retry lockstep.
 template <typename Op>
 auto RetryUnavailable(const ReconcileRetryOptions& retry, RetryStats* stats,
                       Rng* rng, Op&& op) -> decltype(op()) {
-  int64_t backoff = retry.initial_backoff_micros;
+  static Counter& retry_ops = MetricsRegistry::Global().GetCounter("retry.operations");
+  static Counter& retry_attempts =
+      MetricsRegistry::Global().GetCounter("retry.attempts");
+  static Counter& retry_backoff =
+      MetricsRegistry::Global().GetCounter("retry.backoff_sim_micros");
+  static Counter& retry_exhausted =
+      MetricsRegistry::Global().GetCounter("retry.exhausted");
+  retry_ops.Increment();
+  const int64_t cap = std::max<int64_t>(1, retry.max_backoff_micros);
+  int64_t backoff =
+      std::clamp<int64_t>(retry.initial_backoff_micros, 0, cap);
   for (int attempt = 1;; ++attempt) {
     auto result = op();
-    if (stats != nullptr) stats->attempts = attempt;
+    // Accumulate (never overwrite): a stats struct shared across
+    // several retried ops totals all their attempts, matching how
+    // backoff_micros has always summed.
+    if (stats != nullptr) ++stats->attempts;
+    retry_attempts.Increment();
     if (result.ok() ||
         result.status().code() != StatusCode::kUnavailable ||
         attempt >= retry.max_attempts) {
+      if (!result.ok() &&
+          result.status().code() == StatusCode::kUnavailable) {
+        retry_exhausted.Increment();
+      }
       return result;
     }
     int64_t step = backoff;
     if (retry.backoff_jitter > 0 && rng != nullptr) {
       const double factor = 1.0 - retry.backoff_jitter +
                             2.0 * retry.backoff_jitter * rng->NextDouble();
-      step = static_cast<int64_t>(static_cast<double>(backoff) * factor);
+      // Upward jitter may exceed the cap by up to the jitter fraction;
+      // clamp in the double domain so the cast can never overflow even
+      // when the cap itself is near INT64_MAX.
+      const double jittered =
+          std::min(static_cast<double>(backoff) * factor,
+                   static_cast<double>(std::numeric_limits<int64_t>::max() / 2));
+      step = std::max<int64_t>(static_cast<int64_t>(jittered), 0);
     }
-    if (stats != nullptr) stats->backoff_micros += step;
-    backoff = static_cast<int64_t>(static_cast<double>(backoff) *
-                                   retry.backoff_multiplier);
+    if (stats != nullptr) SaturatingAdd(&stats->backoff_micros, step);
+    retry_backoff.Add(step);
+    // Grow in the double domain and clamp to the cap before casting:
+    // a double comfortably holds any pre-clamp product, and the cast
+    // back only ever sees values <= cap.
+    const double grown =
+        static_cast<double>(backoff) * retry.backoff_multiplier;
+    backoff = grown >= static_cast<double>(cap) ? cap
+                                                : static_cast<int64_t>(grown);
+    backoff = std::max<int64_t>(backoff, 0);
   }
 }
 

@@ -50,6 +50,12 @@ struct ReconcileRetryOptions {
   int max_attempts = 8;
   int64_t initial_backoff_micros = 1000;
   double backoff_multiplier = 2.0;
+  /// Ceiling on a single backoff step, applied before jitter. Keeps
+  /// large max_attempts configurations (outage-wait loops) from growing
+  /// the step past int64 range — unbounded exponential growth used to
+  /// overflow and corrupt the accumulated backoff. Values < 1 are
+  /// treated as 1.
+  int64_t max_backoff_micros = 60'000'000;  // 60 simulated seconds
   /// Each backoff step is scaled by a uniform factor in
   /// [1 - backoff_jitter, 1 + backoff_jitter], drawn from the
   /// participant's own seeded stream. After a shared outage every peer
@@ -58,9 +64,15 @@ struct ReconcileRetryOptions {
   double backoff_jitter = 0.25;
 };
 
-/// What a retried operation actually did.
+/// What retried operations actually did. Both fields *accumulate*, so
+/// one struct can be threaded through several *WithRetry calls to total
+/// a whole round's retry work: `attempts` adds every attempt made
+/// (including each operation's first) and `backoff_micros` adds the
+/// simulated backoff charged, saturating at INT64_MAX instead of
+/// wrapping. Zero the struct (or use a fresh one) for per-op readings;
+/// a single successful operation reads as `attempts == 1`.
 struct RetryStats {
-  int attempts = 0;              // attempts made, including the last
+  int attempts = 0;              // attempts made, accumulated across ops
   int64_t backoff_micros = 0;    // simulated backoff accumulated
 };
 
@@ -202,6 +214,11 @@ class Participant {
   /// Applies the version-map effects of applied transactions, in
   /// publication order, so future antecedent computation is correct.
   void UpdateVersionMap(const std::vector<TransactionId>& applied_txns);
+
+  /// Bumps the process-wide metrics registry with one round's fetch
+  /// accounting (mirrors ReconcileReport::fetch_stats).
+  static void RecordFetchMetrics(size_t fetched, size_t reconsidered,
+                                 const FetchStats& stats);
 
   ParticipantId id_;
   const db::Catalog* catalog_;

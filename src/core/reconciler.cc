@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <unordered_map>
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/analysis.h"
 #include "core/apply.h"
 #include "core/flatten.h"
@@ -109,10 +112,16 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
   const size_t n = input.txns.size();
   ReconcileOutcome outcome;
 
+  // Phases share variables, so per-phase spans roll over via optional
+  // instead of lexical scopes; emplace() ends the previous span before
+  // beginning the next.
+  std::optional<TraceSpan> phase_span;
+
   // --- Phase 1 (Fig. 4 lines 5-8): flatten extensions, check state. ---
   // Phases 1-2 (Fig. 4 lines 5-9): flatten extensions and find the
   // direct, non-subsumed conflicts — either precomputed by the network
   // (network-centric mode) or computed here (client-centric, §5.1).
+  phase_span.emplace("reconcile.phase.analysis");
   ReconcileAnalysis local_analysis;
   const ReconcileAnalysis* analysis = input.analysis;
   if (analysis == nullptr) {
@@ -127,10 +136,18 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
              "analysis does not cover the input transactions");
   const std::vector<std::vector<Update>>& up_ex = analysis->up_ex;
 
+  static Counter& analyzed_txns =
+      MetricsRegistry::Global().GetCounter("reconcile.analyzed_txns");
+  static Counter& conflict_pairs =
+      MetricsRegistry::Global().GetCounter("reconcile.conflict_pairs");
+  analyzed_txns.Add(static_cast<int64_t>(n));
+  conflict_pairs.Add(static_cast<int64_t>(analysis->conflicts.size()));
+
   // Each transaction's state check is independent of every other's (it
   // reads only the immutable instance, the input sets, and its own
   // flattened extension) and writes its own decision slot, so the loop
   // parallelizes with bit-identical results.
+  phase_span.emplace("reconcile.phase.check_state");
   std::vector<Decision> decision(n, Decision::kUndecided);
   ParallelFor(pool_.get(), n, [&](size_t i) {
     if (!analysis->flatten_ok[i]) {
@@ -151,6 +168,7 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
   }
 
   // --- Phase 3 (Fig. 4 lines 10-12): DoGroup by decreasing priority. ---
+  phase_span.emplace("reconcile.phase.priority_groups");
   std::vector<int> prios;
   for (const TrustedTxn& t : input.txns) prios.push_back(t.priority);
   std::sort(prios.begin(), prios.end(), std::greater<int>());
@@ -205,6 +223,7 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
   // chain's net effect supersedes the intermediate state ("least
   // interaction", §3.1), and the antecedent is then transitively
   // accepted through the chain (reclassified below).
+  phase_span.emplace("reconcile.phase.propagate_deferral");
   std::unordered_map<TransactionId, size_t, TransactionIdHash> index_of;
   for (size_t i = 0; i < n; ++i) index_of[input.txns[i].id] = i;
   bool changed = true;
@@ -227,6 +246,7 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
   // --- Phase 5 (Fig. 4 lines 14-19): apply accepted extensions in
   // publication order, sharing a Used set so overlapping antecedents are
   // applied exactly once (Definition 5).
+  phase_span.emplace("reconcile.phase.apply");
   std::vector<size_t> accepted;
   for (size_t i = 0; i < n; ++i) {
     if (decision[i] == Decision::kAccept) accepted.push_back(i);
@@ -288,6 +308,7 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
 
   // --- Phase 6 (Fig. 5 UpdateSoftState): rebuild dirty values and
   // conflict groups from this run's deferred set. ---
+  phase_span.emplace("reconcile.phase.soft_state");
   std::map<ConflictPoint, std::vector<size_t>> group_members;
   for (size_t i = 0; i < n; ++i) {
     switch (decision[i]) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace orchestra::net {
 
 DhtRing::DhtRing(size_t n, size_t successor_list_length)
@@ -219,6 +221,13 @@ RouteResult DhtRing::Route(size_t from, NodeId key) const {
     }
   }
   result.owner = owner;
+  static Counter& routes = MetricsRegistry::Global().GetCounter("dht.routes");
+  static Counter& hops = MetricsRegistry::Global().GetCounter("dht.route_hops");
+  static Counter& failed_probes =
+      MetricsRegistry::Global().GetCounter("dht.failed_probes");
+  routes.Increment();
+  hops.Add(result.hops);
+  failed_probes.Add(result.failed_probes);
   return result;
 }
 

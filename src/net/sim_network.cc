@@ -1,8 +1,15 @@
 #include "net/sim_network.h"
 
+#include "common/metrics.h"
+
 namespace orchestra::net {
 
 int64_t SimNetwork::Charge(uint32_t endpoint, int64_t hops, int64_t bytes) {
+  // Function-local statics: the registry lock is paid once, after which
+  // the per-message cost is two relaxed atomic adds.
+  static Counter& net_messages =
+      MetricsRegistry::Global().GetCounter("net.messages");
+  static Counter& net_bytes = MetricsRegistry::Global().GetCounter("net.bytes");
   const int64_t micros = hops * MessageCostMicros(bytes);
   NetStats& stats = per_endpoint_[endpoint];
   stats.micros += micros;
@@ -11,13 +18,21 @@ int64_t SimNetwork::Charge(uint32_t endpoint, int64_t hops, int64_t bytes) {
   global_.micros += micros;
   global_.messages += hops;
   global_.bytes += hops * bytes;
+  net_messages.Add(hops);
+  net_bytes.Add(hops * bytes);
   return micros;
 }
 
 Status SimNetwork::TryCharge(uint32_t endpoint, int64_t hops, int64_t bytes) {
   Charge(endpoint, hops, bytes);
   if (injector_ == nullptr) return Status::OK();
-  return injector_->MaybeFail("net.send");
+  Status status = injector_->MaybeFail("net.send");
+  if (!status.ok()) {
+    static Counter& dropped =
+        MetricsRegistry::Global().GetCounter("net.dropped_sends");
+    dropped.Increment();
+  }
+  return status;
 }
 
 NetStats SimNetwork::StatsFor(uint32_t endpoint) const {

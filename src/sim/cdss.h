@@ -1,6 +1,7 @@
 #ifndef ORCHESTRA_SIM_CDSS_H_
 #define ORCHESTRA_SIM_CDSS_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -139,6 +140,18 @@ struct CdssResult {
   double total_store_micros_per_peer = 0;
   int64_t messages = 0;
   int64_t bytes = 0;
+  /// Movement of the process-wide metrics registry (common/metrics.h)
+  /// during one round of this run: counter deltas taken at the round
+  /// boundary, zero deltas dropped. The registry is global and
+  /// accumulates for the process lifetime; deltas isolate what *this*
+  /// run's round actually did.
+  struct RoundMetrics {
+    size_t round = 0;
+    std::map<std::string, int64_t> counters;
+  };
+  std::vector<RoundMetrics> round_metrics;
+  /// Whole-run counter deltas (the sum of round_metrics entries).
+  std::map<std::string, int64_t> metrics;
 };
 
 /// A whole simulated CDSS: catalog, trust policies, participants, the

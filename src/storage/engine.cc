@@ -1,5 +1,6 @@
 #include "storage/engine.h"
 
+#include "common/metrics.h"
 #include "db/serde.h"
 
 namespace orchestra::storage {
@@ -90,6 +91,8 @@ Status StorageEngine::Put(std::string_view table, std::string_view key,
   }
   ORCH_RETURN_IF_ERROR(LogPut(table, key, value));
   tables_[std::string(table)][std::string(key)] = std::string(value);
+  static Counter& puts = MetricsRegistry::Global().GetCounter("storage.puts");
+  puts.Increment();
   return Status::OK();
 }
 
@@ -121,6 +124,9 @@ Status StorageEngine::Delete(std::string_view table, std::string_view key) {
   ORCH_RETURN_IF_ERROR(LogDelete(table, key));
   auto table_it = tables_.find(table);
   if (table_it != tables_.end()) table_it->second.erase(std::string(key));
+  static Counter& deletes =
+      MetricsRegistry::Global().GetCounter("storage.deletes");
+  deletes.Increment();
   return Status::OK();
 }
 

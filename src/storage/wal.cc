@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/metrics.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
 #define ORCH_WAL_HAS_FSYNC 1
@@ -52,6 +54,9 @@ WriteAheadLog::~WriteAheadLog() {
 }
 
 Status WriteAheadLog::Append(uint8_t type, std::string_view payload) {
+  static Counter& appends = MetricsRegistry::Global().GetCounter("wal.appends");
+  static Counter& append_bytes =
+      MetricsRegistry::Global().GetCounter("wal.append_bytes");
   std::string body;
   body.push_back(static_cast<char>(type));
   body.append(payload);
@@ -65,10 +70,15 @@ Status WriteAheadLog::Append(uint8_t type, std::string_view payload) {
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
     return Status::IOError("short write to WAL " + path_);
   }
+  appends.Increment();
+  append_bytes.Add(static_cast<int64_t>(record.size()));
   return Status::OK();
 }
 
 Status WriteAheadLog::Sync() {
+  static Counter& syncs = MetricsRegistry::Global().GetCounter("wal.syncs");
+  static Counter& fsyncs = MetricsRegistry::Global().GetCounter("wal.fsyncs");
+  syncs.Increment();
   // fflush only moves stdio-buffered bytes into the OS page cache; the
   // durability claim ("decisions survive a crash once Sync returns")
   // additionally needs fsync to push them to stable storage.
@@ -79,6 +89,9 @@ Status WriteAheadLog::Sync() {
   if (fsync(fileno(file_)) != 0) {
     return Status::IOError("fsync failed on WAL " + path_);
   }
+  fsyncs.Increment();
+#else
+  (void)fsyncs;
 #endif
   return Status::OK();
 }

@@ -7,6 +7,8 @@
 #include <deque>
 
 #include "common/clock.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "db/serde.h"
 #include "core/extension.h"
 
@@ -129,6 +131,7 @@ void CentralStore::AbortPublish(Epoch epoch,
 
 Result<Epoch> CentralStore::Publish(ParticipantId peer,
                                     std::vector<Transaction> txns) {
+  TraceSpan span("central.publish");
   Stopwatch cpu;
   // Allocate the publication epoch (the SQL sequence of §5.2.1). A
   // failure past this point burns the number; gaps in the epoch sequence
@@ -198,10 +201,17 @@ Result<Epoch> CentralStore::Publish(ParticipantId peer,
   network_->Charge(peer, 4, bytes / 4);
   cpu_micros_[peer] += cpu.ElapsedMicros() + options_.procedure_overhead_micros;
   calls_[peer] += 1;
+  static Counter& publishes =
+      MetricsRegistry::Global().GetCounter("store.central.publishes");
+  static Counter& published_txns =
+      MetricsRegistry::Global().GetCounter("store.central.published_txns");
+  publishes.Increment();
+  published_txns.Add(static_cast<int64_t>(txns.size()));
   return epoch;
 }
 
 Result<ReconcileFetch> CentralStore::BeginReconciliation(ParticipantId peer) {
+  TraceSpan span("central.fetch");
   Stopwatch cpu;
   auto policy_it = policies_.find(peer);
   if (policy_it == policies_.end()) {
@@ -359,6 +369,23 @@ Result<ReconcileFetch> CentralStore::BeginReconciliation(ParticipantId peer) {
   network_->Charge(peer, 2, bytes / 2);
   cpu_micros_[peer] += cpu.ElapsedMicros() + options_.procedure_overhead_micros;
   calls_[peer] += 1;
+  // Registry mirror of FetchStats, accumulated store-side so registry
+  // consumers need not sum per-round reports.
+  static Counter& fetches =
+      MetricsRegistry::Global().GetCounter("store.central.fetches");
+  static Counter& shipped_txns =
+      MetricsRegistry::Global().GetCounter("store.central.shipped_txns");
+  static Counter& decoded_ctr =
+      MetricsRegistry::Global().GetCounter("store.central.decoded_txns");
+  static Counter& cache_hits =
+      MetricsRegistry::Global().GetCounter("store.central.cache_hits");
+  static Counter& suppressed = MetricsRegistry::Global().GetCounter(
+      "store.central.suppressed_lookups");
+  fetches.Increment();
+  shipped_txns.Add(static_cast<int64_t>(fetch.transactions.size()));
+  decoded_ctr.Add(fetch.stats.decoded);
+  cache_hits.Add(fetch.stats.cache_hits);
+  suppressed.Add(fetch.stats.suppressed_lookups);
   return fetch;
 }
 
@@ -366,6 +393,13 @@ Status CentralStore::RecordDecisions(
     ParticipantId peer, int64_t recno,
     const std::vector<TransactionId>& applied,
     const std::vector<TransactionId>& rejected) {
+  TraceSpan span("central.record_decisions");
+  static Counter& records =
+      MetricsRegistry::Global().GetCounter("store.central.record_decisions");
+  static Counter& decisions =
+      MetricsRegistry::Global().GetCounter("store.central.decisions");
+  records.Increment();
+  decisions.Add(static_cast<int64_t>(applied.size() + rejected.size()));
   Stopwatch cpu;
   const std::string dec_table = "dec:" + std::to_string(peer);
   const std::string log_table = "declog:" + std::to_string(peer);

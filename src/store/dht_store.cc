@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/clock.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/extension.h"
 
 namespace orchestra::store {
@@ -61,6 +63,14 @@ namespace {
 // no operation-level retry budget can keep up. Sticky faults (crashed
 // links/nodes) exhaust the budget and surface to the caller.
 constexpr int kMaxTransmits = 5;
+
+/// Registry counter for link-level retransmissions: attempts beyond a
+/// send's first, successful or not.
+Counter& RetransmitCounter() {
+  static Counter& counter =
+      MetricsRegistry::Global().GetCounter("net.retransmits");
+  return counter;
+}
 }  // namespace
 
 Result<size_t> DhtStore::TryRoutedSend(ParticipantId peer, size_t from_node,
@@ -70,6 +80,7 @@ Result<size_t> DhtStore::TryRoutedSend(ParticipantId peer, size_t from_node,
   if (route.hops > 0) {
     Status sent;
     for (int attempt = 0; attempt < kMaxTransmits; ++attempt) {
+      if (attempt > 0) RetransmitCounter().Increment();
       sent = network_->TryCharge(peer, route.hops, bytes);
       if (sent.ok()) break;
     }
@@ -81,6 +92,7 @@ Result<size_t> DhtStore::TryRoutedSend(ParticipantId peer, size_t from_node,
 Status DhtStore::TryDirectSend(ParticipantId peer, int64_t bytes) {
   Status sent;
   for (int attempt = 0; attempt < kMaxTransmits; ++attempt) {
+    if (attempt > 0) RetransmitCounter().Increment();
     sent = network_->TryCharge(peer, 1, bytes);
     if (sent.ok()) break;
   }
@@ -156,6 +168,7 @@ Status DhtStore::RegisterParticipant(ParticipantId peer,
 
 Result<Epoch> DhtStore::Publish(ParticipantId peer,
                                 std::vector<Transaction> txns) {
+  TraceSpan span("dht.publish");
   Stopwatch cpu;
   const size_t my_node = NodeOfPeer(peer);
 
@@ -254,6 +267,12 @@ Result<Epoch> DhtStore::Publish(ParticipantId peer,
   DirectSend(peer, 8);  // ack to publisher (commit already durable)
   cpu_micros_[peer] += cpu.ElapsedMicros();
   calls_[peer] += 1;
+  static Counter& publishes =
+      MetricsRegistry::Global().GetCounter("store.dht.publishes");
+  static Counter& published_txns =
+      MetricsRegistry::Global().GetCounter("store.dht.published_txns");
+  publishes.Increment();
+  published_txns.Add(static_cast<int64_t>(txns.size()));
   return epoch;
 }
 
@@ -264,6 +283,7 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
     return Status::NotFound("peer " + std::to_string(peer) +
                             " is not registered");
   }
+  TraceSpan span("dht.fetch");
   const core::TrustPolicy& policy = *policy_it->second;
   const size_t my_node = NodeOfPeer(peer);
   const bool delta = options_.fetch_mode == core::FetchMode::kDelta;
@@ -545,12 +565,32 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
   DirectSend(peer, 8);  // ack
   cpu_micros_[peer] += cpu.ElapsedMicros();
   calls_[peer] += 1;
+  // Registry mirror of FetchStats (see central_store.cc).
+  static Counter& fetches =
+      MetricsRegistry::Global().GetCounter("store.dht.fetches");
+  static Counter& shipped_txns =
+      MetricsRegistry::Global().GetCounter("store.dht.shipped_txns");
+  static Counter& multi_get_batches =
+      MetricsRegistry::Global().GetCounter("store.dht.multi_get_batches");
+  static Counter& suppressed =
+      MetricsRegistry::Global().GetCounter("store.dht.suppressed_lookups");
+  fetches.Increment();
+  shipped_txns.Add(static_cast<int64_t>(fetch.transactions.size()));
+  multi_get_batches.Add(fetch.stats.batched_messages);
+  suppressed.Add(fetch.stats.suppressed_lookups);
   return fetch;
 }
 
 Status DhtStore::RecordDecisions(ParticipantId peer, int64_t recno,
                                  const std::vector<TransactionId>& applied,
                                  const std::vector<TransactionId>& rejected) {
+  TraceSpan span("dht.record_decisions");
+  static Counter& records =
+      MetricsRegistry::Global().GetCounter("store.dht.record_decisions");
+  static Counter& decisions =
+      MetricsRegistry::Global().GetCounter("store.dht.decisions");
+  records.Increment();
+  decisions.Add(static_cast<int64_t>(applied.size() + rejected.size()));
   Stopwatch cpu;
   const size_t my_node = NodeOfPeer(peer);
   // Notify each transaction's controller group, tagging the decision

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/fetch_cache.h"
 #include "core/update_store.h"
 #include "net/dht.h"
@@ -218,8 +219,11 @@ class DhtStore : public core::UpdateStore,
   template <typename Pred>
   std::optional<size_t> FirstHolder(core::ParticipantId peer,
                                     const std::string& key, Pred has) const {
+    static Counter& failover_probes =
+        MetricsRegistry::Global().GetCounter("store.dht.failover_probes");
     for (size_t node : GroupFor(key)) {
       if (has(nodes_[node])) return node;
+      failover_probes.Increment();
       network_->Charge(peer, 1, 16);  // probe + miss reply
     }
     return std::nullopt;

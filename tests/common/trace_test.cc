@@ -1,0 +1,237 @@
+// Tracer: scoped spans rendered as Chrome trace_event JSON. The
+// contract under test: disabled tracing records nothing (so tests and
+// production runs stay quiet), and an enabled trace flushes to a file
+// that is structurally valid JSON whose 'B'/'E' events nest — every
+// span closes, per thread, in LIFO order with a matching name.
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace orchestra {
+namespace {
+
+std::string TempTracePath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Minimal structural JSON validator (objects, arrays, strings with
+// escapes, numbers, true/false/null). Returns true when the whole input
+// is exactly one well-formed value.
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;  // skip the escaped character
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+struct ParsedEvent {
+  std::string name;
+  char phase = '?';
+  long tid = -1;
+};
+
+// Pulls name/ph/tid out of each {"name":...} element; the JSON is
+// machine-written, so field order is fixed.
+std::vector<ParsedEvent> ParseEvents(const std::string& json) {
+  std::vector<ParsedEvent> events;
+  size_t pos = 0;
+  while ((pos = json.find("{\"name\":\"", pos)) != std::string::npos) {
+    ParsedEvent event;
+    pos += 9;
+    const size_t name_end = json.find('"', pos);
+    event.name = json.substr(pos, name_end - pos);
+    const size_t ph = json.find("\"ph\":\"", name_end);
+    event.phase = json[ph + 6];
+    const size_t tid = json.find("\"tid\":", ph);
+    event.tid = std::strtol(json.c_str() + tid + 6, nullptr, 10);
+    events.push_back(std::move(event));
+    pos = name_end;
+  }
+  return events;
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  if (Tracer::Global().enabled()) Tracer::Global().Disable();
+  const size_t before = Tracer::Global().event_count();
+  {
+    TraceSpan outer("quiet.outer");
+    TraceSpan inner("quiet.inner");
+  }
+  EXPECT_EQ(Tracer::Global().event_count(), before);
+}
+
+TEST(TraceTest, FlushedTraceIsValidJsonWithBalancedSpans) {
+  const std::string path = TempTracePath("trace_balanced.json");
+  Tracer::Global().Enable(path);
+  {
+    TraceSpan outer("span.outer");
+    {
+      TraceSpan inner("span.inner");
+    }
+    // Spans from worker threads land under their own tids.
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 3; ++t) {
+      workers.emplace_back([] {
+        TraceSpan worker_span("span.worker");
+        TraceSpan nested("span.worker_nested");
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  Tracer::Global().Disable();  // flushes
+
+  const std::string json = ReadFile(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  const std::vector<ParsedEvent> events = ParseEvents(json);
+  // outer + inner + 3 threads * 2 spans, each a B/E pair.
+  ASSERT_EQ(events.size(), 16u);
+  std::map<long, std::vector<std::string>> open_per_tid;
+  for (const ParsedEvent& event : events) {
+    ASSERT_TRUE(event.phase == 'B' || event.phase == 'E') << event.phase;
+    auto& stack = open_per_tid[event.tid];
+    if (event.phase == 'B') {
+      stack.push_back(event.name);
+    } else {
+      ASSERT_FALSE(stack.empty()) << "E without B on tid " << event.tid;
+      EXPECT_EQ(stack.back(), event.name) << "interleaved spans on one tid";
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : open_per_tid) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ReEnableStartsAFreshBuffer) {
+  const std::string path = TempTracePath("trace_fresh.json");
+  Tracer::Global().Enable(path);
+  { TraceSpan s("fresh.first"); }
+  EXPECT_EQ(Tracer::Global().event_count(), 2u);
+  Tracer::Global().Enable(path);  // re-enable clears the buffer
+  EXPECT_EQ(Tracer::Global().event_count(), 0u);
+  { TraceSpan s("fresh.second"); }
+  Tracer::Global().Disable();
+  const std::string json = ReadFile(path);
+  EXPECT_EQ(json.find("fresh.first"), std::string::npos);
+  EXPECT_NE(json.find("fresh.second"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace orchestra

@@ -1,0 +1,158 @@
+// Retry-layer regression tests: exponential backoff must respect
+// max_backoff_micros (unbounded growth used to overflow int64 and
+// corrupt the accumulated backoff), and RetryStats must *accumulate*
+// both fields across *WithRetry calls instead of overwriting attempts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/participant.h"
+#include "core/update_store.h"
+#include "test_util.h"
+
+namespace orchestra::core {
+namespace {
+
+using orchestra::testing::MakeProteinCatalog;
+
+// A store whose BeginReconciliation fails with Unavailable a
+// configurable number of times (negative = forever), then returns an
+// empty-but-valid fetch. Everything else is inert.
+class FlakyStore : public UpdateStore {
+ public:
+  explicit FlakyStore(int64_t failures_before_success)
+      : failures_remaining_(failures_before_success) {}
+
+  Status RegisterParticipant(ParticipantId, const TrustPolicy*) override {
+    return Status::OK();
+  }
+  Result<Epoch> Publish(ParticipantId, std::vector<Transaction>) override {
+    return Status::NotSupported("FlakyStore does not accept publishes");
+  }
+  Result<ReconcileFetch> BeginReconciliation(ParticipantId) override {
+    if (failures_remaining_ != 0) {
+      if (failures_remaining_ > 0) --failures_remaining_;
+      return Status::Unavailable("injected outage");
+    }
+    ReconcileFetch fetch;
+    fetch.recno = ++recno_;
+    return fetch;
+  }
+  Status RecordDecisions(ParticipantId, int64_t,
+                         const std::vector<TransactionId>&,
+                         const std::vector<TransactionId>&) override {
+    return Status::OK();
+  }
+  Result<RecoveryBundle> FetchRecoveryState(ParticipantId) const override {
+    return Status::NotSupported("FlakyStore has no recovery state");
+  }
+  Result<RecoveryBundle> Bootstrap(ParticipantId, ParticipantId) override {
+    return Status::NotSupported("FlakyStore cannot bootstrap");
+  }
+  StoreStats StatsFor(ParticipantId) const override { return {}; }
+  std::string_view name() const override { return "flaky"; }
+
+ private:
+  int64_t failures_remaining_;
+  int64_t recno_ = 0;
+};
+
+class RetryBackoffTest : public ::testing::Test {
+ protected:
+  RetryBackoffTest() : catalog_(MakeProteinCatalog()), policy_(1) {}
+
+  db::Catalog catalog_;
+  TrustPolicy policy_;
+};
+
+TEST_F(RetryBackoffTest, BackoffIsCappedAndNeverOverflows) {
+  // 200 attempts at 4x growth: uncapped, the step passes 2^63 after ~32
+  // doublings and the accumulated total wraps negative. With the cap the
+  // expected total is exact arithmetic.
+  ReconcileRetryOptions retry;
+  retry.max_attempts = 200;
+  retry.initial_backoff_micros = 1'000'000;
+  retry.backoff_multiplier = 4.0;
+  retry.backoff_jitter = 0.0;  // deterministic steps
+  retry.max_backoff_micros = 60'000'000;
+
+  FlakyStore store(-1);  // never recovers
+  Participant p(1, &catalog_, policy_);
+  RetryStats stats;
+  auto report = p.ReconcileWithRetry(&store, retry, &stats);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kUnavailable);
+
+  EXPECT_EQ(stats.attempts, 200);
+  // Steps: 1e6, 4e6, 1.6e7, then the 6e7 cap for the remaining 196
+  // failed attempts (the final attempt charges no backoff).
+  const int64_t expected =
+      1'000'000 + 4'000'000 + 16'000'000 + 196 * int64_t{60'000'000};
+  EXPECT_EQ(stats.backoff_micros, expected);
+  EXPECT_GT(stats.backoff_micros, 0) << "accumulated backoff wrapped negative";
+}
+
+TEST_F(RetryBackoffTest, InitialBackoffIsClampedToTheCap) {
+  ReconcileRetryOptions retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_micros = 1'000'000'000;  // already above the cap
+  retry.backoff_multiplier = 2.0;
+  retry.backoff_jitter = 0.0;
+  retry.max_backoff_micros = 500;
+
+  FlakyStore store(-1);
+  Participant p(1, &catalog_, policy_);
+  RetryStats stats;
+  auto report = p.ReconcileWithRetry(&store, retry, &stats);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(stats.attempts, 4);
+  EXPECT_EQ(stats.backoff_micros, 3 * 500);
+}
+
+TEST_F(RetryBackoffTest, AccumulatedBackoffSaturatesInsteadOfWrapping) {
+  ReconcileRetryOptions retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_micros = 1'000'000;
+  retry.backoff_multiplier = 2.0;
+  retry.backoff_jitter = 0.0;
+  retry.max_backoff_micros = 60'000'000;
+
+  FlakyStore store(-1);
+  Participant p(1, &catalog_, policy_);
+  RetryStats stats;
+  // A long-lived stats struct that has already accumulated close to the
+  // int64 ceiling must clamp at the ceiling, not wrap negative.
+  stats.backoff_micros = std::numeric_limits<int64_t>::max() - 1000;
+  auto report = p.ReconcileWithRetry(&store, retry, &stats);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(stats.backoff_micros, std::numeric_limits<int64_t>::max());
+}
+
+TEST_F(RetryBackoffTest, StatsAccumulateAcrossOperations) {
+  ReconcileRetryOptions retry;
+  retry.max_attempts = 8;
+  retry.initial_backoff_micros = 1000;
+  retry.backoff_multiplier = 2.0;
+  retry.backoff_jitter = 0.0;
+  retry.max_backoff_micros = 60'000'000;
+
+  FlakyStore store(2);  // two outages, then healthy
+  Participant p(1, &catalog_, policy_);
+  RetryStats stats;
+  auto first = p.ReconcileWithRetry(&store, retry, &stats);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.backoff_micros, 1000 + 2000);
+
+  // The second operation succeeds first try; both fields must add onto
+  // the same struct (attempts used to be overwritten per call).
+  auto second = p.ReconcileWithRetry(&store, retry, &stats);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(stats.attempts, 4);
+  EXPECT_EQ(stats.backoff_micros, 3000);
+}
+
+}  // namespace
+}  // namespace orchestra::core

@@ -37,12 +37,30 @@ echo "== delta sweep =="
 ORCH_DELTA_SWEEP=1 ORCH_DELTA_SWEEP_JSON="$out/BENCH_delta_sweep.json" \
     "$bench"
 
-# Keys dropped before diffing: wall-time measurements (*_us, the
-# mean/p50/p95 study stats), speedups derived from them, and the
-# host-shape fields (hardware_threads, oversubscribed, speedup_note).
+# One traced sweep: rerun the fault sweep with ORCH_TRACE set, writing
+# its JSON to a scratch path (the traced rerun is exercised, not
+# diffed) and fail hard if the trace file is missing, empty, or not
+# the Chrome trace_event shape. Tracing must not perturb decisions, so
+# reusing the fault sweep doubles as a cheap end-to-end check.
+echo "== traced fault sweep =="
+trace="$out/trace_fault_sweep.json"
+rm -f "$trace"
+ORCH_TRACE="$trace" ORCH_FAULT_SWEEP=1 \
+    ORCH_FAULT_SWEEP_JSON="$out/BENCH_fault_sweep_traced.json" \
+    "$bench"
+if ! jq -e '.traceEvents | length > 0' "$trace" >/dev/null; then
+  echo "trace output $trace is missing, empty, or invalid JSON" >&2
+  exit 1
+fi
+echo "trace OK: $(jq '.traceEvents | length' "$trace") events in $trace"
+
+# Keys dropped before diffing: wall-time measurements (*_us and
+# *_micros counters, the mean/p50/p95 study stats), speedups derived
+# from them, and the host-shape fields (hardware_threads,
+# oversubscribed, speedup_note).
 stable='walk(if type == "object"
              then with_entries(select(.key
-                  | test("_us$|speedup|hardware_threads|oversubscribed|note")
+                  | test("_us$|_micros$|speedup|hardware_threads|oversubscribed|note")
                   | not))
              else . end)'
 
