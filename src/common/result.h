@@ -13,7 +13,7 @@ namespace orchestra {
 /// arrow::Result / absl::StatusOr). Exactly one of the two states holds:
 /// either `ok()` and a value is present, or a non-OK Status is present.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the common success path).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

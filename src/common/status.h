@@ -32,7 +32,11 @@ std::string_view StatusCodeName(StatusCode code);
 ///
 /// Cheap to copy in the OK case (no allocation); error statuses carry a
 /// heap-allocated message.
-class Status {
+///
+/// Marked [[nodiscard]]: silently dropping a Status hides failures, and
+/// the orch_lint S1 rule enforces the same invariant on call sites the
+/// compiler cannot see through.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

@@ -139,6 +139,7 @@ void FindExtensionConflicts(const db::Catalog& catalog,
   std::unordered_set<uint64_t> tested;
   tested.reserve(8 * n);
   std::vector<std::pair<size_t, size_t>> pairs;
+  // ORCH_LINT(allow:D3): collects a deduplicated pair set that is sorted before any testing; bucket visit order cannot reach the result
   for (const auto& [key, bucket] : buckets) {
     for (size_t a = 0; a < bucket.size(); ++a) {
       for (size_t b = a + 1; b < bucket.size(); ++b) {

@@ -90,6 +90,7 @@ Result<AppendOnlyReconciler::EpochResult> AppendOnlyReconciler::ApplyEpoch(
       }
       return false;
     };
+    // ORCH_LINT(allow:D3): commutative flag-raising over unordered pairs; blocked[i] ends identical for every bucket visit order
     for (const auto& [key, bucket] : buckets) {
       for (size_t a = 0; a < bucket.size(); ++a) {
         for (size_t b = a + 1; b < bucket.size(); ++b) {

@@ -1,8 +1,8 @@
 #ifndef ORCHESTRA_CORE_APPLY_H_
 #define ORCHESTRA_CORE_APPLY_H_
 
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -49,8 +49,10 @@ class InstanceOverlay {
  private:
   const db::Instance* base_;
   // relation/key -> pending state: engaged optional = upserted tuple,
-  // disengaged = tombstone.
-  std::unordered_map<RelKey, std::optional<db::Tuple>, RelKeyHash> pending_;
+  // disengaged = tombstone. Ordered (lint rule D3): CheckForeignKeys
+  // reports the *first* violation it meets and CommitTo writes the
+  // overlay out whole, so walk order must not depend on a hash.
+  std::map<RelKey, std::optional<db::Tuple>> pending_;
 };
 
 /// Applies a flattened update set to the overlay in dependency-safe

@@ -59,13 +59,10 @@ void FlattenCache::Invalidate(const std::vector<TransactionId>& roots) {
   if (roots.empty()) return;
   TxnIdSet gone(roots.begin(), roots.end());
   for (const TransactionId& id : roots) flat_.erase(id);
-  for (auto it = pairs_.begin(); it != pairs_.end();) {
-    if (gone.count(it->first.a) != 0 || gone.count(it->first.b) != 0) {
-      it = pairs_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  // Pure filter: which entries survive does not depend on visit order.
+  std::erase_if(pairs_, [&](const auto& entry) {
+    return gone.count(entry.first.a) != 0 || gone.count(entry.first.b) != 0;
+  });
 }
 
 void FlattenCache::Clear() {

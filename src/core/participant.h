@@ -143,13 +143,13 @@ class Participant {
   /// after applying but before recording, which makes the store resend
   /// already-decided transactions. `stats`, when non-null, reports the
   /// attempts made and the simulated backoff accumulated.
-  Result<Epoch> PublishWithRetry(UpdateStore* store,
-                                 const ReconcileRetryOptions& retry,
-                                 RetryStats* stats = nullptr);
-  Result<ReconcileReport> ReconcileWithRetry(
+  [[nodiscard]] Result<Epoch> PublishWithRetry(
       UpdateStore* store, const ReconcileRetryOptions& retry,
       RetryStats* stats = nullptr);
-  Result<ReconcileReport> ReconcileNetworkCentricWithRetry(
+  [[nodiscard]] Result<ReconcileReport> ReconcileWithRetry(
+      UpdateStore* store, const ReconcileRetryOptions& retry,
+      RetryStats* stats = nullptr);
+  [[nodiscard]] Result<ReconcileReport> ReconcileNetworkCentricWithRetry(
       UpdateStore* store, const ReconcileRetryOptions& retry,
       RetryStats* stats = nullptr);
 

@@ -293,6 +293,7 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
     }
     for (const TransactionId& id : input.txns[i].extension) used.insert(id);
   }
+  // ORCH_LINT(allow:D3): the assigned vector is sorted on the next line; hash order never escapes
   outcome.applied_txns.assign(used.begin(), used.end());
   std::sort(outcome.applied_txns.begin(), outcome.applied_txns.end());
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <map>
+#include <set>
 
 #include "common/check.h"
 #include "common/clock.h"
@@ -903,7 +905,9 @@ Result<core::RecoveryBundle> DhtStore::Bootstrap(ParticipantId new_peer,
   // new peer (one bulk round trip per node, as in recovery). Visiting a
   // replica re-adopts the same ids; `adopted` dedupes the bundle while
   // the decision write itself lands on every replica of the group.
-  core::TxnIdSet adopted;
+  // Ordered: the kDelta branch below walks this set into the fetch
+  // cache, and adoption must replay identically across runs.
+  std::set<TransactionId> adopted;
   for (size_t node = 0; node < nodes_.size(); ++node) {
     if (!ring_.IsLive(node)) continue;
     int64_t bytes = 16;
@@ -1091,12 +1095,10 @@ void DhtStore::RepairReplication() {
   }
 
   // Transactions and the decision logs that ride on the same key.
-  std::unordered_map<TransactionId, Transaction, core::TransactionIdHash>
-      txn_union;
-  std::unordered_map<TransactionId,
-                     std::unordered_map<ParticipantId, Decision>,
-                     core::TransactionIdHash>
-      dec_union;
+  // Ordered unions: repair traffic and re-placement below walk them, and
+  // that walk order must be reproducible (lint rule D3).
+  std::map<TransactionId, Transaction> txn_union;
+  std::map<TransactionId, std::map<ParticipantId, Decision>> dec_union;
   for (const NodeState& n : nodes_) {
     for (const auto& [id, txn] : n.txns) txn_union.emplace(id, txn);
     for (const auto& [id, per_peer] : n.decisions) {
@@ -1144,7 +1146,7 @@ void DhtStore::RepairReplication() {
   }
 
   // Peer coordinator entries.
-  std::unordered_map<ParticipantId, CoordEntry> coord_union;
+  std::map<ParticipantId, CoordEntry> coord_union;
   for (const NodeState& n : nodes_) {
     for (const auto& [p, entry] : n.coordinated) {
       CoordEntry& merged = coord_union[p];
@@ -1191,9 +1193,11 @@ bool DhtStore::CheckReplicationInvariant() const {
     return false;
   }
 
-  std::unordered_set<Epoch> epochs;
-  std::unordered_set<TransactionId, core::TransactionIdHash> txn_ids;
-  std::unordered_set<ParticipantId> peers;
+  // Ordered so the per-key invariant probes below run in a reproducible
+  // order (they charge nothing, but determinism is the house style).
+  std::set<Epoch> epochs;
+  std::set<TransactionId> txn_ids;
+  std::set<ParticipantId> peers;
   for (size_t i = 0; i < nodes_.size(); ++i) {
     if (!ring_.IsLive(i)) continue;
     const NodeState& n = nodes_[i];

@@ -5,8 +5,8 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <set>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/metrics.h"
@@ -161,20 +161,20 @@ class DhtStore : public core::UpdateStore,
     int64_t epoch_counter = 0;
     /// Epoch controller state: epoch -> published transaction ids,
     /// whether the epoch finished (committed), and whether it aborted.
+    /// All controller state is kept in *ordered* containers (lint rule
+    /// D3): recovery, adoption, and replication repair walk these maps
+    /// whole, and their walk order must not depend on a hash function.
+    /// Point lookups dominate and stay O(log n) over small per-node maps.
     std::map<core::Epoch, std::vector<core::TransactionId>> epoch_contents;
-    std::unordered_set<core::Epoch> epoch_done;
-    std::unordered_set<core::Epoch> epoch_aborted;
+    std::set<core::Epoch> epoch_done;
+    std::set<core::Epoch> epoch_aborted;
     /// Transaction controller state.
-    std::unordered_map<core::TransactionId, core::Transaction,
-                       core::TransactionIdHash>
-        txns;
+    std::map<core::TransactionId, core::Transaction> txns;
     /// Decisions recorded per transaction, per peer.
-    std::unordered_map<core::TransactionId,
-                       std::unordered_map<core::ParticipantId, Decision>,
-                       core::TransactionIdHash>
+    std::map<core::TransactionId, std::map<core::ParticipantId, Decision>>
         decisions;
     /// Peer coordinator state.
-    std::unordered_map<core::ParticipantId, CoordEntry> coordinated;
+    std::map<core::ParticipantId, CoordEntry> coordinated;
 
     /// True when this node has any record of epoch `e`.
     bool KnowsEpoch(core::Epoch e) const {

@@ -24,7 +24,9 @@ class ConflictTest : public ::testing::Test {
     auto ba = UpdatesConflict(schema(), b, a);
     // The conflict relation is symmetric.
     EXPECT_EQ(ab.has_value(), ba.has_value());
-    if (ab && ba) EXPECT_EQ(*ab, *ba);
+    if (ab && ba) {
+      EXPECT_EQ(*ab, *ba);
+    }
     return ab;
   }
 };

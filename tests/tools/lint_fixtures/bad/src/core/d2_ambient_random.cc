@@ -1,0 +1,11 @@
+// Fixture: D2 — an ambient (non-seeded, non-Rng) randomness source.
+#include <random>
+
+namespace orchestra::core {
+
+int PickVictim(int n) {
+  std::mt19937 gen;
+  return static_cast<int>(gen() % static_cast<unsigned>(n));
+}
+
+}  // namespace orchestra::core

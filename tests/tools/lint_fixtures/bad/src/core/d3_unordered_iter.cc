@@ -1,0 +1,16 @@
+// Fixture: D3 — range-for over an unordered container in a decision layer.
+#include <unordered_map>
+#include <vector>
+
+namespace orchestra::core {
+
+std::vector<int> CollectIds(const std::unordered_map<int, int>& unused) {
+  std::unordered_map<int, int> scores;
+  std::vector<int> out;
+  for (const auto& kv : scores) {
+    out.push_back(kv.first);
+  }
+  return out;
+}
+
+}  // namespace orchestra::core

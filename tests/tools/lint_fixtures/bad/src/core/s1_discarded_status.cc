@@ -1,0 +1,16 @@
+// Fixture: S1 — a Status-returning call whose result is dropped.
+
+namespace orchestra::core {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status DoWork();
+
+void Caller() {
+  DoWork();
+}
+
+}  // namespace orchestra::core

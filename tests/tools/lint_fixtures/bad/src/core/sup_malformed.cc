@@ -1,0 +1,9 @@
+// Fixture: SUP — a suppression directive with no written reason is itself
+// a violation and cannot be suppressed.
+
+namespace orchestra::core {
+
+// ORCH_LINT(allow:D3)
+int Answer() { return 42; }
+
+}  // namespace orchestra::core

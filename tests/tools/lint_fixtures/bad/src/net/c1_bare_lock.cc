@@ -1,0 +1,14 @@
+// Fixture: C1 — a bare mutex .lock() call instead of an RAII guard.
+#include <mutex>
+
+namespace orchestra::net {
+
+class Channel {
+ public:
+  void Acquire() { mu_.lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace orchestra::net

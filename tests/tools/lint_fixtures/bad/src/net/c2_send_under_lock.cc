@@ -1,0 +1,23 @@
+// Fixture: C2 — a network send while a lock guard is live in the scope.
+#include <mutex>
+
+namespace orchestra::net {
+
+struct Wire {
+  void Deliver(int v);
+};
+
+class Channel {
+ public:
+  void Push(Wire* wire, int v) {
+    std::lock_guard<std::mutex> guard(mu_);
+    seq_ = v;
+    wire->Send(v);
+  }
+
+ private:
+  std::mutex mu_;
+  int seq_ = 0;
+};
+
+}  // namespace orchestra::net

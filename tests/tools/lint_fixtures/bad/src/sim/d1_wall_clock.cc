@@ -1,0 +1,13 @@
+// Fixture: D1 — a wall-clock read outside common/clock.* / common/trace.*.
+#include <chrono>
+
+namespace orchestra::sim {
+
+long NowMicros() {
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace orchestra::sim

@@ -1,0 +1,15 @@
+// Fixture: D4 — a container ordered by raw pointer value.
+#include <map>
+
+namespace orchestra::store {
+
+struct Node {
+  int id = 0;
+};
+
+int CountNodes() {
+  std::map<Node*, int> index;
+  return static_cast<int>(index.size());
+}
+
+}  // namespace orchestra::store

@@ -1,0 +1,15 @@
+// Fixture: a file that satisfies every orch_lint rule.
+#include <map>
+#include <vector>
+
+namespace orchestra::core {
+
+std::vector<int> SortedKeys(const std::map<int, int>& scores) {
+  std::vector<int> out;
+  for (const auto& kv : scores) {
+    out.push_back(kv.first);
+  }
+  return out;
+}
+
+}  // namespace orchestra::core

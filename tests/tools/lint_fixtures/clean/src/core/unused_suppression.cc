@@ -1,0 +1,9 @@
+// Fixture: a well-formed suppression that matches no violation; the
+// linter reports it as unused (informational, not an error).
+
+namespace orchestra::core {
+
+// ORCH_LINT(allow:D1): stale annotation left behind after a refactor
+int Answer() { return 42; }
+
+}  // namespace orchestra::core

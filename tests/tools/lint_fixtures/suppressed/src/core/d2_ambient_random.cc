@@ -1,0 +1,11 @@
+// Fixture: D2 violation carrying a valid, reasoned suppression.
+#include <random>
+
+namespace orchestra::core {
+
+int PickVictim(int n) {
+  std::mt19937 gen;  // ORCH_LINT(allow:D2): fixture exercises the trailing-comment suppression path
+  return static_cast<int>(gen() % static_cast<unsigned>(n));
+}
+
+}  // namespace orchestra::core

@@ -1,0 +1,17 @@
+// Fixture: D3 violation carrying a valid, reasoned suppression.
+#include <unordered_map>
+#include <vector>
+
+namespace orchestra::core {
+
+std::vector<int> CollectIds(const std::unordered_map<int, int>& unused) {
+  std::unordered_map<int, int> scores;
+  std::vector<int> out;
+  // ORCH_LINT(allow:D3): fixture; the collected set is sorted by the caller
+  for (const auto& kv : scores) {
+    out.push_back(kv.first);
+  }
+  return out;
+}
+
+}  // namespace orchestra::core

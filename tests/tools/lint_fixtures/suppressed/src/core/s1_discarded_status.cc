@@ -1,0 +1,16 @@
+// Fixture: S1 violation carrying a valid, reasoned suppression.
+
+namespace orchestra::core {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status DoWork();
+
+void Caller() {
+  DoWork();  // ORCH_LINT(allow:S1): fixture; failure is observable through the caller's next probe
+}
+
+}  // namespace orchestra::core

@@ -1,0 +1,14 @@
+// Fixture: C1 violation carrying a valid, reasoned suppression.
+#include <mutex>
+
+namespace orchestra::net {
+
+class Channel {
+ public:
+  void Acquire() { mu_.lock(); }  // ORCH_LINT(allow:C1): fixture; paired with a guard-owned unlock elsewhere
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace orchestra::net

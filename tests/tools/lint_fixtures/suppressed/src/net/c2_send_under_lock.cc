@@ -1,0 +1,24 @@
+// Fixture: C2 violation carrying a valid, reasoned suppression.
+#include <mutex>
+
+namespace orchestra::net {
+
+struct Wire {
+  void Deliver(int v);
+};
+
+class Channel {
+ public:
+  void Push(Wire* wire, int v) {
+    std::lock_guard<std::mutex> guard(mu_);
+    seq_ = v;
+    // ORCH_LINT(allow:C2): fixture; this Send is loopback-only and never re-enters the lock
+    wire->Send(v);
+  }
+
+ private:
+  std::mutex mu_;
+  int seq_ = 0;
+};
+
+}  // namespace orchestra::net

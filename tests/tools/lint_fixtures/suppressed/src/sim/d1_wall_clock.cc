@@ -1,0 +1,14 @@
+// Fixture: D1 violation carrying a valid, reasoned suppression.
+#include <chrono>
+
+namespace orchestra::sim {
+
+long NowMicros() {
+  // ORCH_LINT(allow:D1): fixture exercises the suppression path; not simulated code
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace orchestra::sim

@@ -1,0 +1,139 @@
+// Self-test for the orch_lint rule engine: every rule's seeded fixture
+// must fire exactly once, every valid suppression must silence its
+// violation (with the reason carried through), malformed suppressions
+// must be errors, and a clean file must lint clean. This is what makes
+// the lint ctest trustworthy — if a rule regresses to never firing, this
+// test fails even though the tree itself stays green.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "orch_lint_lib.h"
+
+#ifndef ORCH_LINT_FIXTURE_DIR
+#error "ORCH_LINT_FIXTURE_DIR must point at tests/tools/lint_fixtures"
+#endif
+
+namespace orchestra::lint {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Loads `<kind>/<rel_path>` from the fixture corpus and lints it under
+// its repo-relative name, so layer detection (core/, store/, sim/)
+// behaves exactly as it does on the real tree.
+RunResult LintFixture(const std::string& kind, const std::string& rel_path) {
+  const std::string full =
+      std::string(ORCH_LINT_FIXTURE_DIR) + "/" + kind + "/" + rel_path;
+  std::vector<FileInput> files;
+  files.push_back(FileInput{rel_path, ReadFile(full)});
+  return Run(files);
+}
+
+struct RuleFixture {
+  const char* rule;
+  const char* rel_path;
+};
+
+const RuleFixture kRuleFixtures[] = {
+    {"D1", "src/sim/d1_wall_clock.cc"},
+    {"D2", "src/core/d2_ambient_random.cc"},
+    {"D3", "src/core/d3_unordered_iter.cc"},
+    {"D4", "src/store/d4_pointer_key.cc"},
+    {"C1", "src/net/c1_bare_lock.cc"},
+    {"C2", "src/net/c2_send_under_lock.cc"},
+    {"S1", "src/core/s1_discarded_status.cc"},
+};
+
+TEST(LintSelfTest, EachBadFixtureFiresItsRuleExactlyOnce) {
+  for (const RuleFixture& fx : kRuleFixtures) {
+    SCOPED_TRACE(fx.rel_path);
+    RunResult result = LintFixture("bad", fx.rel_path);
+    EXPECT_FALSE(result.clean());
+    EXPECT_EQ(result.unsuppressed, 1);
+    EXPECT_EQ(result.suppressed, 0);
+    ASSERT_EQ(result.violations.size(), 1u);
+    EXPECT_EQ(result.violations[0].rule, fx.rule);
+    EXPECT_EQ(result.violations[0].file, fx.rel_path);
+    EXPECT_GT(result.violations[0].line, 0);
+    EXPECT_FALSE(result.violations[0].suppressed);
+  }
+}
+
+TEST(LintSelfTest, EachSuppressedFixtureIsCleanAndCarriesItsReason) {
+  for (const RuleFixture& fx : kRuleFixtures) {
+    SCOPED_TRACE(fx.rel_path);
+    RunResult result = LintFixture("suppressed", fx.rel_path);
+    EXPECT_TRUE(result.clean());
+    EXPECT_EQ(result.unsuppressed, 0);
+    EXPECT_EQ(result.suppressed, 1);
+    ASSERT_EQ(result.violations.size(), 1u);
+    EXPECT_EQ(result.violations[0].rule, fx.rule);
+    EXPECT_TRUE(result.violations[0].suppressed);
+    EXPECT_FALSE(result.violations[0].reason.empty())
+        << "a suppression must carry a written reason";
+    // No suppression may dangle: the directive matched its violation.
+    EXPECT_EQ(result.unused_suppressions, 0);
+  }
+}
+
+TEST(LintSelfTest, MalformedSuppressionIsAnUnsuppressableError) {
+  RunResult result = LintFixture("bad", "src/core/sup_malformed.cc");
+  EXPECT_FALSE(result.clean());
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].rule, "SUP");
+  EXPECT_FALSE(result.violations[0].suppressed);
+}
+
+TEST(LintSelfTest, CleanFixtureLintsClean) {
+  RunResult result = LintFixture("clean", "src/core/clean.cc");
+  EXPECT_TRUE(result.clean());
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.unused_suppressions, 0);
+}
+
+TEST(LintSelfTest, UnusedSuppressionIsReportedButNotAnError) {
+  RunResult result = LintFixture("clean", "src/core/unused_suppression.cc");
+  EXPECT_TRUE(result.clean()) << "unused suppressions are informational";
+  EXPECT_EQ(result.unused_suppressions, 1);
+  ASSERT_EQ(result.unused_suppression_notes.size(), 1u);
+  EXPECT_NE(result.unused_suppression_notes[0].find("allow:D1"),
+            std::string::npos);
+}
+
+TEST(LintSelfTest, ReportNamesRuleAndCountsSuppressions) {
+  RunResult result = LintFixture("bad", "src/core/d3_unordered_iter.cc");
+  const std::string report = FormatReport(result, /*verbose=*/false);
+  EXPECT_NE(report.find("[D3]"), std::string::npos);
+  EXPECT_NE(report.find("1 violation(s)"), std::string::npos);
+}
+
+// The S1 heuristic is visibility-scoped: a Status-returning Put in one
+// translation unit must not convict an unrelated void Put in a file that
+// never includes it.
+TEST(LintSelfTest, StatusFactsDoNotLeakAcrossUnrelatedFiles) {
+  std::vector<FileInput> files;
+  files.push_back(FileInput{
+      "src/storage/engine.h",
+      "class Status {};\nStatus Put(int v);\n"});
+  files.push_back(FileInput{
+      "src/core/other.cc",
+      "struct Map { void Put(int); };\n"
+      "void F(Map& m) { m.Put(1); }\n"});
+  RunResult result = ::orchestra::lint::Run(files);
+  for (const Violation& v : result.violations) {
+    EXPECT_NE(v.rule, "S1") << v.file << ":" << v.line << " " << v.message;
+  }
+}
+
+}  // namespace
+}  // namespace orchestra::lint

@@ -80,4 +80,4 @@ for name in micro_reconcile fault_sweep churn_sweep delta_sweep; do
     fail=1
   fi
 done
-exit $fail
+exit "$fail"

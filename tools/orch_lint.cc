@@ -1,0 +1,136 @@
+// orch_lint CLI: lints src/, tools/, and bench/ under --root against the
+// project determinism & concurrency rulebook (see orch_lint_lib.h).
+//
+//   orch_lint --root <repo> [--compile-commands build/compile_commands.json]
+//             [--verbose] [files...]
+//
+// With explicit file arguments only those files are linted (paths are
+// taken relative to --root, which decides layer-based rule scoping).
+// Exit status: 0 when no unsuppressed violation was found, 1 otherwise,
+// 2 on usage/IO errors.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "orch_lint_lib.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp" || ext == ".cxx" || ext == ".h" ||
+         ext == ".hpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::string compile_commands;
+  bool verbose = false;
+  std::vector<std::string> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--compile-commands" && i + 1 < argc) {
+      compile_commands = argv[++i];
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: orch_lint [--root DIR] [--compile-commands FILE]"
+                   " [--verbose] [files...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "orch_lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::cerr << "orch_lint: cannot resolve root: " << ec.message() << "\n";
+    return 2;
+  }
+
+  // Collect the file set: explicit arguments, or compile_commands.json
+  // TUs plus a walk of src/, tools/, bench/ (headers are not TUs but
+  // carry the declarations the rules need).
+  std::set<std::string> rel_paths;
+  auto add_path = [&](fs::path p) {
+    if (p.is_relative()) p = root / p;
+    p = fs::weakly_canonical(p, ec);
+    if (ec) return;
+    const std::string rel = fs::relative(p, root, ec).generic_string();
+    if (ec || rel.rfind("..", 0) == 0) return;  // outside root
+    if (rel.rfind("src/", 0) != 0 && rel.rfind("tools/", 0) != 0 &&
+        rel.rfind("bench/", 0) != 0 && explicit_files.empty()) {
+      return;
+    }
+    if (HasLintableExtension(p) && fs::is_regular_file(p, ec)) {
+      rel_paths.insert(rel);
+    }
+  };
+
+  if (!explicit_files.empty()) {
+    for (const std::string& f : explicit_files) add_path(f);
+  } else {
+    if (!compile_commands.empty()) {
+      std::vector<std::string> tus;
+      if (!orchestra::lint::ReadCompileCommands(compile_commands, &tus)) {
+        std::cerr << "orch_lint: note: cannot read " << compile_commands
+                  << "; falling back to a directory walk\n";
+      }
+      for (const std::string& f : tus) add_path(f);
+    }
+    for (const char* dir : {"src", "tools", "bench"}) {
+      const fs::path base = root / dir;
+      if (!fs::exists(base, ec)) continue;
+      for (fs::recursive_directory_iterator it(base, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        add_path(it->path());
+      }
+    }
+  }
+
+  if (rel_paths.empty()) {
+    std::cerr << "orch_lint: no lintable files found under " << root << "\n";
+    return 2;
+  }
+
+  std::vector<orchestra::lint::FileInput> inputs;
+  inputs.reserve(rel_paths.size());
+  for (const std::string& rel : rel_paths) {
+    orchestra::lint::FileInput in;
+    in.rel_path = rel;
+    if (!ReadFile(root / rel, &in.content)) {
+      std::cerr << "orch_lint: cannot read " << rel << "\n";
+      return 2;
+    }
+    inputs.push_back(std::move(in));
+  }
+
+  const orchestra::lint::RunResult result = orchestra::lint::Run(inputs);
+  std::cout << orchestra::lint::FormatReport(result, verbose);
+  return result.clean() ? 0 : 1;
+}

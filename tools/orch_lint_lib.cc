@@ -1,0 +1,959 @@
+#include "orch_lint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <fstream>
+#include <sstream>
+
+namespace orchestra::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+struct Tok {
+  std::string text;
+  int line = 0;
+  bool ident = false;
+};
+
+struct Comment {
+  std::string text;
+  int line = 0;       // line the comment starts on
+  bool trailing = false;  // code tokens precede it on the same line
+};
+
+struct TokenizedFile {
+  std::vector<Tok> toks;
+  std::vector<Comment> comments;
+  std::vector<std::string> includes;  // #include "..." paths, verbatim
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Splits source into identifier/punctuation tokens, recording comments
+// (for suppression directives) and #include "..." directives. String and
+// character literals are consumed whole and dropped; preprocessor lines
+// other than includes are skipped entirely.
+TokenizedFile Tokenize(const std::string& src) {
+  TokenizedFile out;
+  const size_t n = src.size();
+  size_t i = 0;
+  int line = 1;
+  int last_code_line = 0;  // last line that produced a token
+  bool at_line_start = true;
+
+  auto advance_newline = [&]() { ++line; at_line_start = true; };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      advance_newline();
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: consume the (possibly continued) line.
+    if (c == '#' && at_line_start) {
+      size_t j = i;
+      std::string directive;
+      while (j < n && src[j] != '\n') {
+        if (src[j] == '\\' && j + 1 < n && src[j + 1] == '\n') {
+          ++line;
+          j += 2;
+          continue;
+        }
+        directive.push_back(src[j]);
+        ++j;
+      }
+      // #include "path" (quoted includes resolve within the project).
+      size_t inc = directive.find("include");
+      if (inc != std::string::npos) {
+        size_t q1 = directive.find('"', inc);
+        if (q1 != std::string::npos) {
+          size_t q2 = directive.find('"', q1 + 1);
+          if (q2 != std::string::npos) {
+            out.includes.push_back(directive.substr(q1 + 1, q2 - q1 - 1));
+          }
+        }
+      }
+      i = j;
+      continue;
+    }
+    at_line_start = false;
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      Comment cm;
+      cm.text = src.substr(i + 2, j - i - 2);
+      cm.line = line;
+      cm.trailing = (last_code_line == line);
+      out.comments.push_back(cm);
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      const std::string closer = ")" + delim + "\"";
+      size_t end = src.find(closer, j);
+      if (end == std::string::npos) end = n;
+      for (size_t k = i; k < end && k < n; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      i = std::min(n, end + closer.size());
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;  // unterminated; stay robust
+        ++j;
+      }
+      i = (j < n) ? j + 1 : n;
+      last_code_line = line;
+      continue;
+    }
+    // Identifier.
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      out.toks.push_back(Tok{src.substr(i, j - i), line, true});
+      last_code_line = line;
+      i = j;
+      continue;
+    }
+    // Number (consume so '.' inside floats is not a member access).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.toks.push_back(Tok{src.substr(i, j - i), line, false});
+      last_code_line = line;
+      i = j;
+      continue;
+    }
+    // Multi-char punctuation we care about: :: and ->
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.toks.push_back(Tok{"::", line, false});
+      last_code_line = line;
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.toks.push_back(Tok{"->", line, false});
+      last_code_line = line;
+      i += 2;
+      continue;
+    }
+    out.toks.push_back(Tok{std::string(1, c), line, false});
+    last_code_line = line;
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& KnownRules() {
+  static const std::set<std::string> kRules = {"D1", "D2", "D3", "D4",
+                                               "C1", "C2", "S1"};
+  return kRules;
+}
+
+struct Suppression {
+  std::string rule;
+  std::string reason;
+  int target_line = 0;
+  int comment_line = 0;
+  bool used = false;
+};
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+// Parses suppression directives out of the file's comments. A directive
+// must be the comment's first word (prose that merely mentions the
+// syntax is ignored). Standalone comments target the next code line;
+// trailing comments target their own line. Malformed directives
+// (unknown rule or missing reason) become unsuppressable SUP violations.
+std::vector<Suppression> CollectSuppressions(const TokenizedFile& tf,
+                                             const std::string& file,
+                                             std::vector<Violation>* out) {
+  std::vector<Suppression> sups;
+  for (const Comment& cm : tf.comments) {
+    const std::string directive = Trim(cm.text);
+    if (directive.rfind("ORCH_LINT(", 0) != 0) continue;
+    auto malformed = [&](const std::string& why) {
+      Violation v;
+      v.file = file;
+      v.line = cm.line;
+      v.rule = "SUP";
+      v.message = "malformed ORCH_LINT suppression (" + why +
+                  "); expected // ORCH_LINT(allow:RULE): <reason>";
+      out->push_back(v);
+    };
+    const std::string prefix = "ORCH_LINT(allow:";
+    if (directive.compare(0, prefix.size(), prefix) != 0) {
+      malformed("missing allow:");
+      continue;
+    }
+    size_t close = directive.find(')', prefix.size());
+    if (close == std::string::npos) {
+      malformed("unterminated directive");
+      continue;
+    }
+    Suppression s;
+    s.rule = directive.substr(prefix.size(), close - prefix.size());
+    if (KnownRules().count(s.rule) == 0) {
+      malformed("unknown rule '" + s.rule + "'");
+      continue;
+    }
+    std::string rest = directive.substr(close + 1);
+    if (!rest.empty() && rest[0] == ':') rest = rest.substr(1);
+    s.reason = Trim(rest);
+    if (s.reason.empty()) {
+      malformed("suppression for " + s.rule + " carries no written reason");
+      continue;
+    }
+    s.comment_line = cm.line;
+    if (cm.trailing) {
+      s.target_line = cm.line;
+    } else {
+      // First code line after the comment.
+      s.target_line = 0;
+      for (const Tok& t : tf.toks) {
+        if (t.line > cm.line) {
+          s.target_line = t.line;
+          break;
+        }
+      }
+    }
+    sups.push_back(s);
+  }
+  return sups;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file declaration facts (pass 1)
+// ---------------------------------------------------------------------------
+
+struct FileFacts {
+  std::vector<std::string> includes;
+  std::set<std::string> unordered_names;    // vars/members of unordered type
+  std::set<std::string> unordered_aliases;  // using X = std::unordered_...
+  std::set<std::string> status_functions;   // return Status or Result<T>
+  // (type, name) declarations whose type might be an unordered alias.
+  std::vector<std::pair<std::string, std::string>> alias_decls;
+};
+
+bool IsKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "else",    "for",    "while",   "do",      "switch",
+      "case",     "default", "return", "break",   "continue", "goto",
+      "new",      "delete",  "sizeof", "typedef", "using",    "namespace",
+      "class",    "struct",  "enum",   "union",   "template", "typename",
+      "const",    "static",  "inline", "virtual", "override", "final",
+      "public",   "private", "protected", "friend", "operator", "auto",
+      "void",     "bool",    "char",   "int",     "long",     "short",
+      "unsigned", "signed",  "float",  "double",  "this",     "nullptr",
+      "true",     "false",   "co_return", "co_await", "co_yield", "throw",
+      "try",      "catch",   "constexpr", "consteval", "constinit",
+      "explicit", "mutable", "noexcept", "static_cast", "dynamic_cast",
+      "reinterpret_cast", "const_cast", "decltype", "extern", "register",
+  };
+  return kKeywords.count(s) != 0;
+}
+
+// Starting at toks[i] == "<", returns the index one past the matching
+// ">" (each ">" is a single token), or toks.size() on imbalance.
+size_t SkipTemplateArgs(const std::vector<Tok>& toks, size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].text == "<") ++depth;
+    else if (toks[i].text == ">") {
+      --depth;
+      if (depth == 0) return i + 1;
+    } else if (toks[i].text == ";") {
+      return toks.size();  // statement ended inside "<": not a template
+    }
+  }
+  return toks.size();
+}
+
+// After a container type (index just past ">"), extracts the declared
+// variable name, skipping cv/ref/pointer decoration. Returns empty when
+// the construct is not a variable declaration (e.g. a function returning
+// the container, or a nested template argument).
+std::string DeclaredName(const std::vector<Tok>& toks, size_t i) {
+  while (i < toks.size() &&
+         (toks[i].text == "&" || toks[i].text == "*" ||
+          toks[i].text == "const")) {
+    ++i;
+  }
+  if (i >= toks.size() || !toks[i].ident || IsKeyword(toks[i].text)) return "";
+  const std::string name = toks[i].text;
+  if (i + 1 >= toks.size()) return name;
+  const std::string& next = toks[i + 1].text;
+  if (next == ";" || next == "=" || next == "{" || next == "," ||
+      next == ")") {
+    return name;
+  }
+  return "";  // likely a function declaration/definition
+}
+
+void CollectFacts(const TokenizedFile& tf, FileFacts* facts) {
+  facts->includes = tf.includes;
+  const std::vector<Tok>& t = tf.toks;
+  for (size_t i = 0; i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    // using Alias = ... unordered_map/unordered_set ... ;
+    if (s == "using" && i + 2 < t.size() && t[i + 1].ident &&
+        t[i + 2].text == "=") {
+      const std::string alias = t[i + 1].text;
+      for (size_t j = i + 3; j < t.size() && t[j].text != ";"; ++j) {
+        if (t[j].text == "unordered_map" || t[j].text == "unordered_set") {
+          facts->unordered_aliases.insert(alias);
+          break;
+        }
+      }
+      continue;
+    }
+    // std::unordered_map<...> name / std::unordered_set<...> name
+    if ((s == "unordered_map" || s == "unordered_set") && i + 1 < t.size() &&
+        t[i + 1].text == "<") {
+      const size_t after = SkipTemplateArgs(t, i + 1);
+      const std::string name = DeclaredName(t, after);
+      if (!name.empty()) facts->unordered_names.insert(name);
+      continue;
+    }
+    // Status Foo(...) / Status Foo::Bar(...) -> status-returning function.
+    if (s == "Status" && t[i].ident) {
+      size_t j = i + 1;
+      if (j < t.size() && (t[j].text == "&" || t[j].text == "*")) ++j;
+      std::string last;
+      while (j < t.size() && t[j].ident && !IsKeyword(t[j].text)) {
+        last = t[j].text;
+        if (j + 1 < t.size() && t[j + 1].text == "::") {
+          j += 2;
+        } else {
+          ++j;
+          break;
+        }
+      }
+      if (!last.empty() && j < t.size() && t[j].text == "(") {
+        facts->status_functions.insert(last);
+      }
+      continue;
+    }
+    // Result<T> Foo(...) similarly.
+    if (s == "Result" && t[i].ident && i + 1 < t.size() &&
+        t[i + 1].text == "<") {
+      size_t j = SkipTemplateArgs(t, i + 1);
+      if (j < t.size() && (t[j].text == "&" || t[j].text == "*")) ++j;
+      std::string last;
+      while (j < t.size() && t[j].ident && !IsKeyword(t[j].text)) {
+        last = t[j].text;
+        if (j + 1 < t.size() && t[j + 1].text == "::") {
+          j += 2;
+        } else {
+          ++j;
+          break;
+        }
+      }
+      if (!last.empty() && j < t.size() && t[j].text == "(") {
+        facts->status_functions.insert(last);
+      }
+      continue;
+    }
+    // TypeName varname ; / = / { -- candidate alias-typed declaration,
+    // resolved against visible unordered aliases in pass 2. An optional
+    // single namespace qualifier (core::TxnIdSet x) is folded away.
+    if (t[i].ident && !IsKeyword(s) && i + 1 < t.size()) {
+      size_t ti = i;
+      if (i + 2 < t.size() && t[i + 1].text == "::" && t[i + 2].ident) {
+        ti = i + 2;
+      }
+      if (ti + 1 < t.size() && t[ti].ident && !IsKeyword(t[ti].text) &&
+          t[ti + 1].ident && !IsKeyword(t[ti + 1].text) &&
+          ti + 2 < t.size()) {
+        const std::string& after = t[ti + 2].text;
+        if (after == ";" || after == "=" || after == "{") {
+          facts->alias_decls.emplace_back(t[ti].text, t[ti + 1].text);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Path helpers
+// ---------------------------------------------------------------------------
+
+std::string Normalize(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool HasComponent(const std::string& path, const std::string& comp) {
+  const std::string p = "/" + Normalize(path);
+  return p.find("/" + comp + "/") != std::string::npos;
+}
+
+std::string Basename(const std::string& path) {
+  const std::string p = Normalize(path);
+  size_t slash = p.find_last_of('/');
+  return slash == std::string::npos ? p : p.substr(slash + 1);
+}
+
+// D1 exempt: the blessed clock wrappers.
+bool IsClockModule(const std::string& path) {
+  const std::string base = Basename(path);
+  return HasComponent(path, "common") &&
+         (base.rfind("clock.", 0) == 0 || base.rfind("trace.", 0) == 0);
+}
+
+// D2 exempt: the seeded PRNG implementation.
+bool IsRandomModule(const std::string& path) {
+  return HasComponent(path, "common") &&
+         Basename(path).rfind("random.", 0) == 0;
+}
+
+// D3 scope: layers whose iteration order can reach reconciliation
+// decisions or published artifacts.
+bool IsDecisionLayer(const std::string& path) {
+  return HasComponent(path, "core") || HasComponent(path, "store") ||
+         HasComponent(path, "sim");
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine (pass 2)
+// ---------------------------------------------------------------------------
+
+struct VisibleFacts {
+  std::set<std::string> unordered_names;
+  std::set<std::string> unordered_aliases;
+  std::set<std::string> status_functions;
+};
+
+const std::set<std::string>& WallClockWords() {
+  static const std::set<std::string> kWords = {
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "utc_clock",     "file_clock",   "tai_clock",
+      "gps_clock",     "gettimeofday", "clock_gettime",
+      "timespec_get",  "localtime",    "gmtime",
+      "mktime",        "asctime",      "ctime",
+      "strftime",      "ftime",
+  };
+  return kWords;
+}
+
+const std::set<std::string>& RandomWords() {
+  static const std::set<std::string> kWords = {
+      "random_device", "mt19937",       "mt19937_64", "default_random_engine",
+      "minstd_rand",   "minstd_rand0",  "ranlux24",   "ranlux48",
+      "knuth_b",       "ranlux24_base", "ranlux48_base",
+  };
+  return kWords;
+}
+
+const std::set<std::string>& RandomCallWords() {
+  static const std::set<std::string> kWords = {"rand", "srand", "rand_r",
+                                               "drand48", "lrand48",
+                                               "random", "srandom"};
+  return kWords;
+}
+
+// C2: calls that move bytes on the simulated wire or consult the fault
+// injector; doing either while holding a lock couples the lock hold time
+// to I/O and invites lock-ordering deadlocks with the injector's own
+// mutex.
+const std::set<std::string>& NetFaultCallWords() {
+  static const std::set<std::string> kWords = {
+      "Send",       "SendMessage",   "Charge",        "TryCharge",
+      "MaybeFail",  "TryRoutedSend", "TryDirectSend", "RoutedSend",
+      "DirectSend",
+  };
+  return kWords;
+}
+
+const std::set<std::string>& GuardTypeWords() {
+  static const std::set<std::string> kWords = {"lock_guard", "scoped_lock",
+                                               "unique_lock", "shared_lock"};
+  return kWords;
+}
+
+class FileLinter {
+ public:
+  FileLinter(const FileInput& in, const TokenizedFile& tf,
+             const VisibleFacts& vis)
+      : in_(in), tf_(tf), vis_(vis) {}
+
+  std::vector<Violation> Lint() {
+    sups_ = CollectSuppressions(tf_, in_.rel_path, &out_);
+    const bool clock_ok = IsClockModule(in_.rel_path);
+    const bool random_ok = IsRandomModule(in_.rel_path);
+    const bool decision = IsDecisionLayer(in_.rel_path);
+
+    const std::vector<Tok>& t = tf_.toks;
+    int brace_depth = 0;
+    // Live lock guards: (declaration brace depth, guard variable name).
+    std::vector<std::pair<int, std::string>> guards;
+    bool stmt_start = true;
+
+    for (size_t i = 0; i < t.size(); ++i) {
+      const std::string& s = t[i].text;
+      const int line = t[i].line;
+      const std::string prev = i > 0 ? t[i - 1].text : "";
+      const std::string next = i + 1 < t.size() ? t[i + 1].text : "";
+
+      if (s == "{") ++brace_depth;
+      if (s == "}") {
+        --brace_depth;
+        while (!guards.empty() && guards.back().first > brace_depth) {
+          guards.pop_back();
+        }
+      }
+
+      // --- D1: wall-clock reads ---
+      if (!clock_ok && t[i].ident) {
+        if (WallClockWords().count(s) != 0) {
+          Report("D1", line,
+                 "wall-clock read '" + s +
+                     "' outside common/clock.* / common/trace.*; route "
+                     "timing through SimClock/Stopwatch");
+        } else if ((s == "time" || s == "clock") && next == "(" &&
+                   (i == 0 || (prev != "." && prev != "->" &&
+                               !t[i - 1].ident))) {
+          Report("D1", line,
+                 "libc '" + s +
+                     "()' call outside common/clock.*; simulated code "
+                     "must not read the host clock");
+        }
+      }
+
+      // --- D2: ambient randomness ---
+      if (!random_ok && t[i].ident) {
+        if (RandomWords().count(s) != 0) {
+          Report("D2", line,
+                 "'" + s +
+                     "' outside common/random.*; all randomness flows "
+                     "through explicitly seeded orchestra::Rng");
+        } else if (RandomCallWords().count(s) != 0 && next == "(" &&
+                   prev != "." && prev != "->" && prev != "::") {
+          Report("D2", line,
+                 "'" + s +
+                     "()' call outside common/random.*; use a seeded "
+                     "orchestra::Rng instead");
+        }
+      }
+
+      // --- D3: unordered iteration in decision layers ---
+      if (decision && s == "for" && next == "(") {
+        CheckRangeFor(i);
+      }
+      if (decision && t[i].ident && (next == "." || next == "->") &&
+          i + 2 < t.size() &&
+          (t[i + 2].text == "begin" || t[i + 2].text == "cbegin") &&
+          i + 3 < t.size() && t[i + 3].text == "(" &&
+          IsUnorderedName(s)) {
+        Report("D3", line,
+               "iterator walk over unordered container '" + s +
+                   "' in a decision-bearing layer; iterate a sorted "
+                   "projection or annotate order-insensitivity");
+      }
+
+      // --- D4: pointer-valued keys ---
+      if (t[i].ident && next == "<" &&
+          (s == "map" || s == "set" || s == "multimap" || s == "multiset" ||
+           s == "unordered_map" || s == "unordered_set" || s == "less" ||
+           s == "greater")) {
+        if (FirstTemplateArgHasPointer(i + 1)) {
+          Report("D4", line,
+                 "container/comparator '" + s +
+                     "' keyed by pointer value; pointer order and hash "
+                     "change run to run - key by a stable id instead");
+        }
+      }
+
+      // --- C1: bare mutex lock/unlock ---
+      if ((s == "lock" || s == "unlock" || s == "try_lock") &&
+          (prev == "." || prev == "->") && next == "(") {
+        Report("C1", line,
+               "bare ." + s +
+                   "() call; use std::lock_guard/std::scoped_lock (RAII) "
+                   "so no exit path leaks the lock");
+      }
+
+      // --- C2: guard tracking + send/fault calls under a live guard ---
+      if (t[i].ident && GuardTypeWords().count(s) != 0) {
+        // lock_guard<std::mutex> name(...) / scoped_lock name(...)
+        size_t j = i + 1;
+        if (j < t.size() && t[j].text == "<") j = SkipTemplateArgs(t, j);
+        if (j < t.size() && t[j].ident && !IsKeyword(t[j].text) &&
+            j + 1 < t.size() && t[j + 1].text == "(") {
+          guards.emplace_back(brace_depth, t[j].text);
+        }
+      }
+      if (!guards.empty() && t[i].ident &&
+          NetFaultCallWords().count(s) != 0 && next == "(") {
+        Report("C2", line,
+               "'" + s + "(...)' while lock guard '" +
+                   guards.back().second +
+                   "' is live in this scope; release the lock before "
+                   "network or fault-injection calls");
+      }
+
+      // --- S1: discarded Status/Result at statement position ---
+      if (stmt_start && t[i].ident && !IsKeyword(s)) {
+        CheckDiscardedStatus(i);
+      }
+      stmt_start = (s == ";" || s == "{" || s == "}");
+    }
+
+    ApplySuppressions();
+    return out_;
+  }
+
+  const std::vector<Suppression>& suppressions() const { return sups_; }
+
+ private:
+  bool IsUnorderedName(const std::string& name) const {
+    return vis_.unordered_names.count(name) != 0;
+  }
+
+  // toks[open] == "(" of `for (`. Finds the top-level ':' and inspects
+  // the range expression. Call expressions are treated as
+  // order-normalizing helpers (e.g. SortedKeys(map_)) and skipped.
+  void CheckRangeFor(size_t for_idx) {
+    const std::vector<Tok>& t = tf_.toks;
+    const size_t open = for_idx + 1;
+    int depth = 0;
+    size_t colon = 0, close = 0;
+    for (size_t j = open; j < t.size(); ++j) {
+      const std::string& s = t[j].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      else if (s == ")" || s == "]" || s == "}") {
+        --depth;
+        if (depth == 0) {
+          close = j;
+          break;
+        }
+      } else if (s == ":" && depth == 1 && colon == 0) {
+        colon = j;
+      } else if (s == ";" && depth == 1) {
+        return;  // classic for loop
+      }
+    }
+    if (colon == 0 || close == 0) return;
+    bool has_call = false;
+    std::string hit;
+    for (size_t j = colon + 1; j < close; ++j) {
+      if (t[j].text == "(") has_call = true;
+      if (t[j].ident && (IsUnorderedName(t[j].text) ||
+                         vis_.unordered_aliases.count(t[j].text) != 0)) {
+        hit = t[j].text;
+      }
+    }
+    if (!hit.empty() && !has_call) {
+      Report("D3", t[for_idx].line,
+             "range-for over unordered container '" + hit +
+                 "' in a decision-bearing layer; iteration order is "
+                 "hash-dependent - sort first or annotate "
+                 "order-insensitivity");
+    }
+  }
+
+  // toks[lt] == "<". True when the first top-level template argument
+  // contains a '*' (pointer-typed key/compared type).
+  bool FirstTemplateArgHasPointer(size_t lt) {
+    const std::vector<Tok>& t = tf_.toks;
+    int depth = 0;
+    for (size_t j = lt; j < t.size(); ++j) {
+      const std::string& s = t[j].text;
+      if (s == "<") ++depth;
+      else if (s == ">") {
+        if (--depth == 0) return false;
+      } else if (s == "," && depth == 1) {
+        return false;  // end of first argument
+      } else if (s == "*" && depth == 1) {
+        return true;
+      } else if (s == ";") {
+        return false;  // comparison expression, not a template
+      }
+    }
+    return false;
+  }
+
+  // Statement starts at toks[i] with an identifier. Walks the call chain
+  // a.b()->c(); if the final call's callee is a known Status/Result
+  // returning function and the statement ends right after it, the value
+  // was dropped on the floor.
+  void CheckDiscardedStatus(size_t i) {
+    const std::vector<Tok>& t = tf_.toks;
+    size_t j = i;
+    std::string callee;
+    while (j < t.size()) {
+      if (!t[j].ident || IsKeyword(t[j].text)) return;
+      callee = t[j].text;
+      ++j;
+      // Qualifiers / member chains before the call.
+      while (j + 1 < t.size() &&
+             (t[j].text == "::" || t[j].text == "." || t[j].text == "->") &&
+             t[j + 1].ident) {
+        callee = t[j + 1].text;
+        j += 2;
+      }
+      if (j >= t.size() || t[j].text != "(") return;
+      int depth = 0;
+      for (; j < t.size(); ++j) {
+        if (t[j].text == "(") ++depth;
+        else if (t[j].text == ")") {
+          if (--depth == 0) {
+            ++j;
+            break;
+          }
+        } else if (t[j].text == ";" && depth == 0) {
+          return;
+        }
+      }
+      if (j >= t.size()) return;
+      if (t[j].text == ";") {
+        if (vis_.status_functions.count(callee) != 0) {
+          Report("S1", t[i].line,
+                 "discarded Status/Result from '" + callee +
+                     "(...)'; check it, propagate it, or make ignoring "
+                     "it explicit");
+        }
+        return;
+      }
+      if (t[j].text == "." || t[j].text == "->") {
+        ++j;  // chained call: evaluate the next callee
+        continue;
+      }
+      return;  // assigned, compared, etc.
+    }
+  }
+
+  void Report(const std::string& rule, int line, const std::string& message) {
+    Violation v;
+    v.file = in_.rel_path;
+    v.line = line;
+    v.rule = rule;
+    v.message = message;
+    out_.push_back(v);
+  }
+
+  void ApplySuppressions() {
+    for (Violation& v : out_) {
+      if (v.rule == "SUP") continue;
+      for (Suppression& s : sups_) {
+        if (s.rule == v.rule && s.target_line == v.line) {
+          v.suppressed = true;
+          v.reason = s.reason;
+          s.used = true;
+          break;
+        }
+      }
+    }
+  }
+
+  const FileInput& in_;
+  const TokenizedFile& tf_;
+  const VisibleFacts& vis_;
+  std::vector<Suppression> sups_;
+  std::vector<Violation> out_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+RunResult Run(const std::vector<FileInput>& files) {
+  RunResult result;
+  result.files_scanned = static_cast<int>(files.size());
+
+  // Pass 1: tokenize everything, collect per-file declaration facts.
+  std::map<std::string, TokenizedFile> tokenized;
+  std::map<std::string, FileFacts> facts;
+  for (const FileInput& f : files) {
+    TokenizedFile tf = Tokenize(f.content);
+    CollectFacts(tf, &facts[Normalize(f.rel_path)]);
+    tokenized.emplace(Normalize(f.rel_path), std::move(tf));
+  }
+
+  // Include resolution: quoted includes are project-relative to src/ (the
+  // build's single include root) or to the including file's directory.
+  auto resolve = [&](const std::string& from,
+                     const std::string& inc) -> std::string {
+    const std::string norm = Normalize(inc);
+    for (const auto& [path, unused] : facts) {
+      (void)unused;
+      if (path == norm || path == "src/" + norm) return path;
+      // Same-directory include.
+      const std::string dir =
+          Normalize(from).substr(0, Normalize(from).find_last_of('/') + 1);
+      if (path == dir + norm) return path;
+    }
+    return "";
+  };
+
+  // Pass 2: lint each file against the facts visible through its
+  // include closure (keeps e.g. a vector member named `txns` in core/
+  // from colliding with store/'s unordered `txns`).
+  for (const FileInput& f : files) {
+    const std::string key = Normalize(f.rel_path);
+    VisibleFacts vis;
+    std::set<std::string> seen;
+    std::deque<std::string> work{key};
+    while (!work.empty()) {
+      const std::string cur = work.front();
+      work.pop_front();
+      if (!seen.insert(cur).second) continue;
+      auto it = facts.find(cur);
+      if (it == facts.end()) continue;
+      const FileFacts& ff = it->second;
+      vis.unordered_names.insert(ff.unordered_names.begin(),
+                                 ff.unordered_names.end());
+      vis.unordered_aliases.insert(ff.unordered_aliases.begin(),
+                                   ff.unordered_aliases.end());
+      vis.status_functions.insert(ff.status_functions.begin(),
+                                  ff.status_functions.end());
+      for (const std::string& inc : ff.includes) {
+        const std::string resolved = resolve(cur, inc);
+        if (!resolved.empty()) work.push_back(resolved);
+      }
+    }
+    // Alias-typed declarations resolve against the closure's aliases.
+    for (const std::string& file : seen) {
+      auto it = facts.find(file);
+      if (it == facts.end()) continue;
+      for (const auto& [type, name] : it->second.alias_decls) {
+        if (vis.unordered_aliases.count(type) != 0) {
+          vis.unordered_names.insert(name);
+        }
+      }
+    }
+
+    FileLinter linter(f, tokenized.at(key), vis);
+    std::vector<Violation> vs = linter.Lint();
+    for (Violation& v : vs) {
+      if (v.suppressed) {
+        ++result.suppressed;
+        ++result.suppressed_by_rule[v.rule];
+      } else {
+        ++result.unsuppressed;
+        ++result.unsuppressed_by_rule[v.rule];
+      }
+      result.violations.push_back(std::move(v));
+    }
+    for (const Suppression& s : linter.suppressions()) {
+      if (!s.used) {
+        ++result.unused_suppressions;
+        result.unused_suppression_notes.push_back(
+            f.rel_path + ":" + std::to_string(s.comment_line) +
+            ": unused ORCH_LINT(allow:" + s.rule + ") suppression");
+      }
+    }
+  }
+
+  std::sort(result.violations.begin(), result.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+std::string FormatReport(const RunResult& result, bool verbose) {
+  std::ostringstream os;
+  for (const Violation& v : result.violations) {
+    if (v.suppressed && !verbose) continue;
+    os << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message;
+    if (v.suppressed) os << " (suppressed: " << v.reason << ")";
+    os << "\n";
+  }
+  if (verbose) {
+    for (const std::string& note : result.unused_suppression_notes) {
+      os << note << "\n";
+    }
+  }
+  os << "orch_lint: " << result.files_scanned << " file(s), "
+     << result.unsuppressed << " violation(s), " << result.suppressed
+     << " suppressed";
+  if (result.unused_suppressions > 0) {
+    os << ", " << result.unused_suppressions << " unused suppression(s)";
+  }
+  bool first = true;
+  for (const auto& [rule, count] : result.unsuppressed_by_rule) {
+    os << (first ? " [" : " ") << rule << ":" << count;
+    first = false;
+  }
+  if (!first) os << "]";
+  os << "\n";
+  return os.str();
+}
+
+bool ReadCompileCommands(const std::string& path,
+                         std::vector<std::string>* files) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::string key = "\"file\"";
+  size_t pos = 0;
+  while ((pos = text.find(key, pos)) != std::string::npos) {
+    size_t colon = text.find(':', pos + key.size());
+    if (colon == std::string::npos) break;
+    size_t q1 = text.find('"', colon + 1);
+    if (q1 == std::string::npos) break;
+    size_t q2 = text.find('"', q1 + 1);
+    if (q2 == std::string::npos) break;
+    files->push_back(text.substr(q1 + 1, q2 - q1 - 1));
+    pos = q2 + 1;
+  }
+  return true;
+}
+
+}  // namespace orchestra::lint
