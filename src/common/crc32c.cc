@@ -1,0 +1,97 @@
+#include "common/crc32c.h"
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define ORCH_CRC32C_X86 1
+#include <nmmintrin.h>
+#else
+#define ORCH_CRC32C_X86 0
+#endif
+
+namespace orchestra {
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32cPortable(uint32_t crc, std::string_view data) {
+  crc = ~crc;
+  for (unsigned char c : data) {
+    crc = kTable[(crc ^ c) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+#if ORCH_CRC32C_X86
+
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    uint32_t crc, std::string_view data) {
+  crc = ~crc;
+  const char* p = data.data();
+  size_t n = data.size();
+#if defined(__x86_64__)
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = static_cast<uint32_t>(
+        _mm_crc32_u64(static_cast<uint64_t>(crc), word));
+    p += 8;
+    n -= 8;
+  }
+#endif
+  while (n >= 4) {
+    uint32_t word;
+    std::memcpy(&word, p, 4);
+    crc = _mm_crc32_u32(crc, word);
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, static_cast<unsigned char>(*p));
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+bool Crc32cHardwareAvailable() {
+  static const bool available = __builtin_cpu_supports("sse4.2");
+  return available;
+}
+
+#else  // !ORCH_CRC32C_X86
+
+uint32_t Crc32cHardware(uint32_t crc, std::string_view data) {
+  return Crc32cPortable(crc, data);
+}
+
+bool Crc32cHardwareAvailable() { return false; }
+
+#endif  // ORCH_CRC32C_X86
+
+uint32_t Crc32c(uint32_t crc, std::string_view data) {
+  return Crc32cHardwareAvailable() ? Crc32cHardware(crc, data)
+                                   : Crc32cPortable(crc, data);
+}
+
+}  // namespace orchestra

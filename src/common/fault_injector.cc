@@ -1,22 +1,61 @@
 #include "common/fault_injector.h"
 
+#include <algorithm>
+#include <array>
+
 namespace orchestra {
+namespace {
+
+/// Failure sites: every name threaded through MaybeFail somewhere in
+/// the tree. Kept in lockstep with the call sites so ValidateConfig can
+/// reject a site_prefix that matches nothing.
+constexpr std::array<std::string_view, 6> kFailureSites = {
+    "net.node_crash", "net.send",         "storage.delete",
+    "storage.put",    "storage.sequence", "storage.sync",
+};
+
+/// Corruption sites: every name MaybeCorrupt has mutation semantics for.
+constexpr std::array<std::string_view, 4> kCorruptionSites = {
+    "net.payload_corrupt",
+    "storage.bit_flip",
+    "storage.torn_write",
+    "storage.truncate_tail",
+};
+
+uint64_t SiteHash(std::string_view site) {
+  // FNV-1a; the Rng's SplitMix64 seeding does the final avalanche.
+  uint64_t h = 1469598103934665603ull;
+  for (char c : site) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
 
 FaultInjector::FaultInjector(FaultInjectorConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
-  enabled_ =
-      config_.failure_probability > 0.0 || config_.fail_at_call > 0;
+  enabled_ = config_.failure_probability > 0.0 || config_.fail_at_call > 0 ||
+             CorruptionConfigured();
 }
 
 void FaultInjector::Configure(FaultInjectorConfig config) {
   std::lock_guard<std::mutex> lock(mu_);
   config_ = std::move(config);
   rng_ = Rng(config_.seed);
-  enabled_ =
-      config_.failure_probability > 0.0 || config_.fail_at_call > 0;
+  enabled_ = config_.failure_probability > 0.0 || config_.fail_at_call > 0 ||
+             CorruptionConfigured();
   tripped_ = false;
   calls_ = 0;
   injected_ = 0;
+  corrupted_ = 0;
+  corrupt_calls_.clear();
+}
+
+bool FaultInjector::CorruptionConfigured() const {
+  return config_.corruption_probability > 0.0 &&
+         !config_.corruption_sites.empty();
 }
 
 Status FaultInjector::MaybeFail(std::string_view site) {
@@ -44,6 +83,80 @@ Status FaultInjector::MaybeFail(std::string_view site) {
                              " (call #" + std::to_string(call) + ")");
 }
 
+bool FaultInjector::MaybeCorrupt(std::string_view site, std::string* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_ || !CorruptionConfigured()) return false;
+  if (std::find(config_.corruption_sites.begin(),
+                config_.corruption_sites.end(),
+                site) == config_.corruption_sites.end()) {
+    return false;
+  }
+  const int64_t call = ++corrupt_calls_[std::string(site)];
+  // Per-call stream: (seed, site, call index) fully determine every
+  // draw, so one site's schedule is immune to other sites' call counts.
+  uint64_t s = config_.seed;
+  s = s * 6364136223846793005ull + SiteHash(site);
+  s = s * 6364136223846793005ull + static_cast<uint64_t>(call);
+  Rng rng(s);
+  if (!rng.NextBool(config_.corruption_probability)) return false;
+  if (data == nullptr || data->empty()) return false;
+  if (site == "storage.torn_write" || site == "storage.truncate_tail") {
+    // Keep a strict prefix: the tail of the write never reached disk.
+    data->resize(rng.NextBounded(data->size()));
+  } else {
+    const uint64_t flips = 1 + rng.NextBounded(3);
+    for (uint64_t i = 0; i < flips; ++i) {
+      const uint64_t bit = rng.NextBounded(data->size() * 8);
+      (*data)[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    }
+  }
+  ++corrupted_;
+  return true;
+}
+
+std::span<const std::string_view> FaultInjector::KnownFailureSites() {
+  return kFailureSites;
+}
+
+std::span<const std::string_view> FaultInjector::KnownCorruptionSites() {
+  return kCorruptionSites;
+}
+
+Status FaultInjector::ValidateConfig(const FaultInjectorConfig& config) {
+  auto in_unit_interval = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!in_unit_interval(config.failure_probability)) {
+    return Status::InvalidArgument("failure_probability outside [0, 1]");
+  }
+  if (!in_unit_interval(config.corruption_probability)) {
+    return Status::InvalidArgument("corruption_probability outside [0, 1]");
+  }
+  for (const std::string& site : config.corruption_sites) {
+    if (std::find(kCorruptionSites.begin(), kCorruptionSites.end(), site) ==
+        kCorruptionSites.end()) {
+      std::string known;
+      for (std::string_view s : kCorruptionSites) {
+        if (!known.empty()) known += ", ";
+        known += s;
+      }
+      return Status::InvalidArgument("unknown corruption site \"" + site +
+                                     "\" (known: " + known + ")");
+    }
+  }
+  if (!config.site_prefix.empty()) {
+    const auto matches_prefix = [&](std::string_view site) {
+      return site.substr(0, config.site_prefix.size()) == config.site_prefix;
+    };
+    if (!std::any_of(kFailureSites.begin(), kFailureSites.end(),
+                     matches_prefix) &&
+        !std::any_of(kCorruptionSites.begin(), kCorruptionSites.end(),
+                     matches_prefix)) {
+      return Status::InvalidArgument("site_prefix \"" + config.site_prefix +
+                                     "\" matches no known fault site");
+    }
+  }
+  return Status::OK();
+}
+
 void FaultInjector::Disable() {
   std::lock_guard<std::mutex> lock(mu_);
   enabled_ = false;
@@ -51,8 +164,8 @@ void FaultInjector::Disable() {
 
 void FaultInjector::Enable() {
   std::lock_guard<std::mutex> lock(mu_);
-  enabled_ =
-      config_.failure_probability > 0.0 || config_.fail_at_call > 0;
+  enabled_ = config_.failure_probability > 0.0 || config_.fail_at_call > 0 ||
+             CorruptionConfigured();
 }
 
 bool FaultInjector::enabled() const {
@@ -68,6 +181,11 @@ int64_t FaultInjector::calls() const {
 int64_t FaultInjector::injected() const {
   std::lock_guard<std::mutex> lock(mu_);
   return injected_;
+}
+
+int64_t FaultInjector::corrupted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupted_;
 }
 
 bool FaultInjector::tripped() const {

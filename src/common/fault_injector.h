@@ -2,9 +2,12 @@
 #define ORCHESTRA_COMMON_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
@@ -38,6 +41,14 @@ struct FaultInjectorConfig {
   /// Only calls whose site name starts with this prefix are eligible
   /// (empty = every site).
   std::string site_prefix;
+  /// Per-call probability that MaybeCorrupt mutates its buffer, drawn
+  /// from a stream seeded per (seed, site, call index) — so one site's
+  /// corruption schedule never shifts when another site's call count
+  /// changes, and sweeps replay bit-identically.
+  double corruption_probability = 0.0;
+  /// Which corruption sites are armed (exact names; see
+  /// KnownCorruptionSites). Empty disables corruption injection.
+  std::vector<std::string> corruption_sites;
 };
 
 /// Deterministic, seeded fault injector. Thread-safe: the reconciliation
@@ -60,6 +71,31 @@ class FaultInjector {
   /// number if a fault fires here. Counts every matching call.
   Status MaybeFail(std::string_view site);
 
+  /// Possibly mutates `*data` in place, returning true when it did.
+  /// The mutation depends on the site's semantics:
+  ///   storage.bit_flip / net.payload_corrupt — flip 1–3 random bits;
+  ///   storage.torn_write                     — keep a strict prefix;
+  ///   storage.truncate_tail                  — drop 1+ tail bytes.
+  /// Fires only when the site is armed in `corruption_sites`,
+  /// `corruption_probability` > 0, and the buffer is non-empty. Each
+  /// (site, call) draws from its own Rng seeded from (config seed, site
+  /// hash, per-site call index): deterministic and independent across
+  /// sites. Never reports an error — corruption is *silent* by design;
+  /// the read path's checksums are what must catch it.
+  bool MaybeCorrupt(std::string_view site, std::string* data);
+
+  /// Every failure site MaybeFail is called with anywhere in the tree,
+  /// and every corruption site MaybeCorrupt understands. Sweep configs
+  /// are validated against these lists (ValidateConfig) so a typo'd
+  /// site name is a startup error instead of a silent no-op.
+  static std::span<const std::string_view> KnownFailureSites();
+  static std::span<const std::string_view> KnownCorruptionSites();
+
+  /// Rejects configs that could silently do nothing: probabilities
+  /// outside [0, 1], corruption sites not in KnownCorruptionSites, or a
+  /// site_prefix that is not a prefix of any known site.
+  static Status ValidateConfig(const FaultInjectorConfig& config);
+
   /// Stops all injection (and re-arms it); used by tests to "repair" the
   /// simulated outage and by abort/rollback paths that must run to
   /// completion once entered.
@@ -70,6 +106,9 @@ class FaultInjector {
   /// Total matching calls observed / faults injected so far.
   int64_t calls() const;
   int64_t injected() const;
+
+  /// Total buffers MaybeCorrupt actually mutated.
+  int64_t corrupted() const;
 
   /// True once a sticky fault has fired: the simulated process is dead.
   /// Rollback paths check this and skip cleanup entirely — a crashed
@@ -93,6 +132,8 @@ class FaultInjector {
   };
 
  private:
+  bool CorruptionConfigured() const;
+
   mutable std::mutex mu_;
   FaultInjectorConfig config_;
   Rng rng_;
@@ -100,6 +141,9 @@ class FaultInjector {
   bool tripped_ = false;  // a sticky fault has fired
   int64_t calls_ = 0;
   int64_t injected_ = 0;
+  int64_t corrupted_ = 0;
+  /// Per-site MaybeCorrupt call counts, feeding the per-call seeds.
+  std::map<std::string, int64_t, std::less<>> corrupt_calls_;
 };
 
 }  // namespace orchestra

@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "not_supported";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDataLoss:
+      return "data_loss";
   }
   return "unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnavailable,        // store/peer cannot be reached (simulated)
   kNotSupported,       // feature intentionally unimplemented
   kInternal,           // invariant violation; indicates a bug
+  kDataLoss,           // data is unrecoverably gone (all copies lost)
 };
 
 /// Returns a stable lowercase name for `code` (e.g. "not_found").
@@ -78,6 +79,9 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -85,6 +89,11 @@ class [[nodiscard]] Status {
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  /// Detected-but-recoverable: a checksum failed on one copy; retry or
+  /// another replica may still serve the data.
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  /// Unrecoverable: every copy is gone or provably inconsistent.
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
   bool IsConstraintViolation() const {
     return code_ == StatusCode::kConstraintViolation;
   }

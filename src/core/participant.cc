@@ -407,10 +407,12 @@ Result<ReconcileReport> Participant::RunAndCommit(
   if (recorded.ok()) {
     unrecorded_applied_.clear();
     unrecorded_rejected_.clear();
-  } else if (recorded.code() == StatusCode::kUnavailable) {
-    // Transient loss. Local state is already consistent, so the round
-    // still succeeds; stash the decisions and re-send them with the
-    // next recording instead of unwinding (or re-running) the round.
+  } else if (recorded.code() == StatusCode::kUnavailable ||
+             recorded.code() == StatusCode::kCorruption) {
+    // Transient loss, or a request the store rejected as corrupted in
+    // flight. Local state is already consistent, so the round still
+    // succeeds; stash the decisions and re-send them with the next
+    // recording instead of unwinding (or re-running) the round.
     unrecorded_applied_ = *to_apply;
     unrecorded_rejected_ = *to_reject;
   } else {
@@ -594,13 +596,15 @@ auto RetryUnavailable(const ReconcileRetryOptions& retry, RetryStats* stats,
     // backoff_micros has always summed.
     if (stats != nullptr) ++stats->attempts;
     retry_attempts.Increment();
-    if (result.ok() ||
-        result.status().code() != StatusCode::kUnavailable ||
-        attempt >= retry.max_attempts) {
-      if (!result.ok() &&
-          result.status().code() == StatusCode::kUnavailable) {
-        retry_exhausted.Increment();
-      }
+    // Retryable failures: outright loss (kUnavailable) and payloads the
+    // receiver's checksum rejected (kCorruption). Both are properties of
+    // one network traversal; a fresh attempt draws fresh randomness.
+    const bool transient =
+        !result.ok() &&
+        (result.status().code() == StatusCode::kUnavailable ||
+         result.status().code() == StatusCode::kCorruption);
+    if (!transient || attempt >= retry.max_attempts) {
+      if (transient) retry_exhausted.Increment();
       return result;
     }
     int64_t step = backoff;

@@ -88,12 +88,18 @@ struct FetchStats {
   int64_t cache_hits = 0;           // decodes avoided via the arena
   int64_t suppressed_lookups = 0;   // per-key lookups skipped (applied set)
   int64_t batched_messages = 0;     // multi-get messages sent (DHT)
+  int64_t corrupt_reads = 0;        // checksum-rejected replica/row reads
+  int64_t read_repairs = 0;         // corrupt replicas healed from a good copy
+  int64_t failover_probes = 0;      // extra replica probes after a bad read
 
   FetchStats& operator+=(const FetchStats& o) {
     decoded += o.decoded;
     cache_hits += o.cache_hits;
     suppressed_lookups += o.suppressed_lookups;
     batched_messages += o.batched_messages;
+    corrupt_reads += o.corrupt_reads;
+    read_repairs += o.read_repairs;
+    failover_probes += o.failover_probes;
     return *this;
   }
 };

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/crc32c.h"
+
 namespace orchestra::db {
 
 void PutVarint64(std::string* out, uint64_t value) {
@@ -196,6 +198,117 @@ size_t EncodedTupleSize(const Tuple& tuple) {
   size_t size = VarintLength(tuple.size());
   for (const Value& v : tuple.values()) size += EncodedValueSize(v);
   return size;
+}
+
+namespace {
+
+/// Varint read that tells a cut-short buffer (kOutOfRange: more bytes
+/// might complete it) apart from an over-long encoding (kCorruption).
+/// GetVarint64 collapses both into kCorruption, which is right for
+/// whole-buffer decodes but loses the torn-tail distinction the WAL
+/// replay path depends on.
+Result<uint64_t> ReadEnvelopeVarint(std::string_view data, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (*pos < data.size()) {
+    const uint8_t byte = static_cast<uint8_t>(data[(*pos)++]);
+    if (shift >= 64) return Status::Corruption("envelope varint too long");
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return Status::OutOfRange("envelope length cut short");
+}
+
+uint32_t ReadCrcLE(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+Result<std::string_view> ReadEnvelopeImpl(std::string_view data, size_t* pos,
+                                          bool check_crc) {
+  if (*pos + 3 > data.size()) {
+    return Status::OutOfRange("envelope header cut short");
+  }
+  if (data[*pos] != kEnvelopeMagic0 || data[*pos + 1] != kEnvelopeMagic1) {
+    return Status::Corruption("bad envelope magic");
+  }
+  if (data[*pos + 2] != kEnvelopeVersion) {
+    return Status::Corruption(
+        "unsupported envelope version " +
+        std::to_string(static_cast<int>(
+            static_cast<uint8_t>(data[*pos + 2]))));
+  }
+  size_t cursor = *pos + 3;
+  ORCH_ASSIGN_OR_RETURN(uint64_t len, ReadEnvelopeVarint(data, &cursor));
+  if (len > data.size() - cursor || data.size() - cursor - len < 4) {
+    return Status::OutOfRange("envelope payload cut short");
+  }
+  const uint32_t stored = ReadCrcLE(data.data() + cursor);
+  cursor += 4;
+  std::string_view payload = data.substr(cursor, len);
+  if (check_crc && stored != Crc32c(0, payload)) {
+    return Status::Corruption("envelope checksum mismatch");
+  }
+  *pos = cursor + len;
+  return payload;
+}
+
+}  // namespace
+
+size_t EnvelopeOverhead(size_t payload_len) {
+  return 3 + VarintLength(payload_len) + 4;
+}
+
+bool HasEnvelopeHeader(std::string_view data) {
+  return data.size() >= 3 && data[0] == kEnvelopeMagic0 &&
+         data[1] == kEnvelopeMagic1 && data[2] == kEnvelopeVersion;
+}
+
+void WrapEnvelope(std::string* out, std::string_view payload) {
+  out->reserve(out->size() + EnvelopeOverhead(payload.size()) +
+               payload.size());
+  out->push_back(kEnvelopeMagic0);
+  out->push_back(kEnvelopeMagic1);
+  out->push_back(kEnvelopeVersion);
+  PutVarint64(out, payload.size());
+  const uint32_t crc = Crc32c(0, payload);
+  out->push_back(static_cast<char>(crc & 0xFF));
+  out->push_back(static_cast<char>((crc >> 8) & 0xFF));
+  out->push_back(static_cast<char>((crc >> 16) & 0xFF));
+  out->push_back(static_cast<char>((crc >> 24) & 0xFF));
+  out->append(payload);
+}
+
+Result<std::string_view> ReadEnvelope(std::string_view data, size_t* pos) {
+  return ReadEnvelopeImpl(data, pos, /*check_crc=*/true);
+}
+
+Result<std::string_view> UnwrapEnvelope(std::string_view data,
+                                        EnvelopePolicy policy) {
+  if (!HasEnvelopeHeader(data)) {
+    if (policy == EnvelopePolicy::kAllowUnframed) return data;
+    return Status::Corruption("expected integrity envelope");
+  }
+  size_t pos = 0;
+  auto payload = ReadEnvelopeImpl(
+      data, &pos,
+      /*check_crc=*/policy != EnvelopePolicy::kTrustUnverified);
+  if (!payload.ok()) {
+    // A whole-buffer unwrap has no "more bytes coming" case: a cut-short
+    // frame here is corruption of a stored value, not a torn tail.
+    if (payload.status().code() == StatusCode::kOutOfRange) {
+      return Status::Corruption("truncated envelope: " +
+                                payload.status().message());
+    }
+    return payload.status();
+  }
+  if (pos != data.size()) {
+    return Status::Corruption("trailing bytes after envelope");
+  }
+  return payload;
 }
 
 }  // namespace orchestra::db

@@ -35,6 +35,21 @@ Status SimNetwork::TryCharge(uint32_t endpoint, int64_t hops, int64_t bytes) {
   return status;
 }
 
+Result<std::string> SimNetwork::TryChargePayload(uint32_t endpoint,
+                                                 int64_t hops,
+                                                 std::string_view payload) {
+  ORCH_RETURN_IF_ERROR(
+      TryCharge(endpoint, hops, static_cast<int64_t>(payload.size())));
+  std::string delivered(payload);
+  if (injector_ != nullptr &&
+      injector_->MaybeCorrupt("net.payload_corrupt", &delivered)) {
+    static Counter& corrupted = MetricsRegistry::Global().GetCounter(
+        "integrity.payloads_corrupted_in_flight");
+    corrupted.Increment();
+  }
+  return delivered;
+}
+
 NetStats SimNetwork::StatsFor(uint32_t endpoint) const {
   auto it = per_endpoint_.find(endpoint);
   return it == per_endpoint_.end() ? NetStats{} : it->second;

@@ -2,9 +2,12 @@
 #define ORCHESTRA_NET_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/fault_injector.h"
+#include "common/result.h"
 #include "common/status.h"
 
 namespace orchestra::net {
@@ -59,6 +62,15 @@ class SimNetwork {
   /// consumed the wire. Callers on failable protocol paths use this;
   /// pure cost-accounting paths keep using Charge.
   Status TryCharge(uint32_t endpoint, int64_t hops, int64_t bytes);
+
+  /// Payload-carrying TryCharge: ships actual bytes instead of a pure
+  /// byte count, and returns what the receiver sees. Loss (net.send)
+  /// still surfaces as kUnavailable; in-flight corruption
+  /// (net.payload_corrupt) mutates the delivered copy *silently* —
+  /// exactly like a real link — so the receiver's envelope checksum is
+  /// the only line of defense. Costs are charged either way.
+  Result<std::string> TryChargePayload(uint32_t endpoint, int64_t hops,
+                                       std::string_view payload);
 
   /// Installs (or clears) a fault injector for TryCharge. Must outlive
   /// the network or be cleared first.

@@ -15,6 +15,9 @@ Result<std::unique_ptr<Cdss>> Cdss::Make(CdssConfig config) {
   if (config.transaction_size == 0) {
     return Status::InvalidArgument("transaction size must be positive");
   }
+  // A typo'd failure or corruption site would otherwise run the whole
+  // experiment with injection silently disabled.
+  ORCH_RETURN_IF_ERROR(FaultInjector::ValidateConfig(config.fault));
   auto cdss = std::unique_ptr<Cdss>(new Cdss(std::move(config)));
   const CdssConfig& cfg = cdss->config_;
 
@@ -32,6 +35,7 @@ Result<std::unique_ptr<Cdss>> Cdss::Make(CdssConfig config) {
       store::CentralStoreOptions opts;
       opts.stuck_epoch_reap_threshold = cfg.stuck_epoch_reap_threshold;
       opts.fetch_mode = cfg.fetch_mode;
+      opts.verify_checksums = cfg.verify_checksums;
       cdss->store_ = std::make_unique<store::CentralStore>(
           cdss->engine_.get(), &cdss->network_, opts, &cdss->catalog_);
       break;
@@ -42,6 +46,7 @@ Result<std::unique_ptr<Cdss>> Cdss::Make(CdssConfig config) {
       opts.stuck_epoch_reap_threshold = cfg.stuck_epoch_reap_threshold;
       opts.replication_factor = cfg.replication_factor;
       opts.fetch_mode = cfg.fetch_mode;
+      opts.verify_checksums = cfg.verify_checksums;
       auto dht = std::make_unique<store::DhtStore>(
           cfg.participants, &cdss->network_, &cdss->catalog_, opts);
       cdss->dht_ = dht.get();
@@ -199,6 +204,12 @@ Result<CdssResult> Cdss::Run() {
   for (size_t round = 0; round < config_.rounds; ++round) {
     TraceSpan round_span("cdss.round");
     if (round > 0) ORCH_RETURN_IF_ERROR(ApplyChurn());
+    // Background scrub cadence: walk every replica, heal detected rot
+    // from a verified copy. Decision-neutral — it only moves bytes.
+    if (config_.scrub_interval_rounds > 0 && dht_ != nullptr && round > 0 &&
+        round % config_.scrub_interval_rounds == 0) {
+      dht_->ScrubReplicas();
+    }
     for (size_t i = 0; i < participants_.size(); ++i) {
       ORCH_RETURN_IF_ERROR(StepParticipant(i).status());
     }
@@ -222,6 +233,17 @@ Result<CdssResult> Cdss::Run() {
   }
   result.state_ratio = CurrentStateRatio();
   result.faults_injected = fault_injector_.injected();
+  const auto metric = [&](const char* name) {
+    auto it = result.metrics.find(name);
+    return it == result.metrics.end() ? int64_t{0} : it->second;
+  };
+  result.corrupt_reads_detected = metric("integrity.corrupt_replica_reads") +
+                                  metric("integrity.corrupt_rows_detected") +
+                                  metric("integrity.corrupt_payloads_detected");
+  result.read_repairs =
+      metric("integrity.read_repairs") + metric("integrity.scrub_repairs");
+  result.undetected_corrupt_reads =
+      metric("integrity.unverified_corrupt_reads");
   core::StoreStats totals;
   for (const auto& p : participants_) {
     totals = totals + store_->StatsFor(p->id());

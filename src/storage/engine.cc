@@ -26,15 +26,17 @@ std::unique_ptr<StorageEngine> StorageEngine::InMemory() {
 }
 
 Result<std::unique_ptr<StorageEngine>> StorageEngine::OpenDurable(
-    std::string wal_path) {
+    std::string wal_path, FaultInjector* injector) {
   auto engine = std::unique_ptr<StorageEngine>(new StorageEngine());
   ORCH_ASSIGN_OR_RETURN(engine->wal_, WriteAheadLog::Open(std::move(wal_path)));
+  engine->set_fault_injector(injector);
   ORCH_RETURN_IF_ERROR(engine->Recover());
   return engine;
 }
 
 Status StorageEngine::Recover() {
-  return wal_->Replay([this](uint8_t type, std::string_view payload) {
+  return wal_->ReplayWithStats(
+      [this](uint8_t type, std::string_view payload) {
     size_t pos = 0;
     switch (type) {
       case kPut: {
@@ -67,7 +69,8 @@ Status StorageEngine::Recover() {
         return Status::Corruption("unknown WAL record type " +
                                   std::to_string(type));
     }
-  });
+      },
+      &replay_stats_);
 }
 
 Status StorageEngine::LogPut(std::string_view table, std::string_view key,

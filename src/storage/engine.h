@@ -29,9 +29,11 @@ class StorageEngine {
   static std::unique_ptr<StorageEngine> InMemory();
 
   /// Durable engine logging to `wal_path`; recovers existing state from
-  /// the log on open.
+  /// the log on open. When `injector` is given it is installed *before*
+  /// recovery so replay-time corruption sites (storage.truncate_tail,
+  /// storage.bit_flip) can fire during the recovery pass itself.
   static Result<std::unique_ptr<StorageEngine>> OpenDurable(
-      std::string wal_path);
+      std::string wal_path, FaultInjector* injector = nullptr);
 
   /// Writes `value` under `key` in `table` (upsert).
   Status Put(std::string_view table, std::string_view key,
@@ -75,8 +77,26 @@ class StorageEngine {
   /// are never failed: the update stores' consistency obligations concern
   /// what they *wrote*, and read faults only re-exercise the same retry
   /// paths. The injector must outlive the engine or be cleared first.
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  void set_fault_injector(FaultInjector* injector) {
+    injector_ = injector;
+    if (wal_ != nullptr) wal_->set_fault_injector(injector);
+  }
   FaultInjector* fault_injector() const { return injector_; }
+
+  /// Accounting from the recovery replay (zero-valued for in-memory
+  /// engines). A nonzero skipped_regions means recovered state has a
+  /// gap; stores with completeness witnesses (the central store's
+  /// decision-log marker) cross-check and surface kDataLoss.
+  const WriteAheadLog::ReplayStats& replay_stats() const {
+    return replay_stats_;
+  }
+
+  /// True when the WAL predates the v2 checksummed format. Values read
+  /// back from such an engine may be legacy unframed payloads, so
+  /// consumers unwrap them with EnvelopePolicy::kAllowUnframed.
+  bool recovered_from_legacy_wal() const {
+    return wal_ != nullptr && wal_->legacy_format();
+  }
 
  private:
   StorageEngine() = default;
@@ -90,6 +110,7 @@ class StorageEngine {
   std::map<std::string, Table, std::less<>> tables_;
   std::map<std::string, int64_t, std::less<>> sequences_;
   std::unique_ptr<WriteAheadLog> wal_;
+  WriteAheadLog::ReplayStats replay_stats_;
   FaultInjector* injector_ = nullptr;
 };
 

@@ -17,6 +17,11 @@ namespace orchestra::storage {
 
 namespace {
 
+/// v2 file header. A v1 file starts with the CRC32 of its first record,
+/// which matches this magic with probability 2^-64 — close enough to
+/// never for format detection.
+constexpr char kFileMagic[8] = {'O', 'R', 'C', 'W', 'A', 'L', '0', '2'};
+
 std::array<uint32_t, 256> BuildCrcTable() {
   std::array<uint32_t, 256> table{};
   for (uint32_t i = 0; i < 256; ++i) {
@@ -41,12 +46,33 @@ uint32_t Crc32(std::string_view data) {
 }
 
 Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(std::string path) {
+  // Peek at the existing file (if any) to decide the format before the
+  // append handle pins us to the end.
+  bool legacy = false;
+  bool needs_header = true;
+  if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
+    char head[sizeof(kFileMagic)];
+    const size_t n = std::fread(head, 1, sizeof(head), probe);
+    std::fclose(probe);
+    if (n > 0) {
+      needs_header = false;
+      legacy = n < sizeof(kFileMagic) ||
+               std::memcmp(head, kFileMagic, sizeof(kFileMagic)) != 0;
+    }
+  }
   std::FILE* file = std::fopen(path.c_str(), "ab+");
   if (file == nullptr) {
     return Status::IOError("cannot open WAL at " + path);
   }
+  if (needs_header) {
+    if (std::fwrite(kFileMagic, 1, sizeof(kFileMagic), file) !=
+        sizeof(kFileMagic)) {
+      std::fclose(file);
+      return Status::IOError("cannot write WAL header at " + path);
+    }
+  }
   return std::unique_ptr<WriteAheadLog>(
-      new WriteAheadLog(std::move(path), file));
+      new WriteAheadLog(std::move(path), file, legacy));
 }
 
 WriteAheadLog::~WriteAheadLog() {
@@ -60,13 +86,22 @@ Status WriteAheadLog::Append(uint8_t type, std::string_view payload) {
   std::string body;
   body.push_back(static_cast<char>(type));
   body.append(payload);
-  const uint32_t crc = Crc32(body);
 
   std::string record;
-  record.resize(4);
-  std::memcpy(record.data(), &crc, 4);
-  db::PutVarint64(&record, payload.size());
-  record.append(body);
+  if (legacy_) {
+    const uint32_t crc = Crc32(body);
+    record.resize(4);
+    std::memcpy(record.data(), &crc, 4);
+    db::PutVarint64(&record, payload.size());
+    record.append(body);
+  } else {
+    db::WrapEnvelope(&record, body);
+  }
+  // A torn physical write leaves a strict prefix of the record on disk;
+  // nothing after it is parseable, which replay treats as a torn tail.
+  if (injector_ != nullptr) {
+    injector_->MaybeCorrupt("storage.torn_write", &record);
+  }
   if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
     return Status::IOError("short write to WAL " + path_);
   }
@@ -98,6 +133,12 @@ Status WriteAheadLog::Sync() {
 
 Status WriteAheadLog::Replay(
     const std::function<Status(uint8_t, std::string_view)>& visitor) const {
+  return ReplayWithStats(visitor, nullptr);
+}
+
+Status WriteAheadLog::ReplayWithStats(
+    const std::function<Status(uint8_t, std::string_view)>& visitor,
+    ReplayStats* stats) const {
   std::FILE* file = std::fopen(path_.c_str(), "rb");
   if (file == nullptr) {
     return Status::IOError("cannot open WAL for replay at " + path_);
@@ -111,6 +152,30 @@ Status WriteAheadLog::Replay(
     }
     std::fclose(file);
   }
+  if (injector_ != nullptr) {
+    // At-rest corruption surfaces at recovery time: a truncated tail
+    // (lost sectors) or flipped bits anywhere in the image.
+    injector_->MaybeCorrupt("storage.truncate_tail", &contents);
+    injector_->MaybeCorrupt("storage.bit_flip", &contents);
+  }
+  ReplayStats local;
+  ReplayStats* s = stats != nullptr ? stats : &local;
+  *s = ReplayStats{};
+  s->legacy_format = legacy_;
+  const Status status = legacy_ ? ReplayLegacy(visitor, contents, s)
+                                : ReplayFramed(visitor, contents, s);
+  static Counter& skipped = MetricsRegistry::Global().GetCounter(
+      "integrity.wal_records_skipped");
+  static Counter& dropped = MetricsRegistry::Global().GetCounter(
+      "integrity.wal_tail_dropped_bytes");
+  skipped.Add(s->skipped_regions);
+  dropped.Add(s->dropped_tail_bytes);
+  return status;
+}
+
+Status WriteAheadLog::ReplayLegacy(
+    const std::function<Status(uint8_t, std::string_view)>& visitor,
+    std::string_view contents, ReplayStats* stats) const {
   size_t pos = 0;
   while (pos < contents.size()) {
     const size_t record_start = pos;
@@ -119,18 +184,85 @@ Status WriteAheadLog::Replay(
     std::memcpy(&stored_crc, contents.data() + pos, 4);
     pos += 4;
     auto len = db::GetVarint64(contents, &pos);
-    if (!len.ok()) break;  // torn tail
-    if (pos + 1 + *len > contents.size()) break;  // torn tail
+    if (!len.ok()) {  // torn tail
+      pos = record_start;
+      break;
+    }
+    if (pos + 1 + *len > contents.size()) {  // torn tail
+      pos = record_start;
+      break;
+    }
     const std::string_view body(contents.data() + pos, 1 + *len);
     pos += 1 + *len;
     if (Crc32(body) != stored_crc) {
-      if (pos >= contents.size()) break;  // torn final record
+      if (pos >= contents.size()) {  // torn final record
+        pos = record_start;
+        break;
+      }
       return Status::Corruption("WAL CRC mismatch at offset " +
                                 std::to_string(record_start) + " in " + path_);
     }
     const uint8_t type = static_cast<uint8_t>(body[0]);
     ORCH_RETURN_IF_ERROR(visitor(type, body.substr(1)));
+    ++stats->records;
   }
+  stats->dropped_tail_bytes +=
+      static_cast<int64_t>(contents.size() - pos);
+  return Status::OK();
+}
+
+Status WriteAheadLog::ReplayFramed(
+    const std::function<Status(uint8_t, std::string_view)>& visitor,
+    std::string_view contents, ReplayStats* stats) const {
+  size_t pos = 0;
+  if (contents.size() >= sizeof(kFileMagic) &&
+      std::memcmp(contents.data(), kFileMagic, sizeof(kFileMagic)) == 0) {
+    pos = sizeof(kFileMagic);
+  } else if (contents.size() < sizeof(kFileMagic)) {
+    // Torn header write: the file holds a prefix of the magic and no
+    // records can have followed it.
+    stats->dropped_tail_bytes += static_cast<int64_t>(contents.size());
+    return Status::OK();
+  } else {
+    return Status::Corruption("WAL header mangled in " + path_);
+  }
+  // Finds the next plausible frame start at or after `from`. A payload
+  // byte string can embed the 3-byte envelope prologue, so a hit is only
+  // a *candidate* — a false one fails its checksum and the scan resumes.
+  const auto next_frame = [&](size_t from) -> size_t {
+    for (size_t i = from; i + 3 <= contents.size(); ++i) {
+      if (contents[i] == db::kEnvelopeMagic0 &&
+          contents[i + 1] == db::kEnvelopeMagic1 &&
+          contents[i + 2] == db::kEnvelopeVersion) {
+        return i;
+      }
+    }
+    return contents.size();
+  };
+  while (pos < contents.size()) {
+    const size_t record_start = pos;
+    auto body = db::ReadEnvelope(contents, &pos);
+    if (body.ok() && !body->empty()) {
+      const uint8_t type = static_cast<uint8_t>((*body)[0]);
+      ORCH_RETURN_IF_ERROR(visitor(type, body->substr(1)));
+      ++stats->records;
+      continue;
+    }
+    // Unparseable (or empty-bodied, which Append never writes) region:
+    // either a torn tail or a corrupted record mid-log. If another
+    // frame follows, skip to it and account for the gap; otherwise
+    // truncate here.
+    const size_t resume = next_frame(record_start + 1);
+    if (resume >= contents.size()) {
+      pos = record_start;
+      break;
+    }
+    ++stats->skipped_regions;
+    stats->skipped_bytes += static_cast<int64_t>(resume - record_start);
+    pos = resume;
+  }
+  stats->dropped_tail_bytes +=
+      static_cast<int64_t>(contents.size() - pos);
   return Status::OK();
 }
 

@@ -8,26 +8,54 @@
 #include <string>
 #include <string_view>
 
+#include "common/fault_injector.h"
 #include "common/result.h"
 #include "common/status.h"
 
 namespace orchestra::storage {
 
-/// CRC32 (IEEE polynomial) over `data`; used to validate WAL records.
+/// CRC32 (IEEE polynomial) over `data`; validates legacy (v1) WAL
+/// records. New logs use the CRC32C integrity envelope (db/serde) — a
+/// different polynomial, so the two formats cannot validate each
+/// other's records by accident.
 uint32_t Crc32(std::string_view data);
 
-/// Append-only write-ahead log. Record format:
+/// Append-only write-ahead log.
+///
+/// v2 (current) format: an 8-byte file header ("ORCWAL02") followed by
+/// one integrity envelope (db::WrapEnvelope) per record, whose payload
+/// is [type:1 byte][record payload]. Recovery semantics:
+///   - a torn tail (final record cut short) is truncated at the last
+///     valid record, as before;
+///   - a corrupted record *mid-log* is skipped by scanning forward to
+///     the next envelope magic, with the skip counted in ReplayStats —
+///     replay itself stays available, and callers that cannot tolerate
+///     a gap (e.g. the central store's decision-log marker cross-check)
+///     turn a nonzero skip count into a typed kDataLoss error.
+///
+/// v1 (legacy) format, headerless: records are
 ///   [crc32 of (type+payload) : 4 bytes LE]
 ///   [payload length          : varint]
 ///   [type                    : 1 byte]
 ///   [payload                 : length bytes]
-/// A torn tail (partial final record or CRC mismatch at the end) is
-/// tolerated during replay — the log is truncated at the last valid
-/// record, matching standard recovery semantics. A CRC mismatch in the
-/// middle of the log is reported as Corruption.
+/// A file that exists and lacks the v2 header keeps its legacy format:
+/// replay uses the v1 parser (torn tail tolerated, mid-log CRC mismatch
+/// reported as Corruption) and appends continue in v1 so the file stays
+/// self-consistent. Only newly created logs get the v2 header.
 class WriteAheadLog {
  public:
-  /// Opens (creating if needed) the log at `path` for appending.
+  /// Outcome accounting for one Replay pass.
+  struct ReplayStats {
+    int64_t records = 0;             // records delivered to the visitor
+    int64_t skipped_regions = 0;     // corrupted mid-log stretches skipped
+    int64_t skipped_bytes = 0;       // bytes inside those stretches
+    int64_t dropped_tail_bytes = 0;  // torn tail truncated at replay
+    bool legacy_format = false;      // parsed with the v1 parser
+  };
+
+  /// Opens (creating if needed) the log at `path` for appending. A new
+  /// file is stamped with the v2 header; an existing headerless file is
+  /// opened in legacy mode.
   static Result<std::unique_ptr<WriteAheadLog>> Open(std::string path);
 
   ~WriteAheadLog();
@@ -42,18 +70,48 @@ class WriteAheadLog {
   Status Sync();
 
   /// Replays every valid record from the start of the file, invoking
-  /// `visitor(type, payload)` for each. Stops cleanly at a torn tail.
+  /// `visitor(type, payload)` for each. Stops cleanly at a torn tail;
+  /// skips corrupted mid-log records in v2 files (see ReplayStats).
   Status Replay(
       const std::function<Status(uint8_t, std::string_view)>& visitor) const;
+
+  /// Replay with skip/truncation accounting; `stats` may be null.
+  Status ReplayWithStats(
+      const std::function<Status(uint8_t, std::string_view)>& visitor,
+      ReplayStats* stats) const;
+
+  /// Installs (or clears) a fault injector. Corruption sites:
+  ///   storage.torn_write    — a fired Append writes only a strict
+  ///                           prefix of the record (the crash tears
+  ///                           the physical write);
+  ///   storage.truncate_tail — a fired Replay drops tail bytes of the
+  ///                           in-memory image before parsing;
+  ///   storage.bit_flip      — a fired Replay flips bits in the image
+  ///                           (at-rest corruption surfacing at read).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// True when the file predates the v2 header. Data recovered from a
+  /// legacy log carries no checksums, so downstream envelope unwrapping
+  /// must use EnvelopePolicy::kAllowUnframed for it.
+  bool legacy_format() const { return legacy_; }
 
   const std::string& path() const { return path_; }
 
  private:
-  WriteAheadLog(std::string path, std::FILE* file)
-      : path_(std::move(path)), file_(file) {}
+  WriteAheadLog(std::string path, std::FILE* file, bool legacy)
+      : path_(std::move(path)), file_(file), legacy_(legacy) {}
+
+  Status ReplayLegacy(
+      const std::function<Status(uint8_t, std::string_view)>& visitor,
+      std::string_view contents, ReplayStats* stats) const;
+  Status ReplayFramed(
+      const std::function<Status(uint8_t, std::string_view)>& visitor,
+      std::string_view contents, ReplayStats* stats) const;
 
   std::string path_;
   std::FILE* file_;
+  bool legacy_ = false;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace orchestra::storage

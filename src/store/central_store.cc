@@ -64,8 +64,62 @@ Status CentralStore::RegisterParticipant(ParticipantId peer,
   return Status::OK();
 }
 
+namespace {
+/// Re-reads of a row whose checksum failed; the per-read corruption
+/// draw is fresh each time, so persistent failure (kDataLoss) means the
+/// row is rotten beyond what redundancy can fix — vanishingly unlikely
+/// under any realistic corruption probability.
+constexpr int kRowReadAttempts = 4;
+}  // namespace
+
+Result<std::string> CentralStore::ReadTxnBlob(
+    const std::string& txn_key) const {
+  static Counter& detected = MetricsRegistry::Global().GetCounter(
+      "integrity.corrupt_rows_detected");
+  static Counter& rereads =
+      MetricsRegistry::Global().GetCounter("integrity.row_rereads");
+  static Counter& unverified = MetricsRegistry::Global().GetCounter(
+      "integrity.unverified_corrupt_reads");
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < kRowReadAttempts; ++attempt) {
+    if (attempt > 0) rereads.Increment();
+    ORCH_ASSIGN_OR_RETURN(std::string framed, engine_->Get("txn", txn_key));
+    if (engine_->recovered_from_legacy_wal() &&
+        !db::HasEnvelopeHeader(framed)) {
+      // A row written before the framed format existed carries no
+      // checksum; there is nothing to verify (and corrupting it would
+      // be undetectable by construction, so the site is not applied).
+      return framed;
+    }
+    if (FaultInjector* injector = engine_->fault_injector();
+        injector != nullptr) {
+      injector->MaybeCorrupt("storage.bit_flip", &framed);
+    }
+    if (!options_.verify_checksums) {
+      // Control arm: whatever the read returned is what the caller
+      // gets. The strict check still runs as the sweep's ledger of
+      // reads a checksummed deployment would have caught.
+      if (!db::UnwrapEnvelope(framed, db::EnvelopePolicy::kRequireFrame)
+               .ok()) {
+        unverified.Increment();
+      }
+      auto loose =
+          db::UnwrapEnvelope(framed, db::EnvelopePolicy::kTrustUnverified);
+      if (loose.ok()) return std::string(*loose);
+      return framed;  // structural garbage: hand the caller the rot
+    }
+    auto body = db::UnwrapEnvelope(framed, db::EnvelopePolicy::kRequireFrame);
+    if (body.ok()) return std::string(*body);
+    detected.Increment();
+    last = body.status();
+  }
+  return Status::DataLoss("stored transaction row " + txn_key +
+                          " failed verification on every read: " +
+                          last.message());
+}
+
 Result<Transaction> CentralStore::LoadTxn(const TransactionId& id) const {
-  ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", TxnKey(id)));
+  ORCH_ASSIGN_OR_RETURN(std::string blob, ReadTxnBlob(TxnKey(id)));
   size_t pos = 0;
   return core::DecodeTransaction(blob, &pos);
 }
@@ -101,8 +155,12 @@ bool CentralStore::EpochCommitted(const std::string& epoch_key) const {
 }
 
 bool CentralStore::IsCommittedTxn(const std::string& txn_key) const {
-  auto blob = engine_->Get("txn", txn_key);
-  if (!blob.ok()) return false;
+  if (!engine_->Contains("txn", txn_key)) return false;
+  auto blob = ReadTxnBlob(txn_key);
+  // An unreadable (rotten-everywhere) row is treated as present:
+  // refusing the republish is safer than silently overwriting data we
+  // cannot interpret.
+  if (!blob.ok()) return true;
   // Only the epoch field matters here; decoding the header alone skips
   // the row's updates and antecedents on the publish hot path.
   size_t pos = 0;
@@ -154,8 +212,12 @@ Result<Epoch> CentralStore::Publish(ParticipantId peer,
       return Status::AlreadyExists("transaction " + txn.id.ToString() +
                                    " already published");
     }
+    std::string encoded;
+    core::EncodeTransaction(&encoded, txn);
+    // Stored envelope-framed: the checksum written here is what every
+    // later read of this row verifies against.
     std::string blob;
-    core::EncodeTransaction(&blob, txn);
+    db::WrapEnvelope(&blob, encoded);
     bytes += static_cast<int64_t>(blob.size());
     staged.push_back({"txn", key, std::move(blob)});
     staged.push_back({"epoch_txns", EpochKey(epoch) + ":" + key, ""});
@@ -222,6 +284,15 @@ Result<ReconcileFetch> CentralStore::BeginReconciliation(ParticipantId peer) {
   const bool delta = options_.fetch_mode == core::FetchMode::kDelta;
   const core::FetchCache::Stats cache_before = cache_.stats();
   int64_t decoded = 0;
+  // Integrity counter snapshots for the per-round FetchStats: detected
+  // rotten rows, and the re-reads (the central analog of a replica
+  // failover probe) that absorbed them.
+  static Counter& corrupt_rows = MetricsRegistry::Global().GetCounter(
+      "integrity.corrupt_rows_detected");
+  static Counter& row_rereads =
+      MetricsRegistry::Global().GetCounter("integrity.row_rereads");
+  const int64_t corrupt_before = corrupt_rows.value();
+  const int64_t rereads_before = row_rereads.value();
 
   ReconcileFetch fetch;
   ORCH_ASSIGN_OR_RETURN(fetch.recno,
@@ -301,7 +372,7 @@ Result<ReconcileFetch> CentralStore::BeginReconciliation(ParticipantId peer) {
         continue;
       }
     }
-    ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", txn_key));
+    ORCH_ASSIGN_OR_RETURN(std::string blob, ReadTxnBlob(txn_key));
     size_t pos = 0;
     ORCH_ASSIGN_OR_RETURN(Transaction txn, core::DecodeTransaction(blob, &pos));
     ++decoded;
@@ -365,6 +436,8 @@ Result<ReconcileFetch> CentralStore::BeginReconciliation(ParticipantId peer) {
   for (const Transaction& txn : fetch.transactions) {
     bytes += static_cast<int64_t>(core::EncodedTransactionSize(txn));
   }
+  fetch.stats.corrupt_reads = corrupt_rows.value() - corrupt_before;
+  fetch.stats.failover_probes = row_rereads.value() - rereads_before;
   // Begin-reconciliation round trip plus the bulk reply.
   network_->Charge(peer, 2, bytes / 2);
   cpu_micros_[peer] += cpu.ElapsedMicros() + options_.procedure_overhead_micros;
@@ -415,9 +488,14 @@ Status CentralStore::RecordDecisions(
   }
   // Written last: this marker is the witness that reconciliation `recno`
   // recorded all of its decisions. Recovery compares it against the
-  // recno sequence to detect an interrupted reconciliation.
-  ORCH_RETURN_IF_ERROR(engine_->Put("decmeta:" + std::to_string(peer),
-                                    "last_recno", EpochKey(recno)));
+  // recno sequence to detect an interrupted reconciliation, and against
+  // the decision count appended here to detect declog rows lost to a
+  // corrupt WAL region (replay skips the bad region; without the count
+  // the marker would vouch for decisions that no longer exist).
+  ORCH_RETURN_IF_ERROR(engine_->Put(
+      "decmeta:" + std::to_string(peer), "last_recno",
+      EpochKey(recno) + ":" +
+          std::to_string(applied.size() + rejected.size())));
   ORCH_RETURN_IF_ERROR(engine_->Sync());
   if (options_.fetch_mode == core::FetchMode::kDelta) {
     // Only now — past the sync — are the accepts durable enough for the
@@ -452,8 +530,35 @@ Result<core::RecoveryBundle> CentralStore::FetchRecoveryState(
   // reconciliation and recording its outcome.
   auto last_recno = engine_->Get("decmeta:" + std::to_string(peer),
                                  "last_recno");
+  // The marker is "recno" (legacy) or "recno:count"; strtoll stops at
+  // the ':' either way.
   bundle.last_decided_recno =
       last_recno.ok() ? std::strtoll(last_recno->c_str(), nullptr, 10) : 0;
+  if (last_recno.ok() && bundle.last_decided_recno > 0) {
+    const size_t sep = last_recno->find(':');
+    if (sep != std::string::npos) {
+      // Cross-check the marker's decision count against the declog rows
+      // that actually survived. Replay of a corrupt WAL region can drop
+      // decision Puts while the marker (written later, in an intact
+      // record) survives — silently resuming from such a marker would
+      // re-run reconciliation `last_decided_recno` as if it were
+      // decided. Surface the shortfall as typed data loss instead.
+      const int64_t expected =
+          std::strtoll(last_recno->c_str() + sep + 1, nullptr, 10);
+      const int64_t found = static_cast<int64_t>(
+          engine_->ScanPrefix("declog:" + std::to_string(peer),
+                              EpochKey(bundle.last_decided_recno) + ":")
+              .size());
+      if (found < expected) {
+        return Status::DataLoss(
+            "decision log for peer " + std::to_string(peer) +
+            " reconciliation " + std::to_string(bundle.last_decided_recno) +
+            " lost " + std::to_string(expected - found) + " of " +
+            std::to_string(expected) +
+            " recorded decisions (corrupt WAL region dropped on replay)");
+      }
+    }
+  }
 
   // Recorded decisions. Rejected rows need only the id, which the key
   // itself encodes; applied rows load through the arena.
@@ -495,7 +600,7 @@ Result<core::RecoveryBundle> CentralStore::FetchRecoveryState(
     const size_t sep = key.find(':');
     if (!EpochCommitted(key.substr(0, sep))) continue;
     const std::string txn_key = key.substr(sep + 1);
-    ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", txn_key));
+    ORCH_ASSIGN_OR_RETURN(std::string blob, ReadTxnBlob(txn_key));
     size_t pos = 0;
     ORCH_ASSIGN_OR_RETURN(Transaction txn, core::DecodeTransaction(blob, &pos));
     if (HasDecision(peer, txn.id)) continue;
@@ -621,7 +726,7 @@ Result<core::RecoveryBundle> CentralStore::Bootstrap(
     const size_t sep = key.find(':');
     if (!EpochCommitted(key.substr(0, sep))) continue;
     const std::string txn_key = key.substr(sep + 1);
-    ORCH_ASSIGN_OR_RETURN(std::string blob, engine_->Get("txn", txn_key));
+    ORCH_ASSIGN_OR_RETURN(std::string blob, ReadTxnBlob(txn_key));
     size_t pos = 0;
     ORCH_ASSIGN_OR_RETURN(Transaction txn, core::DecodeTransaction(blob, &pos));
     if (HasDecision(new_peer, txn.id)) continue;  // adopted above

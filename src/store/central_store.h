@@ -59,6 +59,12 @@ struct CentralStoreOptions {
   /// monotone stable-floor scan bound. Decisions are identical across
   /// modes (see core::FetchMode).
   core::FetchMode fetch_mode = core::FetchMode::kDelta;
+  /// Verify the envelope checksum on every stored transaction row read
+  /// (detected rot is re-read; the storage.bit_flip site draws fresh
+  /// randomness per read, so a re-read models fetching the page from
+  /// the RDBMS's redundant storage). False is the corruption sweep's
+  /// control arm: rot flows to the caller undetected.
+  bool verify_checksums = true;
 };
 
 class CentralStore : public core::UpdateStore,
@@ -108,6 +114,14 @@ class CentralStore : public core::UpdateStore,
   static std::string EpochKey(core::Epoch epoch);
   /// Inverse of TxnKey (the key format is fixed-width decimal).
   static core::TransactionId ParseTxnKey(const std::string& key);
+
+  /// Reads and verifies the stored envelope-framed blob for `txn_key`,
+  /// returning the payload (the encoded Transaction). At-rest corruption
+  /// (storage.bit_flip) is applied to the read copy; a detected checksum
+  /// failure re-reads up to kRowReadAttempts times before reporting
+  /// kDataLoss. Legacy unframed rows (engine recovered from a
+  /// pre-checksum WAL) pass through unverified — they carry no checksum.
+  Result<std::string> ReadTxnBlob(const std::string& txn_key) const;
 
   Result<core::Transaction> LoadTxn(const core::TransactionId& id) const;
   /// LoadTxn via the decoded-transaction arena (kDelta): an arena hit

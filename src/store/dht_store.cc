@@ -10,6 +10,7 @@
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "core/extension.h"
+#include "db/serde.h"
 
 namespace orchestra::store {
 
@@ -112,6 +113,226 @@ Status DhtStore::TryReplicatedSend(ParticipantId peer, size_t from_node,
   return Status::OK();
 }
 
+namespace {
+/// Envelope-framed encoding of `txn` — the DHT's stored and wire form.
+std::string WireOf(const Transaction& txn) {
+  std::string encoded;
+  core::EncodeTransaction(&encoded, txn);
+  std::string wire;
+  db::WrapEnvelope(&wire, encoded);
+  return wire;
+}
+
+/// Strict verify-and-decode of a stored or delivered wire blob.
+Result<Transaction> DecodeWire(std::string_view wire) {
+  ORCH_ASSIGN_OR_RETURN(
+      std::string_view body,
+      db::UnwrapEnvelope(wire, db::EnvelopePolicy::kRequireFrame));
+  size_t pos = 0;
+  return core::DecodeTransaction(body, &pos);
+}
+
+Counter& CorruptReplicaReads() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "integrity.corrupt_replica_reads");
+  return c;
+}
+Counter& ReadRepairs() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("integrity.read_repairs");
+  return c;
+}
+Counter& UnverifiedCorruptReads() {
+  static Counter& c = MetricsRegistry::Global().GetCounter(
+      "integrity.unverified_corrupt_reads");
+  return c;
+}
+}  // namespace
+
+void DhtStore::InstallTxnReplica(NodeState& node, const Transaction& txn,
+                                 const std::string& wire) const {
+  std::string stored = wire;
+  if (FaultInjector* injector = network_->fault_injector();
+      injector != nullptr) {
+    // Each replica's copy rots (or not) independently — that is what
+    // makes failover and read-repair meaningful.
+    injector->MaybeCorrupt("storage.bit_flip", &stored);
+  }
+  node.txns.insert_or_assign(txn.id, txn);
+  node.txn_wire.insert_or_assign(txn.id, std::move(stored));
+}
+
+std::vector<size_t> DhtStore::ReadOrderFor(const std::string& key) const {
+  std::vector<size_t> group = GroupFor(key);
+  std::stable_partition(group.begin(), group.end(),
+                        [&](size_t node) { return !Quarantined(node); });
+  return group;
+}
+
+void DhtStore::ScoreCorruptServe(size_t node) const {
+  const bool was = Quarantined(node);
+  corrupt_serves_[node] += 1;
+  if (!was && Quarantined(node)) {
+    static Counter& quarantined =
+        MetricsRegistry::Global().GetCounter("integrity.quarantined_nodes");
+    quarantined.Increment();
+  }
+}
+
+Result<DhtStore::TxnRead> DhtStore::ReadTxnVerified(
+    ParticipantId peer, const TransactionId& id) const {
+  static Counter& failover_probes =
+      MetricsRegistry::Global().GetCounter("store.dht.failover_probes");
+  const std::string key = "txn:" + id.ToString();
+  std::vector<size_t> corrupt_nodes;
+  for (size_t node : ReadOrderFor(key)) {
+    const NodeState& n = nodes_[node];
+    auto wire_it = n.txn_wire.find(id);
+    if (wire_it == n.txn_wire.end()) {
+      failover_probes.Increment();
+      network_->Charge(peer, 1, 16);  // probe + miss reply
+      continue;
+    }
+    if (!options_.verify_checksums) {
+      // Control arm: consume the first copy found without checking it.
+      // The checksum is still *computed* — that is the sweep's
+      // undetected-corruption ledger, counting exactly the reads a
+      // checksummed deployment would have caught.
+      if (!db::UnwrapEnvelope(wire_it->second,
+                              db::EnvelopePolicy::kRequireFrame)
+               .ok()) {
+        UnverifiedCorruptReads().Increment();
+      }
+      auto loose = db::UnwrapEnvelope(wire_it->second,
+                                      db::EnvelopePolicy::kTrustUnverified);
+      if (loose.ok()) {
+        size_t pos = 0;
+        if (auto txn = core::DecodeTransaction(*loose, &pos); txn.ok()) {
+          return TxnRead{*std::move(txn), node, wire_it->second};
+        }
+      }
+      // Structurally undecodable garbage: serve the decode index — the
+      // bytes a pre-checksum deployment would have cached in memory.
+      auto txn_it = n.txns.find(id);
+      ORCH_CHECK(txn_it != n.txns.end());
+      return TxnRead{txn_it->second, node, wire_it->second};
+    }
+    if (auto txn = DecodeWire(wire_it->second); txn.ok()) {
+      TxnRead read{*std::move(txn), node, wire_it->second};
+      // Read-repair: recopy the verified blob over every corrupt
+      // replica probed on the way here. Replica-to-replica transfers,
+      // charged to the repair endpoint like churn re-replication.
+      for (size_t bad : corrupt_nodes) {
+        network_->Charge(kRepairEndpoint, 1,
+                         static_cast<int64_t>(read.wire.size()));
+        nodes_[bad].txn_wire.insert_or_assign(id, read.wire);
+        nodes_[bad].txns.insert_or_assign(id, read.txn);
+        ReadRepairs().Increment();
+      }
+      return read;
+    }
+    // The replica shipped its copy and the receiver's checksum caught
+    // the rot: the bytes were paid for but are useless.
+    CorruptReplicaReads().Increment();
+    ScoreCorruptServe(node);
+    network_->Charge(peer, 1,
+                     static_cast<int64_t>(wire_it->second.size()));
+    corrupt_nodes.push_back(node);
+  }
+  if (!corrupt_nodes.empty()) {
+    static Counter& unrecoverable = MetricsRegistry::Global().GetCounter(
+        "integrity.unrecoverable_reads");
+    unrecoverable.Increment();
+    return Status::DataLoss("every replica of transaction " + id.ToString() +
+                            " failed its checksum");
+  }
+  // Every id reached here came from a committed epoch's contents, so its
+  // transaction was durably replicated at its controller group; no
+  // surviving replica means churn outran the replication factor and the
+  // data is unrecoverably gone.
+  return Status::DataLoss("transaction controller lost " + id.ToString());
+}
+
+Result<Transaction> DhtStore::ReadLocalOrRepair(
+    ParticipantId peer, size_t node, const TransactionId& id) const {
+  const NodeState& n = nodes_[node];
+  auto wire_it = n.txn_wire.find(id);
+  ORCH_CHECK(wire_it != n.txn_wire.end());
+  if (!options_.verify_checksums) {
+    if (!db::UnwrapEnvelope(wire_it->second,
+                            db::EnvelopePolicy::kRequireFrame)
+             .ok()) {
+      UnverifiedCorruptReads().Increment();
+    }
+    auto loose = db::UnwrapEnvelope(wire_it->second,
+                                    db::EnvelopePolicy::kTrustUnverified);
+    if (loose.ok()) {
+      size_t pos = 0;
+      if (auto txn = core::DecodeTransaction(*loose, &pos); txn.ok()) {
+        return *std::move(txn);
+      }
+    }
+    return n.txns.at(id);
+  }
+  if (auto txn = DecodeWire(wire_it->second); txn.ok()) return *std::move(txn);
+  CorruptReplicaReads().Increment();
+  ScoreCorruptServe(node);
+  ORCH_ASSIGN_OR_RETURN(TxnRead read, ReadTxnVerified(peer, id));
+  // The group read already healed the replicas it probed past; heal the
+  // copy that sent us there too.
+  if (read.holder != node) {
+    network_->Charge(kRepairEndpoint, 1,
+                     static_cast<int64_t>(read.wire.size()));
+    nodes_[node].txn_wire.insert_or_assign(id, read.wire);
+    nodes_[node].txns.insert_or_assign(id, read.txn);
+    ReadRepairs().Increment();
+  }
+  return std::move(read.txn);
+}
+
+Result<std::string> DhtStore::ShipPayload(ParticipantId peer,
+                                          std::string_view wire) const {
+  Result<std::string> delivered = Status::Unavailable("payload unsent");
+  for (int attempt = 0; attempt < kMaxTransmits; ++attempt) {
+    if (attempt > 0) RetransmitCounter().Increment();
+    delivered = network_->TryChargePayload(peer, 1, wire);
+    if (delivered.ok()) break;
+  }
+  return delivered;
+}
+
+Result<Transaction> DhtStore::ShipTxn(ParticipantId peer,
+                                      const std::string& wire,
+                                      const Transaction& fallback) const {
+  ORCH_ASSIGN_OR_RETURN(std::string delivered, ShipPayload(peer, wire));
+  if (options_.verify_checksums) {
+    auto txn = DecodeWire(delivered);
+    if (!txn.ok()) {
+      static Counter& detected = MetricsRegistry::Global().GetCounter(
+          "integrity.corrupt_payloads_detected");
+      detected.Increment();
+      // Transient by construction: a re-sent payload draws fresh
+      // randomness, so the participant's retry loop re-fetches.
+      return Status::Corruption("transaction " + fallback.id.ToString() +
+                                " corrupted in flight");
+    }
+    return txn;
+  }
+  if (!db::UnwrapEnvelope(delivered, db::EnvelopePolicy::kRequireFrame)
+           .ok()) {
+    UnverifiedCorruptReads().Increment();
+  }
+  auto loose =
+      db::UnwrapEnvelope(delivered, db::EnvelopePolicy::kTrustUnverified);
+  if (loose.ok()) {
+    size_t pos = 0;
+    if (auto txn = core::DecodeTransaction(*loose, &pos); txn.ok()) {
+      return *std::move(txn);
+    }
+  }
+  return fallback;
+}
+
 bool DhtStore::EpochCommitted(Epoch e) const {
   for (size_t node : GroupFor("epoch:" + std::to_string(e))) {
     if (!nodes_[node].KnowsEpoch(e)) continue;
@@ -144,6 +365,7 @@ void DhtStore::AbortEpoch(ParticipantId peer, Epoch epoch,
     ReplicatedSend(peer, my_node, key, 24);
     MutateGroup(key, [&](NodeState& node) {
       node.txns.erase(id);
+      node.txn_wire.erase(id);
       auto dec_it = node.decisions.find(id);
       if (dec_it != node.decisions.end()) {
         dec_it->second.erase(peer);
@@ -232,17 +454,20 @@ Result<Epoch> DhtStore::Publish(ParticipantId peer,
               [&](NodeState& node) { node.epoch_contents[epoch] = ids; });
 
   // (6) the peer sends each transaction to its transaction controller
-  // group, which records the publisher's implicit self-acceptance.
+  // group as an envelope-framed blob, which each replica stores as-is
+  // (the at-rest form reads verify) while recording the publisher's
+  // implicit self-acceptance.
   for (Transaction& txn : txns) {
-    const int64_t size =
-        static_cast<int64_t>(core::EncodedTransactionSize(txn));
+    const std::string wire = WireOf(txn);
     const TransactionId id = txn.id;
     const std::string key = "txn:" + id.ToString();
-    if (Status s = TryReplicatedSend(peer, my_node, key, size); !s.ok()) {
+    if (Status s = TryReplicatedSend(peer, my_node, key,
+                                     static_cast<int64_t>(wire.size()));
+        !s.ok()) {
       return abort_with(s);
     }
     MutateGroup(key, [&](NodeState& node) {
-      node.txns.insert_or_assign(id, txn);
+      InstallTxnReplica(node, txn, wire);
       node.decisions[id][peer] = Decision{'A', 0};
     });
     staged.push_back(id);
@@ -290,6 +515,13 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
   const size_t my_node = NodeOfPeer(peer);
   const bool delta = options_.fetch_mode == core::FetchMode::kDelta;
   const core::FetchCache::Stats cache_before = cache_.stats();
+  // Integrity counter snapshots: the deltas over this fetch become the
+  // per-round FetchStats integrity fields.
+  static Counter& probe_ctr =
+      MetricsRegistry::Global().GetCounter("store.dht.failover_probes");
+  const int64_t corrupt_before = CorruptReplicaReads().value();
+  const int64_t repairs_before = ReadRepairs().value();
+  const int64_t probes_before = probe_ctr.value();
   ReconcileFetch fetch;
 
   // Most recent epoch from the allocator (request + reply).
@@ -432,17 +664,9 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
       const std::string tkey = "txn:" + id.ToString();
       ORCH_RETURN_IF_ERROR(
           TryRoutedSend(peer, my_node, net::KeyHash(tkey), 24).status());
-      const auto holder = FirstHolder(peer, tkey, [&](const NodeState& n) {
-        return n.txns.count(id) != 0;
-      });
-      if (!holder.has_value()) {
-        // Every id in a finished epoch's contents had its transaction
-        // durably replicated at its controller group; no surviving replica
-        // means churn outran the replication factor and the data is gone.
-        return Status::Internal("transaction controller lost " + id.ToString());
-      }
-      const NodeState& node = nodes_[*holder];
-      const Transaction& txn = node.txns.at(id);
+      ORCH_ASSIGN_OR_RETURN(TxnRead read, ReadTxnVerified(peer, id));
+      const NodeState& node = nodes_[read.holder];
+      const Transaction& txn = read.txn;
       // Decision check at the controller.
       char decided = 0;
       auto dec_it = node.decisions.find(id);
@@ -459,14 +683,17 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
         ORCH_RETURN_IF_ERROR(TryDirectSend(peer, 8));  // "untrusted"
         continue;
       }
-      // Ship the transaction, its priority, and its antecedents.
-      ORCH_RETURN_IF_ERROR(TryDirectSend(
-          peer, static_cast<int64_t>(core::EncodedTransactionSize(txn)) + 8));
+      // Ship the transaction end-to-end: the reply carries the verified
+      // wire blob, and the peer unwraps and decodes what actually
+      // arrived. The priority rides in a small side message.
+      ORCH_RETURN_IF_ERROR(TryDirectSend(peer, 8));
+      ORCH_ASSIGN_OR_RETURN(Transaction delivered,
+                            ShipTxn(peer, read.wire, txn));
       if (!as_antecedent) fetch.trusted.emplace_back(id, priority);
-      fetch.transactions.push_back(txn);
-      for (const TransactionId& ante : txn.antecedents) {
+      for (const TransactionId& ante : delivered.antecedents) {
         pending.emplace_back(ante, true);
       }
+      fetch.transactions.push_back(std::move(delivered));
     }
   } else {
     // The FIFO above drains one antecedent level completely before the
@@ -514,18 +741,17 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
                 .status());
         fetch.stats.batched_messages += 1;
       }
+      // Shipped transactions accumulate per owner as one concatenated
+      // payload of envelope frames; placeholders keep fetch.transactions
+      // in arrival order and are overwritten by what actually arrives.
+      std::unordered_map<size_t, std::string> ship_buf;
+      std::unordered_map<size_t, std::vector<size_t>> ship_idx;
       for (const auto& [id, as_antecedent] : level) {
-        const std::string tkey = "txn:" + id.ToString();
-        const auto holder = FirstHolder(peer, tkey, [&](const NodeState& n) {
-          return n.txns.count(id) != 0;
-        });
-        if (!holder.has_value()) {
-          return Status::Internal("transaction controller lost " +
-                                  id.ToString());
-        }
-        const NodeState& node = nodes_[*holder];
-        const Transaction& txn = node.txns.at(id);
-        int64_t& reply_bytes = batch[TxnControllerNode(id)].second;
+        ORCH_ASSIGN_OR_RETURN(TxnRead read, ReadTxnVerified(peer, id));
+        const NodeState& node = nodes_[read.holder];
+        const Transaction& txn = read.txn;
+        const size_t owner = TxnControllerNode(id);
+        int64_t& reply_bytes = batch[owner].second;
         char decided = 0;
         auto dec_it = node.decisions.find(id);
         if (dec_it != node.decisions.end()) {
@@ -541,8 +767,9 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
           reply_bytes += 8;  // "untrusted"
           continue;
         }
-        reply_bytes +=
-            static_cast<int64_t>(core::EncodedTransactionSize(txn)) + 8;
+        reply_bytes += 8;  // per-txn header; the blob rides the payload
+        ship_buf[owner].append(read.wire);
+        ship_idx[owner].push_back(fetch.transactions.size());
         if (!as_antecedent) fetch.trusted.emplace_back(id, priority);
         fetch.transactions.push_back(txn);
         for (const TransactionId& ante : txn.antecedents) {
@@ -551,6 +778,41 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
       }
       for (size_t owner : owner_order) {
         ORCH_RETURN_IF_ERROR(TryDirectSend(peer, batch[owner].second));
+        auto buf_it = ship_buf.find(owner);
+        if (buf_it == ship_buf.end()) continue;
+        // The owner's accumulated blob payload travels as one message;
+        // the receiver walks the frames and keeps what verifies.
+        ORCH_ASSIGN_OR_RETURN(const std::string delivered,
+                              ShipPayload(peer, buf_it->second));
+        size_t pos = 0;
+        // Frames were appended in slot order, so walking the slots walks
+        // the frames; the map only buckets per owner (the slot vector
+        // itself is ordered).
+        const std::vector<size_t>& slots = ship_idx[owner];
+        for (size_t idx : slots) {
+          auto body = db::ReadEnvelope(delivered, &pos);
+          if (!body.ok()) {
+            if (!options_.verify_checksums) {
+              // Control arm: framing lost mid-batch; the remaining
+              // placeholders (the sender-side copies) stand in, the way
+              // an unchecksummed reader would never notice.
+              UnverifiedCorruptReads().Increment();
+              break;
+            }
+            static Counter& detected = MetricsRegistry::Global().GetCounter(
+                "integrity.corrupt_payloads_detected");
+            detected.Increment();
+            return Status::Corruption(
+                "multi-get reply corrupted in flight");
+          }
+          size_t bpos = 0;
+          auto txn = core::DecodeTransaction(*body, &bpos);
+          if (!txn.ok()) {
+            if (!options_.verify_checksums) continue;
+            return txn.status();
+          }
+          fetch.transactions[idx] = *std::move(txn);
+        }
       }
     }
     fetch.stats.suppressed_lookups =
@@ -565,6 +827,9 @@ Result<ReconcileFetch> DhtStore::BeginReconciliation(ParticipantId peer) {
   MutateGroup(pkey,
               [&](NodeState& node) { node.coordinated[peer] = coord_entry; });
   DirectSend(peer, 8);  // ack
+  fetch.stats.corrupt_reads = CorruptReplicaReads().value() - corrupt_before;
+  fetch.stats.read_repairs = ReadRepairs().value() - repairs_before;
+  fetch.stats.failover_probes = probe_ctr.value() - probes_before;
   cpu_micros_[peer] += cpu.ElapsedMicros();
   calls_[peer] += 1;
   // Registry mirror of FetchStats (see central_store.cc).
@@ -701,15 +966,21 @@ Result<core::RecoveryBundle> DhtStore::FetchRecoveryState(
   for (size_t node = 0; node < nodes_.size(); ++node) {
     if (!ring_.IsLive(node)) continue;
     int64_t bytes = 16;
-    for (const auto& [id, txn] : nodes_[node].txns) {
+    // Snapshot the id list first: verified reads may heal this node's
+    // own maps mid-walk.
+    std::vector<TransactionId> ids;
+    for (const auto& [id, txn] : nodes_[node].txns) ids.push_back(id);
+    for (const TransactionId& id : ids) {
       auto dec_it = nodes_[node].decisions.find(id);
       if (dec_it == nodes_[node].decisions.end()) continue;
       auto peer_it = dec_it->second.find(peer);
       if (peer_it == dec_it->second.end()) continue;
       if (!decided.insert(id).second) continue;  // already from a replica
       if (peer_it->second.verdict == 'A') {
-        bundle.applied.push_back(txn);
+        ORCH_ASSIGN_OR_RETURN(Transaction txn,
+                              ReadLocalOrRepair(peer, node, id));
         bytes += static_cast<int64_t>(core::EncodedTransactionSize(txn));
+        bundle.applied.push_back(std::move(txn));
       } else {
         bundle.rejected.push_back(id);
         bytes += 16;
@@ -763,15 +1034,10 @@ Result<core::RecoveryBundle> DhtStore::FetchRecoveryState(
     pending.pop_front();
     if (!shipped.insert(id).second) continue;
     if (applied_ids.count(id) != 0) continue;
-    const std::string tkey = "txn:" + id.ToString();
-    const auto holder = FirstHolder(
-        peer, tkey, [&](const NodeState& n) { return n.txns.count(id) != 0; });
-    if (!holder.has_value()) {
-      return Status::Internal("transaction controller lost " + id.ToString());
-    }
-    const size_t node = *holder;
+    ORCH_ASSIGN_OR_RETURN(TxnRead read, ReadTxnVerified(peer, id));
+    const size_t node = read.holder;
     const auto route = ring_.Route(NodeOfPeer(peer), ring_.IdOf(node));
-    const Transaction& txn = nodes_[node].txns.at(id);
+    const Transaction& txn = read.txn;
     const int priority = policy.PriorityOfTransaction(txn);
     if (!as_antecedent && priority <= 0) {
       network_->Charge(peer, route.hops + 1, 24);
@@ -916,11 +1182,11 @@ Result<core::RecoveryBundle> DhtStore::Bootstrap(ParticipantId new_peer,
       if (src_it == decisions.end() || src_it->second.verdict != 'A') continue;
       decisions[new_peer] = Decision{'A', 0};
       if (!adopted.insert(id).second) continue;
-      auto txn_it = nodes_[node].txns.find(id);
-      ORCH_CHECK(txn_it != nodes_[node].txns.end());
-      bundle.applied.push_back(txn_it->second);
-      bytes +=
-          static_cast<int64_t>(core::EncodedTransactionSize(txn_it->second));
+      ORCH_CHECK(nodes_[node].txns.count(id) != 0);
+      ORCH_ASSIGN_OR_RETURN(Transaction txn,
+                            ReadLocalOrRepair(new_peer, node, id));
+      bytes += static_cast<int64_t>(core::EncodedTransactionSize(txn));
+      bundle.applied.push_back(std::move(txn));
     }
     const auto route = ring_.Route(my_node, ring_.IdOf(node));
     network_->Charge(new_peer, route.hops, 16);
@@ -965,16 +1231,10 @@ Result<core::RecoveryBundle> DhtStore::Bootstrap(ParticipantId new_peer,
     pending.pop_front();
     if (!shipped.insert(id).second) continue;
     if (adopted.count(id) != 0) continue;
-    const std::string tkey = "txn:" + id.ToString();
-    const auto holder = FirstHolder(
-        new_peer, tkey,
-        [&](const NodeState& n) { return n.txns.count(id) != 0; });
-    if (!holder.has_value()) {
-      return Status::Internal("transaction controller lost " + id.ToString());
-    }
-    const size_t node = *holder;
+    ORCH_ASSIGN_OR_RETURN(TxnRead read, ReadTxnVerified(new_peer, id));
+    const size_t node = read.holder;
     const auto route = ring_.Route(my_node, ring_.IdOf(node));
-    const Transaction& txn = nodes_[node].txns.at(id);
+    const Transaction& txn = read.txn;
     const int priority = policy.PriorityOfTransaction(txn);
     if (!as_antecedent && priority <= 0) {
       network_->Charge(new_peer, route.hops + 1, 24);
@@ -1099,8 +1359,25 @@ void DhtStore::RepairReplication() {
   // that walk order must be reproducible (lint rule D3).
   std::map<TransactionId, Transaction> txn_union;
   std::map<TransactionId, std::map<ParticipantId, Decision>> dec_union;
+  // Copy source for each id's wire blob: the first *verified* replica,
+  // so repair propagates clean bytes, never rot. When no copy verifies
+  // the first one found is kept (tentative) — re-placement cannot
+  // invent data checksums say is gone.
+  std::map<TransactionId, std::string> wire_union;
+  std::set<TransactionId> wire_verified;
   for (const NodeState& n : nodes_) {
     for (const auto& [id, txn] : n.txns) txn_union.emplace(id, txn);
+    for (const auto& [id, wire] : n.txn_wire) {
+      if (wire_verified.count(id) != 0) continue;
+      const bool ok =
+          db::UnwrapEnvelope(wire, db::EnvelopePolicy::kRequireFrame).ok();
+      if (ok) {
+        wire_union[id] = wire;
+        wire_verified.insert(id);
+      } else {
+        wire_union.emplace(id, wire);
+      }
+    }
     for (const auto& [id, per_peer] : n.decisions) {
       auto& merged = dec_union[id];
       for (const auto& [p, d] : per_peer) merged.emplace(p, d);
@@ -1109,20 +1386,26 @@ void DhtStore::RepairReplication() {
   for (const auto& [id, txn] : txn_union) {
     const auto group = GroupFor("txn:" + id.ToString());
     const auto dec_it = dec_union.find(id);
+    auto wire_it = wire_union.find(id);
+    if (wire_it == wire_union.end()) {
+      // A copy installed before the framed format existed; re-frame it.
+      wire_it = wire_union.emplace(id, WireOf(txn)).first;
+    }
     for (size_t i = 0; i < nodes_.size(); ++i) {
       if (!ring_.IsLive(i)) continue;
       NodeState& n = nodes_[i];
       if (!is_member(group, i)) {
         n.txns.erase(id);
+        n.txn_wire.erase(id);
         n.decisions.erase(id);
         continue;
       }
       if (n.txns.count(id) == 0) {
-        network_->Charge(
-            kRepairEndpoint, 1,
-            static_cast<int64_t>(core::EncodedTransactionSize(txn)));
+        network_->Charge(kRepairEndpoint, 1,
+                         static_cast<int64_t>(wire_it->second.size()));
       }
       n.txns.insert_or_assign(id, txn);
+      n.txn_wire.insert_or_assign(id, wire_it->second);
       if (dec_it != dec_union.end()) {
         n.decisions[id] = dec_it->second;
       } else {
@@ -1169,6 +1452,62 @@ void DhtStore::RepairReplication() {
       nodes_[i].coordinated[p] = entry;
     }
   }
+}
+
+DhtStore::ScrubReport DhtStore::ScrubReplicas() {
+  static Counter& checked = MetricsRegistry::Global().GetCounter(
+      "integrity.scrub_replicas_checked");
+  static Counter& found = MetricsRegistry::Global().GetCounter(
+      "integrity.scrub_corrupt_found");
+  static Counter& repairs =
+      MetricsRegistry::Global().GetCounter("integrity.scrub_repairs");
+  static Counter& lost = MetricsRegistry::Global().GetCounter(
+      "integrity.scrub_unrecoverable");
+  ScrubReport report;
+  // Ordered union of stored ids (lint rule D3: deterministic walk).
+  std::set<TransactionId> ids;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!ring_.IsLive(i)) continue;
+    for (const auto& [id, wire] : nodes_[i].txn_wire) ids.insert(id);
+  }
+  for (const TransactionId& id : ids) {
+    const auto group = GroupFor("txn:" + id.ToString());
+    std::optional<size_t> good;
+    std::vector<size_t> corrupt;
+    for (size_t node : group) {
+      auto it = nodes_[node].txn_wire.find(id);
+      if (it == nodes_[node].txn_wire.end()) continue;
+      ++report.replicas_checked;
+      if (db::UnwrapEnvelope(it->second, db::EnvelopePolicy::kRequireFrame)
+              .ok()) {
+        if (!good.has_value()) good = node;
+      } else {
+        ++report.corrupt_found;
+        corrupt.push_back(node);
+      }
+    }
+    if (corrupt.empty()) continue;
+    if (!good.has_value()) {
+      // Rotten everywhere: nothing to heal from. The next read of this
+      // id reports kDataLoss; the scrub only surfaces it early.
+      ++report.unrecoverable;
+      continue;
+    }
+    const std::string& wire = nodes_[*good].txn_wire.at(id);
+    const auto decoded = DecodeWire(wire);
+    for (size_t bad : corrupt) {
+      network_->Charge(kRepairEndpoint, 1,
+                       static_cast<int64_t>(wire.size()));
+      nodes_[bad].txn_wire.insert_or_assign(id, wire);
+      if (decoded.ok()) nodes_[bad].txns.insert_or_assign(id, *decoded);
+      ++report.healed;
+    }
+  }
+  checked.Add(report.replicas_checked);
+  found.Add(report.corrupt_found);
+  repairs.Add(report.healed);
+  lost.Add(report.unrecoverable);
+  return report;
 }
 
 bool DhtStore::CheckReplicationInvariant() const {

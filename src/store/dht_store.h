@@ -68,6 +68,19 @@ struct DhtStoreOptions {
   /// suppresses lookups whose reply must be "not relevant"; decisions
   /// are identical across modes (see core::FetchMode).
   core::FetchMode fetch_mode = core::FetchMode::kDelta;
+  /// End-to-end verification of transaction blobs: stored replicas are
+  /// checked against their envelope checksum on every read (corrupt
+  /// copies are failed over, read-repaired, and scored toward
+  /// quarantine) and shipped payloads are verified at the receiver.
+  /// False is the corruption sweep's control arm: rot flows through
+  /// undetected, exactly like a deployment without checksums.
+  bool verify_checksums = true;
+  /// A node whose replica fails read verification this many times is
+  /// quarantined: demoted to the back of every replica group's read
+  /// preference until the process restarts. Demotion only reorders
+  /// probes — post-verification data is identical — so decisions are
+  /// unaffected.
+  int64_t quarantine_threshold = 3;
 };
 
 class DhtStore : public core::UpdateStore,
@@ -129,6 +142,31 @@ class DhtStore : public core::UpdateStore,
   /// membership events must restore. Exposed for tests.
   bool CheckReplicationInvariant() const;
 
+  /// --- Integrity (at-rest corruption) ------------------------------
+
+  /// Outcome of one background scrub pass.
+  struct ScrubReport {
+    int64_t replicas_checked = 0;
+    int64_t corrupt_found = 0;
+    int64_t healed = 0;
+    /// Ids for which no replica verifies: the data is rotten everywhere
+    /// and the next read returns kDataLoss.
+    int64_t unrecoverable = 0;
+  };
+  /// Background scrub: verifies every stored transaction replica
+  /// against its envelope checksum and heals corrupt copies from a
+  /// verified one (replica-to-replica transfers charged to
+  /// kRepairEndpoint). Deterministic walk order; idempotent.
+  ScrubReport ScrubReplicas();
+
+  /// True when `node` has been demoted from read preference after
+  /// serving `quarantine_threshold` corrupt replicas. Exposed for tests.
+  bool Quarantined(size_t node) const {
+    auto it = corrupt_serves_.find(node);
+    return it != corrupt_serves_.end() &&
+           it->second >= options_.quarantine_threshold;
+  }
+
   size_t live_node_count() const { return ring_.live_count(); }
 
   /// Endpoint re-replication traffic is charged to (membership repair
@@ -168,8 +206,15 @@ class DhtStore : public core::UpdateStore,
     std::map<core::Epoch, std::vector<core::TransactionId>> epoch_contents;
     std::set<core::Epoch> epoch_done;
     std::set<core::Epoch> epoch_aborted;
-    /// Transaction controller state.
+    /// Transaction controller state. `txn_wire` holds the *stored*
+    /// representation — the envelope-framed encoding installed at
+    /// publish time, which is what at-rest corruption rots and what
+    /// every read verifies and decodes. `txns` is the decode index that
+    /// rides along for metadata lookups (epoch of a committed txn,
+    /// existence checks) and as the pre-checksum fallback in the
+    /// corruption sweep's control arm; the two always share a key set.
     std::map<core::TransactionId, core::Transaction> txns;
+    std::map<core::TransactionId, std::string> txn_wire;
     /// Decisions recorded per transaction, per peer.
     std::map<core::TransactionId, std::map<core::ParticipantId, Decision>>
         decisions;
@@ -249,6 +294,61 @@ class DhtStore : public core::UpdateStore,
   Status TryReplicatedSend(core::ParticipantId peer, size_t from_node,
                            const std::string& key, int64_t bytes);
 
+  /// One verified group read of a transaction: the decoded value, the
+  /// node whose copy checked out (its decision log is read alongside),
+  /// and the verified wire blob for shipping onward.
+  struct TxnRead {
+    core::Transaction txn;
+    size_t holder = 0;
+    std::string wire;
+  };
+  /// Group read of transaction `id` with end-to-end verification: walks
+  /// the replica group in read-preference order (quarantined nodes
+  /// last), verifies each holder's at-rest blob against its envelope
+  /// checksum, and decodes the first copy that checks out. A corrupt
+  /// replica costs `peer` its wasted reply, scores its node toward
+  /// quarantine, and is read-repaired in place from the verified copy
+  /// (the repair transfer goes to kRepairEndpoint). kDataLoss when no
+  /// replica holds the id, or copies exist but none verifies — at-rest
+  /// rot is persistent, so no retry can save it. With verify_checksums
+  /// off the first copy found is decoded unverified (falling back to
+  /// the decode index when the bytes are structural garbage) — the
+  /// corruption sweep's control arm.
+  Result<TxnRead> ReadTxnVerified(core::ParticipantId peer,
+                                  const core::TransactionId& id) const;
+  /// Bulk-sweep variant: reads `node`'s own copy of `id` (recovery and
+  /// bootstrap walk every node), escalating to a verified group read
+  /// when the local copy fails its checksum.
+  Result<core::Transaction> ReadLocalOrRepair(
+      core::ParticipantId peer, size_t node,
+      const core::TransactionId& id) const;
+  /// Installs a transaction (decoded + wire blob) on one replica,
+  /// applying at-rest corruption (storage.bit_flip) independently per
+  /// copy when an injector is armed — rot on one replica never implies
+  /// rot on another.
+  void InstallTxnReplica(NodeState& node, const core::Transaction& txn,
+                         const std::string& wire) const;
+  /// Replica group of `key` reordered for reads: quarantined nodes go
+  /// last (stable within each class).
+  std::vector<size_t> ReadOrderFor(const std::string& key) const;
+  /// Bumps `node`'s corrupt-serve score; crossing the quarantine
+  /// threshold counts integrity.quarantined_nodes once.
+  void ScoreCorruptServe(size_t node) const;
+
+  /// Ships `wire` to `peer` as an actual payload (retransmitting loss
+  /// like TryDirectSend); in-flight corruption is silent and comes back
+  /// in the delivered bytes.
+  Result<std::string> ShipPayload(core::ParticipantId peer,
+                                  std::string_view wire) const;
+  /// Ships one transaction end-to-end: the receiver unwraps and decodes
+  /// the delivered envelope. Detected in-flight corruption returns
+  /// kCorruption — transient, the participant's retry loop re-fetches.
+  /// With verify_checksums off a corrupt delivery decodes loosely or
+  /// silently falls back to `fallback`.
+  Result<core::Transaction> ShipTxn(core::ParticipantId peer,
+                                    const std::string& wire,
+                                    const core::Transaction& fallback) const;
+
   /// True when epoch `e` committed (finished and not aborted) on any
   /// replica still holding it.
   bool EpochCommitted(core::Epoch e) const;
@@ -268,7 +368,13 @@ class DhtStore : public core::UpdateStore,
   net::SimNetwork* network_;
   const db::Catalog* catalog_ = nullptr;
   DhtStoreOptions options_;
-  std::vector<NodeState> nodes_;
+  /// Mutable: verified reads are logically read-only at the protocol
+  /// level but heal corrupt replicas in place (read-repair), including
+  /// from the const recovery path.
+  mutable std::vector<NodeState> nodes_;
+  /// Corrupt-serve scores driving quarantine; mutable for the same
+  /// reason. Ordered (lint rule D3).
+  mutable std::map<size_t, int64_t> corrupt_serves_;
   std::unordered_map<core::ParticipantId, const core::TrustPolicy*> policies_;
   /// Soft state: unfinished-epoch observation counts driving the reaper.
   std::unordered_map<core::Epoch, int> epoch_strikes_;

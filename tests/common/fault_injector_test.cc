@@ -117,5 +117,89 @@ TEST(FaultInjectorTest, ScopedDisableSuppressesAndRestores) {
   FaultInjector::ScopedDisable null_guard(nullptr);
 }
 
+TEST(FaultInjectorTest, ValidateConfigRejectsUnknownCorruptionSite) {
+  FaultInjectorConfig cfg;
+  cfg.corruption_probability = 0.01;
+  cfg.corruption_sites = {"storage.bit_flip", "storage.bitflip"};  // typo
+  const Status status = FaultInjector::ValidateConfig(cfg);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("storage.bitflip"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, ValidateConfigRejectsUnknownSitePrefix) {
+  FaultInjectorConfig cfg;
+  cfg.failure_probability = 0.01;
+  cfg.site_prefix = "storge.";  // matches no known failure site
+  EXPECT_EQ(FaultInjector::ValidateConfig(cfg).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultInjectorTest, ValidateConfigRejectsOutOfRangeProbabilities) {
+  FaultInjectorConfig cfg;
+  cfg.corruption_probability = 1.5;
+  EXPECT_EQ(FaultInjector::ValidateConfig(cfg).code(),
+            StatusCode::kInvalidArgument);
+  cfg.corruption_probability = 0.0;
+  cfg.failure_probability = -0.1;
+  EXPECT_EQ(FaultInjector::ValidateConfig(cfg).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultInjectorTest, ValidateConfigAcceptsKnownSites) {
+  FaultInjectorConfig cfg;
+  cfg.failure_probability = 0.01;
+  cfg.site_prefix = "storage.";
+  cfg.corruption_probability = 0.005;
+  for (std::string_view site : FaultInjector::KnownCorruptionSites()) {
+    cfg.corruption_sites.emplace_back(site);
+  }
+  EXPECT_TRUE(FaultInjector::ValidateConfig(cfg).ok());
+}
+
+TEST(FaultInjectorTest, CorruptionSitesHonorTheirSemantics) {
+  FaultInjectorConfig cfg;
+  cfg.corruption_probability = 1.0;
+  cfg.corruption_sites = {"storage.bit_flip", "storage.torn_write",
+                          "storage.truncate_tail"};
+  cfg.seed = 5;
+  FaultInjector injector(cfg);
+  const std::string original(64, 'a');
+
+  std::string flipped = original;
+  ASSERT_TRUE(injector.MaybeCorrupt("storage.bit_flip", &flipped));
+  EXPECT_EQ(flipped.size(), original.size());  // flips, never resizes
+  EXPECT_NE(flipped, original);
+
+  std::string torn = original;
+  ASSERT_TRUE(injector.MaybeCorrupt("storage.torn_write", &torn));
+  EXPECT_LT(torn.size(), original.size());  // strict prefix
+  EXPECT_EQ(torn, original.substr(0, torn.size()));
+
+  // Unarmed site: untouched and uncounted even at probability 1.
+  std::string spared = original;
+  EXPECT_FALSE(injector.MaybeCorrupt("net.payload_corrupt", &spared));
+  EXPECT_EQ(spared, original);
+  EXPECT_EQ(injector.corrupted(), 2);
+}
+
+TEST(FaultInjectorTest, CorruptionIsDeterministicPerSeed) {
+  const auto run = [](uint64_t seed) {
+    FaultInjectorConfig cfg;
+    cfg.corruption_probability = 0.5;
+    cfg.corruption_sites = {"storage.bit_flip"};
+    cfg.seed = seed;
+    FaultInjector injector(cfg);
+    std::vector<std::string> outcomes;
+    for (int i = 0; i < 50; ++i) {
+      std::string data = "deterministic-corruption-" + std::to_string(i);
+      injector.MaybeCorrupt("storage.bit_flip", &data);
+      outcomes.push_back(std::move(data));
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));
+}
+
 }  // namespace
 }  // namespace orchestra

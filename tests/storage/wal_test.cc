@@ -5,7 +5,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <unistd.h>
+#include <utility>
 #include <vector>
+
+#include "common/fault_injector.h"
+#include "db/serde.h"
 
 namespace orchestra::storage {
 namespace {
@@ -92,7 +96,7 @@ TEST_F(WalTest, TornTailIsTolerated) {
   EXPECT_EQ(records[0].second, "complete");
 }
 
-TEST_F(WalTest, MidLogCorruptionIsReported) {
+TEST_F(WalTest, MidLogCorruptionIsSkippedWithAccounting) {
   {
     auto wal = WriteAheadLog::Open(path_);
     ASSERT_TRUE(wal.ok());
@@ -100,7 +104,10 @@ TEST_F(WalTest, MidLogCorruptionIsReported) {
     ASSERT_TRUE((*wal)->Append(2, "second").ok());
     ASSERT_TRUE((*wal)->Sync().ok());
   }
-  // Flip a byte inside the first record's payload.
+  // Clobber the first record's envelope magic (offset 8: right after
+  // the v2 file header). Replay must resync at the second record and
+  // account for the region it skipped — availability with honesty,
+  // instead of v1's all-or-nothing kCorruption.
   {
     std::FILE* f = std::fopen(path_.c_str(), "rb+");
     ASSERT_NE(f, nullptr);
@@ -108,6 +115,200 @@ TEST_F(WalTest, MidLogCorruptionIsReported) {
     std::fputc('X', f);
     std::fclose(f);
   }
+  auto wal = WriteAheadLog::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  std::vector<std::pair<uint8_t, std::string>> records;
+  WriteAheadLog::ReplayStats stats;
+  auto status = (*wal)->ReplayWithStats(
+      [&](uint8_t type, std::string_view payload) {
+        records.emplace_back(type, std::string(payload));
+        return Status::OK();
+      },
+      &stats);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], (std::pair<uint8_t, std::string>{2, "second"}));
+  EXPECT_EQ(stats.records, 1);
+  EXPECT_EQ(stats.skipped_regions, 1);
+  EXPECT_GT(stats.skipped_bytes, 0);
+  EXPECT_FALSE(stats.legacy_format);
+}
+
+TEST_F(WalTest, CorruptionInsidePayloadIsDetectedAndSkipped) {
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, "aaaaaaaaaaaaaaaaaaaaaaaa").ok());
+    ASSERT_TRUE((*wal)->Append(2, "bbbbbbbbbbbbbbbbbbbbbbbb").ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // Flip a byte deep inside the first record's payload: the magic and
+  // length survive, so only the checksum can catch this.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 24, SEEK_SET);
+    std::fputc('X', f);
+    std::fclose(f);
+  }
+  auto wal = WriteAheadLog::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  std::vector<std::string> payloads;
+  WriteAheadLog::ReplayStats stats;
+  ASSERT_TRUE((*wal)
+                  ->ReplayWithStats(
+                      [&](uint8_t, std::string_view payload) {
+                        payloads.emplace_back(payload);
+                        return Status::OK();
+                      },
+                      &stats)
+                  .ok());
+  // The tampered record must never be delivered; the clean one must.
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "bbbbbbbbbbbbbbbbbbbbbbbb");
+  EXPECT_EQ(stats.skipped_regions, 1);
+}
+
+TEST_F(WalTest, TornWriteInjectionResyncsAtNextRecord) {
+  FaultInjector injector;
+  FaultInjectorConfig cfg;
+  cfg.corruption_probability = 1.0;
+  // Seed chosen so the tear keeps a nonzero prefix of the record (an
+  // empty prefix would leave no garbage to resync over).
+  cfg.corruption_sites = {"storage.torn_write"};
+  cfg.seed = 4;
+  injector.Configure(cfg);
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, "intact-before").ok());
+    (*wal)->set_fault_injector(&injector);  // tears exactly this append
+    ASSERT_TRUE((*wal)->Append(2, "torn-in-the-middle").ok());
+    (*wal)->set_fault_injector(nullptr);
+    ASSERT_TRUE((*wal)->Append(3, "intact-after").ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  EXPECT_EQ(injector.corrupted(), 1);
+  auto wal = WriteAheadLog::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  std::vector<std::pair<uint8_t, std::string>> records;
+  WriteAheadLog::ReplayStats stats;
+  ASSERT_TRUE((*wal)
+                  ->ReplayWithStats(
+                      [&](uint8_t type, std::string_view payload) {
+                        records.emplace_back(type, std::string(payload));
+                        return Status::OK();
+                      },
+                      &stats)
+                  .ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], (std::pair<uint8_t, std::string>{1, "intact-before"}));
+  EXPECT_EQ(records[1], (std::pair<uint8_t, std::string>{3, "intact-after"}));
+  EXPECT_EQ(stats.skipped_regions, 1);
+}
+
+TEST_F(WalTest, TruncateTailInjectionDeliversPrefix) {
+  constexpr int kRecords = 20;
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < kRecords; ++i) {
+      ASSERT_TRUE((*wal)->Append(1, "payload-" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  FaultInjector injector;
+  FaultInjectorConfig cfg;
+  cfg.corruption_probability = 1.0;
+  cfg.corruption_sites = {"storage.truncate_tail"};
+  cfg.seed = 11;
+  injector.Configure(cfg);
+  auto wal = WriteAheadLog::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  (*wal)->set_fault_injector(&injector);
+  std::vector<std::string> payloads;
+  WriteAheadLog::ReplayStats stats;
+  ASSERT_TRUE((*wal)
+                  ->ReplayWithStats(
+                      [&](uint8_t, std::string_view payload) {
+                        payloads.emplace_back(payload);
+                        return Status::OK();
+                      },
+                      &stats)
+                  .ok());
+  EXPECT_EQ(injector.corrupted(), 1);
+  // Lost sectors at the tail cost the tail records and nothing else:
+  // what survives is an exact prefix of what was written.
+  ASSERT_LT(payloads.size(), static_cast<size_t>(kRecords));
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(payloads[i], "payload-" + std::to_string(i));
+  }
+}
+
+// Hand-builds a v1 (headerless, CRC32-IEEE) log file.
+void WriteLegacyRecord(std::string* out, uint8_t type,
+                       std::string_view payload) {
+  std::string body;
+  body.push_back(static_cast<char>(type));
+  body.append(payload);
+  const uint32_t crc = Crc32(body);
+  out->append(reinterpret_cast<const char*>(&crc), 4);
+  db::PutVarint64(out, payload.size());
+  out->append(body);
+}
+
+TEST_F(WalTest, LegacyFileReplaysAndStaysLegacyOnAppend) {
+  {
+    std::string contents;
+    WriteLegacyRecord(&contents, 1, "old-first");
+    WriteLegacyRecord(&contents, 2, "old-second");
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(contents.data(), 1, contents.size(), f),
+              contents.size());
+    std::fclose(f);
+  }
+  {
+    auto wal = WriteAheadLog::Open(path_);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_TRUE((*wal)->legacy_format());
+    // Appends must continue in v1 so the file stays self-consistent.
+    ASSERT_TRUE((*wal)->Append(3, "appended-after-upgrade").ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  auto wal = WriteAheadLog::Open(path_);
+  ASSERT_TRUE(wal.ok());
+  std::vector<std::pair<uint8_t, std::string>> records;
+  WriteAheadLog::ReplayStats stats;
+  ASSERT_TRUE((*wal)
+                  ->ReplayWithStats(
+                      [&](uint8_t type, std::string_view payload) {
+                        records.emplace_back(type, std::string(payload));
+                        return Status::OK();
+                      },
+                      &stats)
+                  .ok());
+  EXPECT_TRUE(stats.legacy_format);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].second, "old-first");
+  EXPECT_EQ(records[1].second, "old-second");
+  EXPECT_EQ(records[2].second, "appended-after-upgrade");
+}
+
+TEST_F(WalTest, LegacyMidLogCorruptionIsStillReported) {
+  {
+    std::string contents;
+    WriteLegacyRecord(&contents, 1, "first-record-payload");
+    WriteLegacyRecord(&contents, 2, "second");
+    contents[8] = 'X';  // inside the first record's body
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(contents.data(), 1, contents.size(), f),
+              contents.size());
+    std::fclose(f);
+  }
+  // v1 records carry no resync magic, so a mid-log CRC mismatch keeps
+  // its historical strictness: the whole replay fails.
   auto wal = WriteAheadLog::Open(path_);
   ASSERT_TRUE(wal.ok());
   auto status = (*wal)->Replay(

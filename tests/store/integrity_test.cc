@@ -1,0 +1,409 @@
+// End-to-end integrity in the stores: the DHT's verified group reads
+// (failover past corrupt replicas, read-repair, quarantine of repeat
+// rot-servers, scrub), the central store's re-read of checksum-failed
+// rows, the verify-off control arm that consumes rot undetected, and
+// the typed kDataLoss a truncated decision log surfaces on recovery.
+//
+// Corruption is injected through the deterministic fault injector; where
+// a test needs a *partial* rot pattern (some replicas corrupt, some
+// clean), it scans for a seed whose per-call draw sequence matches —
+// the draw depends only on (seed, site, call index), so a dry probe
+// against a scratch injector reproduces the store's schedule exactly.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injector.h"
+#include "common/metrics.h"
+#include "core/participant.h"
+#include "net/sim_network.h"
+#include "storage/engine.h"
+#include "store/central_store.h"
+#include "store/dht_store.h"
+#include "test_util.h"
+
+namespace orchestra::store {
+namespace {
+
+using core::ParticipantId;
+using core::Transaction;
+using core::TrustPolicy;
+using orchestra::testing::Ins;
+using orchestra::testing::MakeProteinCatalog;
+using orchestra::testing::Txn;
+
+int64_t CounterValue(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name).value();
+}
+
+/// First seed (1..999) whose storage.bit_flip draw sequence at
+/// probability `p` matches `pattern` (true = the call corrupts). The
+/// fire decision is independent of the buffer, so the probe transfers
+/// to the store's install calls one-for-one.
+uint64_t FindCorruptionSeed(double p, const std::vector<bool>& pattern) {
+  for (uint64_t seed = 1; seed < 1000; ++seed) {
+    FaultInjectorConfig cfg;
+    cfg.corruption_probability = p;
+    cfg.corruption_sites = {"storage.bit_flip"};
+    cfg.seed = seed;
+    FaultInjector probe(cfg);
+    bool match = true;
+    for (bool want : pattern) {
+      std::string dummy(32, 'x');
+      if (probe.MaybeCorrupt("storage.bit_flip", &dummy) != want) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return seed;
+  }
+  return 0;
+}
+
+class DhtIntegrityTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kNodes = 10;
+
+  explicit DhtIntegrityTest(DhtStoreOptions opts = {})
+      : catalog_(MakeProteinCatalog()) {
+    network_.set_fault_injector(&injector_);
+    store_ = std::make_unique<DhtStore>(kNodes, &network_, &catalog_, opts);
+    for (ParticipantId id = 1; id <= 3; ++id) {
+      auto policy = std::make_unique<TrustPolicy>(id);
+      for (ParticipantId other = 1; other <= 3; ++other) {
+        if (other != id) policy->TrustPeer(other, 1);
+      }
+      ORCH_CHECK(store_->RegisterParticipant(id, policy.get()).ok());
+      policies_.push_back(std::move(policy));
+      participants_.push_back(std::make_unique<core::Participant>(
+          id, &catalog_, *policies_.back()));
+    }
+  }
+
+  core::Participant& P(size_t i) { return *participants_[i - 1]; }
+
+  size_t TxnPrimary(const core::TransactionId& id) const {
+    return store_->ring().OwnerOf(net::KeyHash("txn:" + id.ToString()));
+  }
+
+  void ArmBitFlip(double p, uint64_t seed) {
+    FaultInjectorConfig cfg;
+    cfg.corruption_probability = p;
+    cfg.corruption_sites = {"storage.bit_flip"};
+    cfg.seed = seed;
+    injector_.Configure(cfg);
+  }
+
+  db::Catalog catalog_;
+  net::SimNetwork network_;
+  FaultInjector injector_;
+  std::unique_ptr<DhtStore> store_;
+  std::vector<std::unique_ptr<TrustPolicy>> policies_;
+  std::vector<std::unique_ptr<core::Participant>> participants_;
+};
+
+TEST_F(DhtIntegrityTest, ReadRepairHealsACorruptPrimary) {
+  // Rot exactly the primary's copy at install time: the group installs
+  // primary-first, so the pattern is {corrupt, clean, clean}.
+  const uint64_t seed = FindCorruptionSeed(0.5, {true, false, false});
+  ASSERT_NE(seed, 0u);
+  ArmBitFlip(0.5, seed);
+  auto id = P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(P(1).Publish(store_.get()).ok());
+  ASSERT_EQ(injector_.corrupted(), 1);
+  injector_.Disable();
+
+  const int64_t detected_before = CounterValue("integrity.corrupt_replica_reads");
+  const int64_t repairs_before = CounterValue("integrity.read_repairs");
+  auto report = P(2).Reconcile(store_.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->accepted.size() + report->deferred.size(), 1u);
+  // The first read probed the rotten primary, failed over to a clean
+  // backup, and healed the primary in place.
+  EXPECT_GE(CounterValue("integrity.corrupt_replica_reads"),
+            detected_before + 1);
+  EXPECT_GE(CounterValue("integrity.read_repairs"), repairs_before + 1);
+  DhtStore::ScrubReport scrub = store_->ScrubReplicas();
+  EXPECT_GT(scrub.replicas_checked, 0);
+  EXPECT_EQ(scrub.corrupt_found, 0);  // read-repair got there first
+  EXPECT_EQ(scrub.unrecoverable, 0);
+}
+
+TEST_F(DhtIntegrityTest, ScrubFindsAndHealsRotBeforeAnyReaderTripsOnIt) {
+  // Rot one backup replica (pattern {clean, corrupt, clean}): no read
+  // prefers it, so only the scrub can find the rot.
+  const uint64_t seed = FindCorruptionSeed(0.5, {false, true, false});
+  ASSERT_NE(seed, 0u);
+  ArmBitFlip(0.5, seed);
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  ASSERT_TRUE(P(1).Publish(store_.get()).ok());
+  ASSERT_EQ(injector_.corrupted(), 1);
+  injector_.Disable();
+
+  DhtStore::ScrubReport scrub = store_->ScrubReplicas();
+  EXPECT_GT(scrub.replicas_checked, 0);
+  EXPECT_EQ(scrub.corrupt_found, 1);
+  EXPECT_EQ(scrub.healed, 1);
+  EXPECT_EQ(scrub.unrecoverable, 0);
+  // Idempotent: a second pass finds nothing left to heal.
+  DhtStore::ScrubReport again = store_->ScrubReplicas();
+  EXPECT_EQ(again.corrupt_found, 0);
+  EXPECT_EQ(again.healed, 0);
+
+  const int64_t detected_before = CounterValue("integrity.corrupt_replica_reads");
+  auto report = P(2).Reconcile(store_.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->accepted.size() + report->deferred.size(), 1u);
+  EXPECT_EQ(CounterValue("integrity.corrupt_replica_reads"), detected_before);
+}
+
+TEST_F(DhtIntegrityTest, EveryReplicaRottenIsTypedDataLoss) {
+  // p=1: all three installed copies rot. At-rest rot is persistent, so
+  // no failover or retry can recover the transaction.
+  ArmBitFlip(1.0, 7);
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  ASSERT_TRUE(P(1).Publish(store_.get()).ok());
+  ASSERT_EQ(injector_.corrupted(), 3);
+  injector_.Disable();
+
+  const int64_t unrecoverable_before =
+      CounterValue("integrity.unrecoverable_reads");
+  auto report = P(2).Reconcile(store_.get());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kDataLoss)
+      << report.status().ToString();
+  EXPECT_GE(CounterValue("integrity.unrecoverable_reads"),
+            unrecoverable_before + 1);
+  DhtStore::ScrubReport scrub = store_->ScrubReplicas();
+  EXPECT_EQ(scrub.unrecoverable, 1);
+  EXPECT_EQ(scrub.healed, 0);  // nothing verified to heal from
+}
+
+class QuarantineTest : public DhtIntegrityTest {
+ protected:
+  QuarantineTest()
+      : DhtIntegrityTest([] {
+          DhtStoreOptions opts;
+          opts.quarantine_threshold = 1;
+          return opts;
+        }()) {}
+};
+
+TEST_F(QuarantineTest, ServingOneCorruptReplicaQuarantinesTheNode) {
+  const uint64_t seed = FindCorruptionSeed(0.5, {true, false, false});
+  ASSERT_NE(seed, 0u);
+  ArmBitFlip(0.5, seed);
+  auto id = P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(P(1).Publish(store_.get()).ok());
+  injector_.Disable();
+
+  const size_t primary = TxnPrimary(*id);
+  EXPECT_FALSE(store_->Quarantined(primary));
+  auto report = P(2).Reconcile(store_.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // The primary served rot once; at threshold 1 it is demoted to the
+  // back of every read preference until restart.
+  EXPECT_TRUE(store_->Quarantined(primary));
+  for (size_t node = 0; node < kNodes; ++node) {
+    if (node != primary) {
+      EXPECT_FALSE(store_->Quarantined(node));
+    }
+  }
+  // Demotion only reorders probes: the healed data still reads fine.
+  auto again = P(3).Reconcile(store_.get());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->accepted.size() + again->deferred.size(), 1u);
+}
+
+class UnverifiedDhtTest : public DhtIntegrityTest {
+ protected:
+  UnverifiedDhtTest()
+      : DhtIntegrityTest([] {
+          DhtStoreOptions opts;
+          opts.verify_checksums = false;
+          return opts;
+        }()) {}
+};
+
+TEST_F(UnverifiedDhtTest, ControlArmConsumesRotUndetected) {
+  ArmBitFlip(1.0, 7);
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  ASSERT_TRUE(P(1).Publish(store_.get()).ok());
+  ASSERT_EQ(injector_.corrupted(), 3);
+  injector_.Disable();
+
+  const int64_t undetected_before =
+      CounterValue("integrity.unverified_corrupt_reads");
+  const int64_t repairs_before = CounterValue("integrity.read_repairs");
+  // With verification off the read neither fails over nor heals — the
+  // rot flows to the reader, and only the accounting ledger (the strict
+  // check still computed) records what a checksummed deployment would
+  // have caught.
+  (void)P(2).Reconcile(store_.get());
+  EXPECT_GE(CounterValue("integrity.unverified_corrupt_reads"),
+            undetected_before + 1);
+  EXPECT_EQ(CounterValue("integrity.read_repairs"), repairs_before);
+}
+
+class CentralIntegrityTest : public ::testing::Test {
+ protected:
+  // kFull keeps the at-rest read path hot: under kDelta the publish
+  // pre-admits the batch to the decoded-transaction arena, and the rows
+  // these tests corrupt would never be read back from the engine.
+  static CentralStoreOptions FullFetchOptions() {
+    CentralStoreOptions opts;
+    opts.fetch_mode = core::FetchMode::kFull;
+    return opts;
+  }
+
+  explicit CentralIntegrityTest(CentralStoreOptions opts = FullFetchOptions())
+      : catalog_(MakeProteinCatalog()) {
+    engine_ = storage::StorageEngine::InMemory();
+    engine_->set_fault_injector(&injector_);
+    store_ = std::make_unique<CentralStore>(engine_.get(), &network_, opts);
+    for (ParticipantId id = 1; id <= 2; ++id) {
+      auto policy = std::make_unique<TrustPolicy>(id);
+      policy->TrustPeer(id == 1 ? 2 : 1, 1);
+      ORCH_CHECK(store_->RegisterParticipant(id, policy.get()).ok());
+      policies_.push_back(std::move(policy));
+      participants_.push_back(std::make_unique<core::Participant>(
+          id, &catalog_, *policies_.back()));
+    }
+  }
+
+  core::Participant& P(size_t i) { return *participants_[i - 1]; }
+
+  void ArmBitFlip(double p, uint64_t seed) {
+    FaultInjectorConfig cfg;
+    cfg.corruption_probability = p;
+    cfg.corruption_sites = {"storage.bit_flip"};
+    cfg.seed = seed;
+    injector_.Configure(cfg);
+  }
+
+  db::Catalog catalog_;
+  net::SimNetwork network_;
+  FaultInjector injector_;
+  std::unique_ptr<storage::StorageEngine> engine_;
+  std::unique_ptr<CentralStore> store_;
+  std::vector<std::unique_ptr<TrustPolicy>> policies_;
+  std::vector<std::unique_ptr<core::Participant>> participants_;
+};
+
+TEST_F(CentralIntegrityTest, CorruptRowReadIsDetectedAndReRead) {
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  ASSERT_TRUE(P(1).Publish(store_.get()).ok());
+
+  // The central store's rot is per read (the re-read models fetching
+  // the page from the RDBMS's redundant storage): corrupt the first row
+  // read of the reconciliation, leave every later draw clean.
+  const uint64_t seed = FindCorruptionSeed(
+      0.5, {true, false, false, false, false, false, false, false});
+  ASSERT_NE(seed, 0u);
+  ArmBitFlip(0.5, seed);
+
+  const int64_t detected_before = CounterValue("integrity.corrupt_rows_detected");
+  const int64_t rereads_before = CounterValue("integrity.row_rereads");
+  auto report = P(2).Reconcile(store_.get());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->accepted.size() + report->deferred.size(), 1u);
+  EXPECT_EQ(CounterValue("integrity.corrupt_rows_detected"),
+            detected_before + 1);
+  EXPECT_EQ(CounterValue("integrity.row_rereads"), rereads_before + 1);
+}
+
+TEST_F(CentralIntegrityTest, RowRottenOnEveryReadIsTypedDataLoss) {
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "x", 1)}).ok());
+  ASSERT_TRUE(P(1).Publish(store_.get()).ok());
+
+  ArmBitFlip(1.0, 7);  // every read attempt rots: re-reads exhaust
+  auto report = P(2).Reconcile(store_.get());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kDataLoss)
+      << report.status().ToString();
+
+  // Disarming models the rot having been transient: the same fetch now
+  // succeeds — nothing in the store itself was damaged.
+  injector_.Disable();
+  auto healed = P(2).Reconcile(store_.get());
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(healed->accepted.size() + healed->deferred.size(), 1u);
+}
+
+// Satellite (a): replay of a WAL whose corrupt region swallowed decision
+// log rows must surface typed data loss on recovery, not silently
+// resume from a marker that vouches for decisions that no longer exist.
+TEST(CentralDeclogIntegrityTest, TruncatedDecisionLogIsTypedDataLoss) {
+  db::Catalog catalog = MakeProteinCatalog();
+  net::SimNetwork network;
+  const std::string wal_path =
+      (std::filesystem::temp_directory_path() /
+       ("declog_integrity_" + std::to_string(::getpid()) + ".wal"))
+          .string();
+  std::remove(wal_path.c_str());
+
+  std::vector<std::unique_ptr<TrustPolicy>> policies;
+  for (ParticipantId id = 1; id <= 2; ++id) {
+    auto policy = std::make_unique<TrustPolicy>(id);
+    policy->TrustPeer(id == 1 ? 2 : 1, 1);
+    policies.push_back(std::move(policy));
+  }
+
+  Transaction a = Txn(1, 0, {Ins("rat", "p1", "a", 1)});
+  Transaction b = Txn(1, 1, {Ins("rat", "p2", "b", 1)});
+  {
+    auto engine = storage::StorageEngine::OpenDurable(wal_path);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    CentralStore store(engine->get(), &network);
+    ASSERT_TRUE(store.RegisterParticipant(1, policies[0].get()).ok());
+    ASSERT_TRUE(store.RegisterParticipant(2, policies[1].get()).ok());
+    ASSERT_TRUE(store.Publish(1, {a, b}).ok());
+    auto fetch = store.BeginReconciliation(2);
+    ASSERT_TRUE(fetch.ok());
+    ASSERT_TRUE(
+        store.RecordDecisions(2, fetch->recno, {a.id, b.id}, {}).ok());
+    ASSERT_TRUE(store.FetchRecoveryState(2).ok());
+  }
+
+  // Flip a bit inside the first declog Put record. Replay detects the
+  // broken envelope, skips the region, and resyncs at the next record —
+  // the decision row is gone but the decmeta marker (written later, in
+  // an intact record) survives.
+  std::string contents;
+  {
+    std::ifstream in(wal_path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    contents.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  const size_t at = contents.find("declog:2");
+  ASSERT_NE(at, std::string::npos);
+  contents[at] ^= 0x01;
+  {
+    std::ofstream out(wal_path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  }
+
+  auto engine = storage::StorageEngine::OpenDurable(wal_path);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  CentralStore store(engine->get(), &network);
+  ASSERT_TRUE(store.RegisterParticipant(1, policies[0].get()).ok());
+  ASSERT_TRUE(store.RegisterParticipant(2, policies[1].get()).ok());
+  auto bundle = store.FetchRecoveryState(2);
+  ASSERT_FALSE(bundle.ok());
+  EXPECT_EQ(bundle.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(bundle.status().message().find("lost 1 of 2"),
+            std::string::npos)
+      << bundle.status().ToString();
+  std::remove(wal_path.c_str());
+}
+
+}  // namespace
+}  // namespace orchestra::store

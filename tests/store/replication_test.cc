@@ -148,7 +148,7 @@ TEST_F(NoReplicationTest, CrashLosesDataWithoutReplication) {
   if (report.ok()) {
     EXPECT_EQ(report->accepted.size() + report->deferred.size(), 0u);
   } else {
-    EXPECT_EQ(report.status().code(), StatusCode::kInternal)
+    EXPECT_EQ(report.status().code(), StatusCode::kDataLoss)
         << report.status().ToString();
   }
 }

@@ -52,6 +52,7 @@ const RuleFixture kRuleFixtures[] = {
     {"C1", "src/net/c1_bare_lock.cc"},
     {"C2", "src/net/c2_send_under_lock.cc"},
     {"S1", "src/core/s1_discarded_status.cc"},
+    {"S2", "src/db/s2_dropped_envelope.cc"},
 };
 
 TEST(LintSelfTest, EachBadFixtureFiresItsRuleExactlyOnce) {

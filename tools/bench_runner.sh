@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Bench runner: build the optimized preset, run the micro_reconcile
-# study plus every ORCH_* sweep (fault, churn, delta), and diff the
-# stable fields of the freshly emitted BENCH_*.json against the
+# study plus every ORCH_* sweep (fault, churn, delta, corruption), and
+# diff the stable fields of the freshly emitted BENCH_*.json against the
 # committed baselines at the repo root.
 #
 # Wall-clock timings (and the host-dependent thread fields derived from
@@ -36,6 +36,20 @@ ORCH_CHURN_SWEEP=1 ORCH_CHURN_SWEEP_JSON="$out/BENCH_churn_sweep.json" \
 echo "== delta sweep =="
 ORCH_DELTA_SWEEP=1 ORCH_DELTA_SWEEP_JSON="$out/BENCH_delta_sweep.json" \
     "$bench"
+echo "== corruption sweep =="
+ORCH_CORRUPTION_SWEEP=1 \
+    ORCH_CORRUPTION_SWEEP_JSON="$out/BENCH_corruption_sweep.json" \
+    "$bench"
+# The sweep's own verdict gates the run before any baseline diff: every
+# corrupted run must match its fault-free baseline with zero undetected
+# reads, and the verify-off control arm must demonstrably consume rot.
+if ! jq -e '.all_checks_pass and .corruption_exercised and .control_consumed_rot' \
+    "$out/BENCH_corruption_sweep.json" >/dev/null; then
+  echo "corruption sweep verdict FAILED:" >&2
+  jq '{all_checks_pass, corruption_exercised, control_consumed_rot}' \
+      "$out/BENCH_corruption_sweep.json" >&2
+  exit 1
+fi
 
 # One traced sweep: rerun the fault sweep with ORCH_TRACE set, writing
 # its JSON to a scratch path (the traced rerun is exercised, not
@@ -65,7 +79,8 @@ stable='walk(if type == "object"
              else . end)'
 
 fail=0
-for name in micro_reconcile fault_sweep churn_sweep delta_sweep; do
+for name in micro_reconcile fault_sweep churn_sweep delta_sweep \
+             corruption_sweep; do
   base="$repo/BENCH_$name.json"
   fresh="$out/BENCH_$name.json"
   if [[ ! -f "$base" ]]; then

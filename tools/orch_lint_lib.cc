@@ -189,7 +189,7 @@ TokenizedFile Tokenize(const std::string& src) {
 
 const std::set<std::string>& KnownRules() {
   static const std::set<std::string> kRules = {"D1", "D2", "D3", "D4",
-                                               "C1", "C2", "S1"};
+                                               "C1", "C2", "S1", "S2"};
   return kRules;
 }
 
@@ -514,6 +514,17 @@ const std::set<std::string>& NetFaultCallWords() {
   return kWords;
 }
 
+// S2: the integrity envelope's decode entry points (db/serde). Their
+// Result carries the checksum verdict; a statement-position discard is
+// the one call shape that consumes possibly-rotten bytes while throwing
+// away the detection. The names are project-canonical, so the rule needs
+// no declaration facts and fires even where db/serde.h is not visible.
+const std::set<std::string>& EnvelopeDecodeWords() {
+  static const std::set<std::string> kWords = {"UnwrapEnvelope",
+                                               "ReadEnvelope"};
+  return kWords;
+}
+
 const std::set<std::string>& GuardTypeWords() {
   static const std::set<std::string> kWords = {"lock_guard", "scoped_lock",
                                                "unique_lock", "shared_lock"};
@@ -756,7 +767,16 @@ class FileLinter {
       }
       if (j >= t.size()) return;
       if (t[j].text == ";") {
-        if (vis_.status_functions.count(callee) != 0) {
+        // S2 outranks S1: an envelope decode's Result is the checksum
+        // verdict itself, and the two rules stay mutually exclusive so
+        // one discard never double-reports.
+        if (EnvelopeDecodeWords().count(callee) != 0) {
+          Report("S2", t[i].line,
+                 "discarded envelope decode result from '" + callee +
+                     "(...)'; dropping it serves possibly-corrupt bytes "
+                     "past a failed checksum - check the Result or "
+                     "propagate its Status");
+        } else if (vis_.status_functions.count(callee) != 0) {
           Report("S1", t[i].line,
                  "discarded Status/Result from '" + callee +
                      "(...)'; check it, propagate it, or make ignoring "

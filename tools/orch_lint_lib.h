@@ -26,6 +26,9 @@
 ///   C2  no network send / fault-injection call while a lock guard is
 ///       live in the same scope (lock-ordering and latency hazard)
 ///   S1  no discarded Status / Result return value at statement position
+///   S2  no discarded envelope decode (UnwrapEnvelope / ReadEnvelope) -
+///       dropping that Result silently ignores detected corruption; the
+///       canonical names make this checkable without declaration facts
 ///
 /// Every rule supports an inline, audited suppression:
 ///
@@ -37,7 +40,7 @@
 namespace orchestra::lint {
 
 /// One finding. `suppressed` findings are reported but do not fail the
-/// run; `rule` is one of D1..D4, C1, C2, S1, or SUP for malformed
+/// run; `rule` is one of D1..D4, C1, C2, S1, S2, or SUP for malformed
 /// suppression comments.
 struct Violation {
   std::string file;  // path as given (repo-relative in the CLI)
