@@ -121,6 +121,32 @@ void MetricsRegistry::Reset() {
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
+int64_t EstimateQuantile(const Histogram::Snapshot& snapshot, double q) {
+  if (snapshot.count <= 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample, 1-based; q=0 maps to the first sample.
+  const double rank = q * static_cast<double>(snapshot.count);
+  int64_t seen = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    const int64_t in_bucket = snapshot.buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    // Bucket i spans (lower, upper]; the first spans [0, 1].
+    const int64_t lower = i == 0 ? 0 : Histogram::BucketUpperBound(i - 1);
+    if (i + 1 >= Histogram::kNumBuckets) return lower;  // unbounded tail
+    const int64_t upper = Histogram::BucketUpperBound(i);
+    const double frac =
+        (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+    return lower + static_cast<int64_t>(
+                       frac * static_cast<double>(upper - lower) + 0.5);
+  }
+  return 0;
+}
+
 std::map<std::string, int64_t> CounterDeltas(
     const std::map<std::string, int64_t>& before,
     const std::map<std::string, int64_t>& after) {

@@ -129,6 +129,16 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
+/// Estimated value of quantile `q` (in [0, 1]) from a histogram
+/// snapshot: finds the bucket containing the q-th sample and linearly
+/// interpolates within the bucket's (lower, upper] range by the
+/// sample's rank inside the bucket. Exact at bucket boundaries; inside
+/// a bucket the error is bounded by the bucket width (power-of-four
+/// buckets, so a factor of 4). Returns 0 for an empty snapshot. The
+/// last (unbounded) bucket reports its lower bound — there is no upper
+/// edge to interpolate toward.
+int64_t EstimateQuantile(const Histogram::Snapshot& snapshot, double q);
+
 /// Per-name deltas `after - before` over CounterValues() maps, dropping
 /// zero deltas: the movement of the registry across a bounded region
 /// (one reconciliation round, one bench sweep).

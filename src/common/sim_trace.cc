@@ -1,0 +1,114 @@
+#include "common/sim_trace.h"
+
+#include <cstdio>
+
+namespace orchestra {
+namespace {
+
+// Escapes the characters that could break a JSON string; track and span
+// names are plain identifiers in practice, so this is belt-and-braces.
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+void SimTracer::SetTrackName(uint32_t tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_names_[tid] = std::move(name);
+}
+
+void SimTracer::Begin(uint32_t tid, const char* name, int64_t ts_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, 'B', ts_micros, tid, -1});
+}
+
+void SimTracer::End(uint32_t tid, const char* name, int64_t ts_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, 'E', ts_micros, tid, -1});
+}
+
+void SimTracer::Instant(uint32_t tid, const char* name, int64_t ts_micros,
+                        int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{name, 'I', ts_micros, tid, bytes});
+}
+
+std::string SimTracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string json;
+  json.reserve(events_.size() * 96 + track_names_.size() * 96 + 64);
+  json += "{\"traceEvents\":[";
+  bool first = true;
+  // Track-name metadata first, ordered by tid (std::map order), so the
+  // document layout is a pure function of the recorded state.
+  for (const auto& [tid, name] : track_names_) {
+    if (!first) json += ',';
+    first = false;
+    json += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    json += std::to_string(tid);
+    json += ",\"args\":{\"name\":\"";
+    AppendJsonEscaped(&json, name.c_str());
+    json += "\"}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) json += ',';
+    first = false;
+    json += "{\"name\":\"";
+    AppendJsonEscaped(&json, e.name);
+    json += "\",\"cat\":\"sim\",\"ph\":\"";
+    json.push_back(e.phase);
+    json += "\",\"ts\":";
+    json += std::to_string(e.ts_micros);
+    json += ",\"pid\":1,\"tid\":";
+    json += std::to_string(e.tid);
+    if (e.phase == 'I') json += ",\"s\":\"t\"";
+    if (e.bytes >= 0) {
+      json += ",\"args\":{\"bytes\":";
+      json += std::to_string(e.bytes);
+      json += '}';
+    }
+    json += '}';
+  }
+  json += "],\"displayTimeUnit\":\"ms\"}\n";
+  return json;
+}
+
+Status SimTracer::WriteTo(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open sim trace file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to sim trace file: " + path);
+  }
+  return Status::OK();
+}
+
+size_t SimTracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void SimTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  track_names_.clear();
+}
+
+}  // namespace orchestra

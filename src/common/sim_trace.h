@@ -1,0 +1,113 @@
+#ifndef ORCHESTRA_COMMON_SIM_TRACE_H_
+#define ORCHESTRA_COMMON_SIM_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace orchestra {
+
+/// Deterministic Chrome trace_event recorder over *simulated* time.
+///
+/// `common/trace.h`'s Tracer stamps wall-clock time, so two runs of the
+/// same seeded simulation produce different traces. SimTracer instead
+/// takes every timestamp from the caller — the per-peer simulated clock
+/// (accumulated network micros) in practice — and keeps events in
+/// insertion order, so the emitted JSON is bit-identical across runs
+/// with the same seed (the determinism contract; see
+/// docs/ARCHITECTURE.md "Provenance and explainability").
+///
+/// One track (`tid`) per peer; tracks are labeled with Chrome "M"
+/// thread_name metadata so Perfetto shows "peer-3" rather than a bare
+/// number. Emission happens on the simulation's driving thread (never
+/// inside ParallelFor regions); the mutex is belt-and-braces for
+/// callers that share one tracer across test threads.
+class SimTracer {
+ public:
+  /// Labels track `tid` ("peer-3"); emitted as an "M" metadata event.
+  void SetTrackName(uint32_t tid, std::string name);
+
+  /// Span begin/end at the given simulated timestamp. `name` must
+  /// outlive the tracer (string literals in practice).
+  void Begin(uint32_t tid, const char* name, int64_t ts_micros);
+  void End(uint32_t tid, const char* name, int64_t ts_micros);
+
+  /// Instantaneous event; `bytes >= 0` is rendered as an args payload
+  /// (message sizes for net.send / net.recv).
+  void Instant(uint32_t tid, const char* name, int64_t ts_micros,
+               int64_t bytes = -1);
+
+  /// Renders all buffered events as one Chrome trace JSON document:
+  /// the "M" track names first (ordered by tid), then every event in
+  /// insertion order. Same events in, same bytes out.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteTo(const std::string& path) const;
+
+  size_t event_count() const;
+  void Clear();
+
+ private:
+  struct Event {
+    const char* name;
+    char phase;       // 'B', 'E', or 'I'
+    int64_t ts_micros;
+    uint32_t tid;
+    int64_t bytes;    // < 0: omitted from the rendered args
+  };
+
+  mutable std::mutex mu_;
+  std::map<uint32_t, std::string> track_names_;
+  std::vector<Event> events_;
+};
+
+/// Binding handed to layers that want to emit onto a peer's track: the
+/// tracer, the peer's track id, and a clock reading the peer's current
+/// simulated time. Null tracer (the default) disables emission — the
+/// cost is one pointer test.
+struct SimTraceBinding {
+  SimTracer* tracer = nullptr;
+  uint32_t tid = 0;
+  /// Returns the peer's simulated clock in micros. Must be valid
+  /// whenever tracer != nullptr.
+  std::function<int64_t()> now;
+
+  bool active() const { return tracer != nullptr; }
+  void Begin(const char* name) const {
+    if (tracer != nullptr) tracer->Begin(tid, name, now());
+  }
+  void End(const char* name) const {
+    if (tracer != nullptr) tracer->End(tid, name, now());
+  }
+  void Instant(const char* name, int64_t bytes = -1) const {
+    if (tracer != nullptr) tracer->Instant(tid, name, now(), bytes);
+  }
+};
+
+/// RAII span over a binding; safe on an inactive (null-tracer) binding.
+class SimSpan {
+ public:
+  SimSpan(const SimTraceBinding* binding, const char* name)
+      : binding_(binding), name_(name) {
+    if (binding_ != nullptr) binding_->Begin(name_);
+  }
+  ~SimSpan() {
+    if (binding_ != nullptr) binding_->End(name_);
+  }
+  SimSpan(const SimSpan&) = delete;
+  SimSpan& operator=(const SimSpan&) = delete;
+
+ private:
+  const SimTraceBinding* binding_;
+  const char* name_;
+};
+
+}  // namespace orchestra
+
+#endif  // ORCHESTRA_COMMON_SIM_TRACE_H_

@@ -1,6 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "common/trace.h"
 
 namespace orchestra {
 
@@ -8,7 +11,12 @@ ThreadPool::ThreadPool(size_t num_threads) {
   const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    // Worker 0 is the calling thread (it drains alongside the pool), so
+    // spawned workers are numbered from 1 in the trace.
+    workers_.emplace_back([this, i] {
+      Tracer::Global().NameCurrentThread("pool-worker-" + std::to_string(i + 1));
+      WorkerLoop();
+    });
   }
 }
 

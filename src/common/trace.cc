@@ -64,6 +64,9 @@ void Tracer::Enable(std::string path) {
     std::atexit(FlushGlobalTracerAtExit);
     atexit_registered_ = true;
   }
+  // New session: spans created before this point pair with the old
+  // generation and drop their 'E' instead of leaking it in here.
+  session_.fetch_add(1, std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -75,11 +78,21 @@ void Tracer::Disable() {
                  status.ToString().c_str());
   }
   enabled_.store(false, std::memory_order_relaxed);
+  // Retire the session (live spans stop emitting) and drop the flushed
+  // events so the atexit flush cannot write them a second time.
+  session_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
 }
 
 std::string Tracer::path() const {
   std::lock_guard<std::mutex> lock(mu_);
   return path_;
+}
+
+void Tracer::NameCurrentThread(std::string label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[ThreadIndexLocked()] = std::move(label);
 }
 
 uint32_t Tracer::ThreadIndexLocked() {
@@ -116,11 +129,25 @@ Status Tracer::Flush() {
     return Status::InvalidArgument("tracer has no output path");
   }
   std::string json;
-  json.reserve(events_.size() * 96 + 64);
+  json.reserve(events_.size() * 96 + thread_names_.size() * 80 + 64);
   json += "{\"traceEvents\":[";
+  bool first = true;
+  // Thread-name metadata first: one "M" row per registered thread, so
+  // viewers label tracks ("thread-0", "pool-worker-1") instead of
+  // showing bare tids.
+  for (size_t i = 0; i < thread_names_.size(); ++i) {
+    if (!first) json += ',';
+    first = false;
+    json += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    json += std::to_string(i);
+    json += ",\"args\":{\"name\":\"";
+    AppendJsonEscaped(&json, thread_names_[i].c_str());
+    json += "\"}}";
+  }
   for (size_t i = 0; i < events_.size(); ++i) {
     const Event& e = events_[i];
-    if (i > 0) json += ',';
+    if (!first) json += ',';
+    first = false;
     json += "{\"name\":\"";
     AppendJsonEscaped(&json, e.name);
     json += "\",\"cat\":\"orchestra\",\"ph\":\"";

@@ -29,13 +29,30 @@ class Tracer {
   static Tracer& Global();
 
   /// Starts buffering events, to be written to `path` on Flush().
+  /// Begins a fresh session: the buffer is cleared and the session
+  /// generation advances, so spans still alive from an earlier session
+  /// cannot emit their 'E' into this one.
   void Enable(std::string path);
 
-  /// Stops tracing and flushes buffered events to the configured path.
+  /// Stops tracing, flushes buffered events to the configured path, and
+  /// clears the buffer — a later Flush() (e.g. the atexit hook) cannot
+  /// re-write this session's events.
   void Disable();
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   std::string path() const;
+
+  /// Monotonic Enable() generation. TraceSpan pairs its 'E' with the
+  /// session its 'B' was recorded in; a mismatch drops the 'E'.
+  uint64_t session() const {
+    return session_.load(std::memory_order_relaxed);
+  }
+
+  /// Names the calling thread's track in the emitted trace ("M"
+  /// thread_name metadata rows). Callable any time — before or after
+  /// the thread's first event; the latest name wins. Worker threads are
+  /// otherwise labeled "thread-N" in registration order.
+  void NameCurrentThread(std::string label);
 
   /// Appends a begin ('B') or end ('E') event; `name` must outlive the
   /// tracer (string literals in practice). Thread-safe.
@@ -62,6 +79,7 @@ class Tracer {
   uint32_t ThreadIndexLocked();
 
   std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> session_{0};
   mutable std::mutex mu_;
   std::string path_;
   std::vector<Event> events_;
@@ -78,17 +96,24 @@ class TraceSpan {
   explicit TraceSpan(const char* name) {
     if (Tracer::Global().enabled()) {
       name_ = name;
+      session_ = Tracer::Global().session();
       Tracer::Global().RecordEvent(name_, 'B');
     }
   }
   ~TraceSpan() {
-    if (name_ != nullptr) Tracer::Global().RecordEvent(name_, 'E');
+    // The session check keeps a span that outlived its session (the
+    // tracer was disabled, or disabled and re-enabled, while the span
+    // was alive) from emitting an unmatched 'E' into a later session.
+    if (name_ != nullptr && Tracer::Global().session() == session_) {
+      Tracer::Global().RecordEvent(name_, 'E');
+    }
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
  private:
   const char* name_ = nullptr;
+  uint64_t session_ = 0;
 };
 
 }  // namespace orchestra

@@ -186,6 +186,7 @@ Result<TransactionId> Participant::ExecuteTransaction(
 Result<Epoch> Participant::Publish(UpdateStore* store) {
   if (publish_queue_.empty()) return kNoEpoch;
   TraceSpan span("participant.publish");
+  SimSpan sim_span(&sim_trace_, "participant.publish");
   static Counter& publishes =
       MetricsRegistry::Global().GetCounter("reconcile.publishes");
   static Counter& published_txns =
@@ -216,10 +217,12 @@ Result<std::vector<TrustedTxn>> Participant::ReconsiderDeferred() {
 
 Result<ReconcileReport> Participant::Reconcile(UpdateStore* store) {
   TraceSpan span("participant.reconcile");
+  SimSpan sim_span(&sim_trace_, "participant.reconcile");
   const StoreStats before = store->StatsFor(id_);
   ReconcileFetch fetch;
   {
     TraceSpan fetch_span("reconcile.fetch");
+    SimSpan sim_fetch(&sim_trace_, "reconcile.fetch");
     ORCH_ASSIGN_OR_RETURN(fetch, store->BeginReconciliation(id_));
   }
 
@@ -330,11 +333,18 @@ Result<ReconcileReport> Participant::RunAndCommit(
   input.applied = &applied_;
   input.rejected = &rejected_;
   input.dirty = &dirty_;
+  input.collect_provenance = reconciler_.options().record_provenance;
+  if (sim_trace_.active()) input.sim_trace = &sim_trace_;
 
   ReconcileOutcome outcome;
   {
     TraceSpan run_span("reconcile.run");
     ORCH_ASSIGN_OR_RETURN(outcome, reconciler_.Run(input, &instance_));
+  }
+  // Stamp the decision context the reconciler does not know.
+  for (ProvenanceRecord& rec : outcome.provenance) {
+    rec.peer = id_;
+    rec.epoch = epoch;
   }
 
   // Fold the outcome into durable and soft state.
@@ -402,11 +412,25 @@ Result<ReconcileReport> Participant::RunAndCommit(
   Status recorded;
   {
     TraceSpan record_span("reconcile.record_decisions");
+    SimSpan sim_record(&sim_trace_, "reconcile.record_decisions");
     recorded = store->RecordDecisions(id_, recno, *to_apply, *to_reject);
   }
   if (recorded.ok()) {
     unrecorded_applied_.clear();
     unrecorded_rejected_.clear();
+    // Persist the explanations only after the decisions themselves are
+    // durable: provenance is advisory, the decision log is not, and the
+    // log must never trail its own explanation. Failures are counted
+    // and dropped — a round never fails over its explanation.
+    if (!outcome.provenance.empty()) {
+      Status prov_recorded =
+          store->RecordProvenance(id_, recno, outcome.provenance);
+      if (!prov_recorded.ok()) {
+        static Counter& prov_drops = MetricsRegistry::Global().GetCounter(
+            "provenance.record_failures");
+        prov_drops.Increment();
+      }
+    }
   } else if (recorded.code() == StatusCode::kUnavailable ||
              recorded.code() == StatusCode::kCorruption) {
     // Transient loss, or a request the store rejected as corrupted in
@@ -432,6 +456,26 @@ Result<ReconcileReport> Participant::RunAndCommit(
   deferred_roots.Add(static_cast<int64_t>(outcome.deferred_roots.size()));
   local_hist.Observe(local_micros);
 
+  if (!outcome.provenance.empty()) {
+    static Counter& prov_records =
+        MetricsRegistry::Global().GetCounter("provenance.records");
+    static Counter& prov_dilemmas =
+        MetricsRegistry::Global().GetCounter("provenance.dilemmas");
+    static Counter& prov_transitive = MetricsRegistry::Global().GetCounter(
+        "provenance.transitive_accepts");
+    prov_records.Add(static_cast<int64_t>(outcome.provenance.size()));
+    int64_t dilemmas = 0;
+    int64_t transitive = 0;
+    for (const ProvenanceRecord& rec : outcome.provenance) {
+      if (rec.cause == ProvenanceCause::kEqualPriorityDilemma) ++dilemmas;
+      if (rec.cause == ProvenanceCause::kTransitiveAccept) ++transitive;
+    }
+    prov_dilemmas.Add(dilemmas);
+    prov_transitive.Add(transitive);
+    provenance_log_.insert(provenance_log_.end(), outcome.provenance.begin(),
+                           outcome.provenance.end());
+  }
+
   ReconcileReport report;
   report.local_micros = local_micros;
   report.recno = recno;
@@ -442,6 +486,7 @@ Result<ReconcileReport> Participant::RunAndCommit(
   report.rejected = std::move(outcome.rejected_roots);
   report.deferred = std::move(outcome.deferred_roots);
   report.open_conflict_groups = conflict_groups_.size();
+  report.provenance = std::move(outcome.provenance);
   return report;
 }
 
@@ -487,10 +532,12 @@ Result<ReconcileReport> Participant::ReconcileNetworkCentric(
                                 "reconciliation");
   }
   TraceSpan span("participant.reconcile_network_centric");
+  SimSpan sim_span(&sim_trace_, "participant.reconcile");
   const StoreStats before = store->StatsFor(id_);
   NetworkCentricFetch fetch;
   {
     TraceSpan fetch_span("reconcile.fetch");
+    SimSpan sim_fetch(&sim_trace_, "reconcile.fetch");
     ORCH_ASSIGN_OR_RETURN(fetch, nc->BeginNetworkCentricReconciliation(id_));
   }
 
@@ -677,12 +724,26 @@ Result<ReconcileReport> Participant::ResolveConflict(
   }
   // Reject every transaction in the options the user did not select.
   std::vector<TransactionId> losers;
+  std::vector<ProvenanceRecord> loser_records;
   for (size_t i = 0; i < group.options.size(); ++i) {
     if (chosen_option && i == *chosen_option) continue;
     for (const TransactionId& id : group.options[i].txns) {
       losers.push_back(id);
       rejected_.insert(id);
       deferred_.erase(id);
+      if (reconciler_.options().record_provenance) {
+        ProvenanceRecord rec;
+        rec.peer = id_;
+        rec.recno = last_recno_;
+        rec.txn = id;
+        rec.verdict = Decision::kReject;
+        rec.cause = ProvenanceCause::kUserRejected;
+        rec.detail = "user resolved " + group.point.ToString() +
+                     (chosen_option
+                          ? " choosing option " + std::to_string(*chosen_option)
+                          : " rejecting every option");
+        loser_records.push_back(std::move(rec));
+      }
     }
   }
   // The acceptance configuration changed: cached verdicts involving the
@@ -702,6 +763,23 @@ Result<ReconcileReport> Participant::ResolveConflict(
                    deferred_.size(), &local, /*analysis=*/nullptr,
                    /*catch_up_applied=*/{}, /*catch_up_rejected=*/losers));
   report.store = store->StatsFor(id_) - before;
+  // The losing options' explanations: recorded after the consolidated
+  // decision recording inside RunAndCommit succeeded, same best-effort
+  // contract as every provenance write.
+  if (!loser_records.empty()) {
+    static Counter& prov_records =
+        MetricsRegistry::Global().GetCounter("provenance.records");
+    prov_records.Add(static_cast<int64_t>(loser_records.size()));
+    if (!store->RecordProvenance(id_, last_recno_, loser_records).ok()) {
+      static Counter& prov_drops =
+          MetricsRegistry::Global().GetCounter("provenance.record_failures");
+      prov_drops.Increment();
+    }
+    for (ProvenanceRecord& rec : loser_records) {
+      report.provenance.push_back(rec);
+      provenance_log_.push_back(std::move(rec));
+    }
+  }
   return report;
 }
 

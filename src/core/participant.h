@@ -10,6 +10,7 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/sim_trace.h"
 #include "db/instance.h"
 #include "core/decision.h"
 #include "core/flatten_cache.h"
@@ -38,6 +39,10 @@ struct ReconcileReport {
   FetchStats fetch_stats;
   /// Local (client-side) reconciliation algorithm time, measured.
   int64_t local_micros = 0;
+  /// Why each input transaction was accepted/rejected/deferred this
+  /// run, fully stamped (peer/recno/epoch). Empty when the engine runs
+  /// with record_provenance off. See core/provenance.h.
+  std::vector<ProvenanceRecord> provenance;
 };
 
 /// Retry policy for store operations that fail with a *transient* error
@@ -176,6 +181,24 @@ class Participant {
                                           size_t group_index,
                                           std::optional<size_t> chosen_option);
 
+  /// Binds this participant to a simulated-time trace track: spans for
+  /// publish / fetch / reconcile phases / decision recording are
+  /// emitted at `now()`'s reading (the peer's simulated clock) onto
+  /// track `tid`. Null tracer unbinds. Never affects decisions.
+  void BindSimTrace(SimTracer* tracer, uint32_t tid,
+                    std::function<int64_t()> now) {
+    sim_trace_.tracer = tracer;
+    sim_trace_.tid = tid;
+    sim_trace_.now = std::move(now);
+  }
+
+  /// Every provenance record this participant has produced, in decision
+  /// order (soft state; rebuilt only for rounds run after recovery).
+  /// Source for the CLI's `explain` verb.
+  const std::vector<ProvenanceRecord>& provenance_log() const {
+    return provenance_log_;
+  }
+
   /// Number of transactions this participant has applied (own plus
   /// imported, including transitively accepted antecedents).
   size_t applied_count() const { return applied_.size(); }
@@ -250,6 +273,10 @@ class Participant {
   /// via fingerprint validation.
   FlattenCache flatten_cache_;
   int64_t last_recno_ = 0;
+  /// In-memory decision-provenance log (append-only soft state) and the
+  /// sim-trace binding (inactive unless BindSimTrace was called).
+  std::vector<ProvenanceRecord> provenance_log_;
+  SimTraceBinding sim_trace_;
   /// Decisions already folded into local state whose store recording
   /// failed transiently. They ride along with the next RecordDecisions
   /// call — recording is idempotent and keyed by transaction, so the

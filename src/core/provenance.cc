@@ -1,0 +1,186 @@
+#include "core/provenance.h"
+
+#include <cstdio>
+
+namespace orchestra::core {
+
+std::string_view ProvenanceCauseName(ProvenanceCause cause) {
+  switch (cause) {
+    case ProvenanceCause::kUnexplained:
+      return "unexplained";
+    case ProvenanceCause::kCleanAccept:
+      return "clean_accept";
+    case ProvenanceCause::kWonConflict:
+      return "won_conflict";
+    case ProvenanceCause::kTransitiveAccept:
+      return "transitive_accept";
+    case ProvenanceCause::kFlattenInconsistent:
+      return "flatten_inconsistent";
+    case ProvenanceCause::kRejectedAntecedent:
+      return "rejected_antecedent";
+    case ProvenanceCause::kNotApplicable:
+      return "not_applicable";
+    case ProvenanceCause::kOwnDeltaConflict:
+      return "own_delta_conflict";
+    case ProvenanceCause::kLostConflict:
+      return "lost_conflict";
+    case ProvenanceCause::kApplyFailed:
+      return "apply_failed";
+    case ProvenanceCause::kUserRejected:
+      return "user_rejected";
+    case ProvenanceCause::kDirtyValue:
+      return "dirty_value";
+    case ProvenanceCause::kBlockedByDeferral:
+      return "blocked_by_deferral";
+    case ProvenanceCause::kEqualPriorityDilemma:
+      return "equal_priority_dilemma";
+    case ProvenanceCause::kDeferredAntecedent:
+      return "deferred_antecedent";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Escapes the characters that could break a JSON string. Keys and
+// effects can contain arbitrary tuple text, so this is load-bearing.
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  AppendJsonEscaped(out, s);
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string ProvenanceRecord::ToJson() const {
+  std::string out;
+  out.reserve(192);
+  out += "{\"peer\":";
+  out += std::to_string(peer);
+  out += ",\"recno\":";
+  out += std::to_string(recno);
+  out += ",\"epoch\":";
+  out += std::to_string(epoch);
+  out += ",\"txn\":";
+  AppendJsonString(&out, txn.ToString());
+  out += ",\"priority\":";
+  out += std::to_string(priority);
+  out += ",\"verdict\":";
+  AppendJsonString(&out, DecisionName(verdict));
+  out += ",\"cause\":";
+  AppendJsonString(&out, ProvenanceCauseName(cause));
+  out += ",\"antecedents\":[";
+  for (size_t i = 0; i < antecedents.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendJsonString(&out, antecedents[i].ToString());
+  }
+  out += "],\"comparisons\":[";
+  for (size_t i = 0; i < comparisons.size(); ++i) {
+    const ProvenanceComparison& c = comparisons[i];
+    if (i > 0) out += ',';
+    out += "{\"vs\":";
+    AppendJsonString(&out, c.counterparty.ToString());
+    out += ",\"own_priority\":";
+    out += std::to_string(c.own_priority);
+    out += ",\"their_priority\":";
+    out += std::to_string(c.counterparty_priority);
+    out += ",\"points\":[";
+    for (size_t j = 0; j < c.points.size(); ++j) {
+      if (j > 0) out += ',';
+      AppendJsonString(&out, c.points[j].ToString());
+    }
+    out += "],\"decisive\":";
+    out += c.decisive ? "true" : "false";
+    out += '}';
+  }
+  out += ']';
+  if (dirty_key) {
+    out += ",\"dirty_key\":";
+    AppendJsonString(&out, dirty_key->ToString());
+  }
+  if (blocker) {
+    out += ",\"blocker\":";
+    AppendJsonString(&out, blocker->ToString());
+  }
+  if (!detail.empty()) {
+    out += ",\"detail\":";
+    AppendJsonString(&out, detail);
+  }
+  out += '}';
+  return out;
+}
+
+std::string ProvenanceRecord::ToText() const {
+  std::string out;
+  out += "peer ";
+  out += std::to_string(peer);
+  out += " recno ";
+  out += std::to_string(recno);
+  out += ": ";
+  out += DecisionName(verdict);
+  out += " (";
+  out += ProvenanceCauseName(cause);
+  out += ')';
+  // The decisive comparison is the trust edge that settled the verdict.
+  for (const ProvenanceComparison& c : comparisons) {
+    if (!c.decisive) continue;
+    out += " vs ";
+    out += c.counterparty.ToString();
+    out += " [prio ";
+    out += std::to_string(c.own_priority);
+    out += " vs ";
+    out += std::to_string(c.counterparty_priority);
+    out += ']';
+    if (!c.points.empty()) {
+      out += " at ";
+      out += c.points.front().ToString();
+    }
+    break;
+  }
+  if (dirty_key) {
+    out += " dirty ";
+    out += dirty_key->ToString();
+  }
+  if (blocker) {
+    out += " via ";
+    out += blocker->ToString();
+  }
+  if (!antecedents.empty()) {
+    out += "; antecedents:";
+    for (const TransactionId& id : antecedents) {
+      out += ' ';
+      out += id.ToString();
+    }
+  }
+  if (!detail.empty()) {
+    out += " — ";
+    out += detail;
+  }
+  return out;
+}
+
+std::string ToJsonLines(const std::vector<ProvenanceRecord>& records) {
+  std::string out;
+  for (const ProvenanceRecord& r : records) {
+    out += r.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace orchestra::core

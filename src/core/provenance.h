@@ -1,0 +1,122 @@
+#ifndef ORCHESTRA_CORE_PROVENANCE_H_
+#define ORCHESTRA_CORE_PROVENANCE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/conflict.h"
+#include "core/decision.h"
+#include "core/ids.h"
+#include "core/update.h"
+
+namespace orchestra::core {
+
+/// Why a reconciliation verdict came out the way it did — one cause per
+/// decided root, attributed by the phase of Figs. 4-5 that settled it.
+/// Causes are final: once a phase decides a transaction, later phases
+/// only reclassify through the explicitly modeled transitions
+/// (kApplyFailed, kTransitiveAccept).
+enum class ProvenanceCause : uint8_t {
+  kUnexplained = 0,
+  // --- accepts ---
+  /// Applicable, and nothing conflicted with it.
+  kCleanAccept,
+  /// Accepted after winning at least one priority comparison (every
+  /// conflicting candidate had strictly lower priority or was already
+  /// out of the running).
+  kWonConflict,
+  /// The root itself lost or never competed, but its updates reached the
+  /// instance inside an accepted dependent's extension (Definition 5's
+  /// transitive acceptance).
+  kTransitiveAccept,
+  // --- rejects (CheckState, Fig. 5) ---
+  /// The update extension is internally inconsistent (flatten failed).
+  kFlattenInconsistent,
+  /// The extension contains a previously rejected transaction
+  /// (CheckState line 3).
+  kRejectedAntecedent,
+  /// The flattened extension violates an integrity constraint against
+  /// the current instance (CheckState line 5).
+  kNotApplicable,
+  /// Conflicts with the reconciling peer's own unpublished delta — a
+  /// peer always keeps its own version (CheckState line 7).
+  kOwnDeltaConflict,
+  // --- rejects (conflict resolution, Fig. 4 lines 10-12) ---
+  /// A strictly higher-priority conflicting candidate was accepted.
+  kLostConflict,
+  /// Defensive reclassification: the accepted extension failed to apply
+  /// due to an unforeseen interaction between accepted extensions.
+  kApplyFailed,
+  /// A losing option of a conflict group the user resolved (§5).
+  kUserRejected,
+  // --- defers ---
+  /// Touches a value marked dirty by a previous round's deferral; fresh
+  /// transactions must not preempt a pending user resolution (§5).
+  kDirtyValue,
+  /// A strictly higher-priority conflicting candidate is itself
+  /// deferred, so this one cannot be decided yet.
+  kBlockedByDeferral,
+  /// The §5 dilemma: an equal-priority conflict defers both sides until
+  /// a user resolves the group (certain-answers model).
+  kEqualPriorityDilemma,
+  /// An extension member was deferred this round; the dependent is
+  /// entangled in the same pending decision (§4.2).
+  kDeferredAntecedent,
+};
+
+std::string_view ProvenanceCauseName(ProvenanceCause cause);
+
+/// One trust/priority comparison considered while deciding a
+/// transaction: the competing candidate, both priorities, the conflict
+/// points contested, and whether this comparison settled the verdict.
+struct ProvenanceComparison {
+  TransactionId counterparty;
+  int own_priority = 0;
+  int counterparty_priority = 0;
+  std::vector<ConflictPoint> points;
+  bool decisive = false;
+};
+
+/// Compact structured record of one verdict: who decided (peer/recno/
+/// epoch), what was decided (txn/verdict/cause), and the evidence — the
+/// antecedent set, every competing candidate with its priorities, and
+/// the specific blocker for deferral-chain and dirty-value causes.
+/// Rendering is deterministic (field order fixed, collections in
+/// deterministic order), so same-seed runs produce byte-identical
+/// JSONL.
+struct ProvenanceRecord {
+  ParticipantId peer = 0;
+  int64_t recno = 0;
+  Epoch epoch = kNoEpoch;
+  TransactionId txn;
+  int priority = 0;
+  Decision verdict = Decision::kUndecided;
+  ProvenanceCause cause = ProvenanceCause::kUnexplained;
+  /// The extension minus the root itself (publication order).
+  std::vector<TransactionId> antecedents;
+  /// Every competing candidate in the root's conflict pairs.
+  std::vector<ProvenanceComparison> comparisons;
+  /// kDirtyValue: the first dirty (relation, key) touched.
+  std::optional<RelKey> dirty_key;
+  /// kRejectedAntecedent / kDeferredAntecedent: the extension member
+  /// that carried the taint.
+  std::optional<TransactionId> blocker;
+  /// Free-form diagnostic for kNotApplicable / kApplyFailed /
+  /// kUserRejected.
+  std::string detail;
+
+  /// Single-line JSON, deterministic byte-for-byte.
+  std::string ToJson() const;
+  /// Human-readable one-liner for the CLI's `explain` verb.
+  std::string ToText() const;
+};
+
+/// Renders records as JSONL (one ToJson() line each).
+std::string ToJsonLines(const std::vector<ProvenanceRecord>& records);
+
+}  // namespace orchestra::core
+
+#endif  // ORCHESTRA_CORE_PROVENANCE_H_

@@ -30,11 +30,25 @@ Reconciler& Reconciler::operator=(Reconciler&&) noexcept = default;
 
 namespace {
 
+// Per-transaction provenance accumulated while the decision phases run;
+// folded into ProvenanceRecords once verdicts are final. `decided_by`
+// indexes the conflicting input transaction whose comparison settled
+// the verdict (kNoDecider when no comparison did).
+constexpr size_t kNoDecider = static_cast<size_t>(-1);
+struct ProvNote {
+  ProvenanceCause cause = ProvenanceCause::kUnexplained;
+  size_t decided_by = kNoDecider;
+  std::optional<RelKey> dirty_key;
+  std::optional<TransactionId> blocker;
+  std::string detail;
+};
+
 // CheckState (Fig. 5): the per-transaction decision that can be made
 // before considering conflicts with other relevant transactions.
+// `note`, when non-null, receives the cause and its evidence.
 Decision CheckState(const db::Catalog& catalog, const db::Instance& instance,
                     const ReconcileInput& input, const TrustedTxn& txn,
-                    const std::vector<Update>& up_ex) {
+                    const std::vector<Update>& up_ex, ProvNote* note) {
   const std::vector<TransactionId>& extension = txn.extension;
   // Line 1: anything touching a dirty value is deferred so that a
   // previously deferred transaction can still be accepted later.
@@ -46,7 +60,13 @@ Decision CheckState(const db::Catalog& catalog, const db::Instance& instance,
       const db::RelationSchema& schema =
           *catalog.GetRelation(u.relation()).value();
       for (const RelKey& rk : u.TouchedKeys(schema)) {
-        if (input.dirty->count(rk) != 0) return Decision::kDefer;
+        if (input.dirty->count(rk) != 0) {
+          if (note != nullptr) {
+            note->cause = ProvenanceCause::kDirtyValue;
+            note->dirty_key = rk;
+          }
+          return Decision::kDefer;
+        }
       }
     }
   }
@@ -54,18 +74,39 @@ Decision CheckState(const db::Catalog& catalog, const db::Instance& instance,
   // can never be accepted.
   if (input.rejected != nullptr) {
     for (const TransactionId& id : extension) {
-      if (input.rejected->count(id) != 0) return Decision::kReject;
+      if (input.rejected->count(id) != 0) {
+        if (note != nullptr) {
+          note->cause = ProvenanceCause::kRejectedAntecedent;
+          note->blocker = id;
+        }
+        return Decision::kReject;
+      }
     }
   }
   // Line 5: the flattened extension must be applicable to the instance
   // without violating integrity constraints.
-  if (!CheckApplicable(instance, up_ex).ok()) return Decision::kReject;
-  // Line 7: conflicts with the participant's own delta for this
-  // reconciliation lose outright — a peer always keeps its own version.
-  if (!input.own_delta.empty() &&
-      !SetsConflict(catalog, up_ex, input.own_delta).empty()) {
+  if (Status applicable = CheckApplicable(instance, up_ex);
+      !applicable.ok()) {
+    if (note != nullptr) {
+      note->cause = ProvenanceCause::kNotApplicable;
+      note->detail = applicable.ToString();
+    }
     return Decision::kReject;
   }
+  // Line 7: conflicts with the participant's own delta for this
+  // reconciliation lose outright — a peer always keeps its own version.
+  if (!input.own_delta.empty()) {
+    std::vector<ConflictPoint> own_points =
+        SetsConflict(catalog, up_ex, input.own_delta);
+    if (!own_points.empty()) {
+      if (note != nullptr) {
+        note->cause = ProvenanceCause::kOwnDeltaConflict;
+        note->detail = own_points.front().ToString();
+      }
+      return Decision::kReject;
+    }
+  }
+  if (note != nullptr) note->cause = ProvenanceCause::kCleanAccept;
   return Decision::kAccept;
 }
 
@@ -114,14 +155,24 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
 
   // Phases share variables, so per-phase spans roll over via optional
   // instead of lexical scopes; emplace() ends the previous span before
-  // beginning the next.
+  // beginning the next. The wall-clock span feeds ORCH_TRACE; the
+  // simulated-time span (no-op without a binding) feeds ORCH_SIM_TRACE.
   std::optional<TraceSpan> phase_span;
+  std::optional<SimSpan> sim_span;
+  const SimTraceBinding* sim = input.sim_trace;
+
+  const bool prov_on = input.collect_provenance;
+  std::vector<ProvNote> notes(prov_on ? n : 0);
+  const auto note_of = [&](size_t i) -> ProvNote* {
+    return prov_on ? &notes[i] : nullptr;
+  };
 
   // --- Phase 1 (Fig. 4 lines 5-8): flatten extensions, check state. ---
   // Phases 1-2 (Fig. 4 lines 5-9): flatten extensions and find the
   // direct, non-subsumed conflicts — either precomputed by the network
   // (network-centric mode) or computed here (client-centric, §5.1).
   phase_span.emplace("reconcile.phase.analysis");
+  sim_span.emplace(sim, "reconcile.analyze");
   ReconcileAnalysis local_analysis;
   const ReconcileAnalysis* analysis = input.analysis;
   if (analysis == nullptr) {
@@ -148,15 +199,17 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
   // flattened extension) and writes its own decision slot, so the loop
   // parallelizes with bit-identical results.
   phase_span.emplace("reconcile.phase.check_state");
+  sim_span.emplace(sim, "reconcile.check_state");
   std::vector<Decision> decision(n, Decision::kUndecided);
   ParallelFor(pool_.get(), n, [&](size_t i) {
     if (!analysis->flatten_ok[i]) {
       // An internally inconsistent extension can never be applied.
       decision[i] = Decision::kReject;
+      if (prov_on) notes[i].cause = ProvenanceCause::kFlattenInconsistent;
       return;
     }
-    decision[i] =
-        CheckState(*catalog_, *instance, input, input.txns[i], up_ex[i]);
+    decision[i] = CheckState(*catalog_, *instance, input, input.txns[i],
+                             up_ex[i], note_of(i));
   });
 
   std::vector<std::vector<size_t>> conflicts(n);
@@ -169,6 +222,20 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
 
   // --- Phase 3 (Fig. 4 lines 10-12): DoGroup by decreasing priority. ---
   phase_span.emplace("reconcile.phase.priority_groups");
+  sim_span.emplace(sim, "reconcile.priority_groups");
+  // Provenance hooks: called *before* the decision slot is mutated so
+  // an earlier defer cause (dirty value) is not overwritten by a later
+  // mechanical defer; a reject always takes the losing comparison.
+  const auto note_lost = [&](size_t t, size_t by) {
+    if (!prov_on) return;
+    notes[t].cause = ProvenanceCause::kLostConflict;
+    notes[t].decided_by = by;
+  };
+  const auto note_defer = [&](size_t t, size_t by, ProvenanceCause why) {
+    if (!prov_on || decision[t] == Decision::kDefer) return;
+    notes[t].cause = why;
+    notes[t].decided_by = by;
+  };
   std::vector<int> prios;
   for (const TrustedTxn& t : input.txns) prios.push_back(t.priority);
   std::sort(prios.begin(), prios.end(), std::greater<int>());
@@ -186,10 +253,12 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
       for (size_t c : conflicts[t]) {
         if (input.txns[c].priority <= prio) continue;
         if (decision[c] == Decision::kAccept) {
+          note_lost(t, c);
           decision[t] = Decision::kReject;
           break;
         }
         if (decision[c] == Decision::kDefer) {
+          note_defer(t, c, ProvenanceCause::kBlockedByDeferral);
           decision[t] = Decision::kDefer;
         }
       }
@@ -206,6 +275,8 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
       for (size_t c : conflicts[t]) {
         if (input.txns[c].priority != prio) continue;
         if (decision[c] == Decision::kReject) continue;
+        note_defer(t, c, ProvenanceCause::kEqualPriorityDilemma);
+        note_defer(c, t, ProvenanceCause::kEqualPriorityDilemma);
         decision[t] = Decision::kDefer;
         decision[c] = Decision::kDefer;
       }
@@ -224,6 +295,7 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
   // interaction", §3.1), and the antecedent is then transitively
   // accepted through the chain (reclassified below).
   phase_span.emplace("reconcile.phase.propagate_deferral");
+  sim_span.emplace(sim, "reconcile.propagate_deferral");
   std::unordered_map<TransactionId, size_t, TransactionIdHash> index_of;
   for (size_t i = 0; i < n; ++i) index_of[input.txns[i].id] = i;
   bool changed = true;
@@ -235,6 +307,11 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
         auto it = index_of.find(id);
         if (it == index_of.end() || it->second == i) continue;
         if (decision[it->second] == Decision::kDefer) {
+          if (prov_on) {
+            notes[i].cause = ProvenanceCause::kDeferredAntecedent;
+            notes[i].decided_by = it->second;
+            notes[i].blocker = id;
+          }
           decision[i] = Decision::kDefer;
           changed = true;
           break;
@@ -247,6 +324,7 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
   // publication order, sharing a Used set so overlapping antecedents are
   // applied exactly once (Definition 5).
   phase_span.emplace("reconcile.phase.apply");
+  sim_span.emplace(sim, "reconcile.apply");
   std::vector<size_t> accepted;
   for (size_t i = 0; i < n; ++i) {
     if (decision[i] == Decision::kAccept) accepted.push_back(i);
@@ -288,6 +366,10 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
       ORCH_LOG(Warning) << "accepted transaction "
                         << input.txns[i].id.ToString()
                         << " failed to apply: " << applied_status.ToString();
+      if (prov_on) {
+        notes[i].cause = ProvenanceCause::kApplyFailed;
+        notes[i].detail = applied_status.ToString();
+      }
       decision[i] = Decision::kReject;
       continue;
     }
@@ -304,12 +386,64 @@ Result<ReconcileOutcome> Reconciler::Run(const ReconcileInput& input,
     if (decision[i] == Decision::kReject &&
         used.count(input.txns[i].id) != 0) {
       decision[i] = Decision::kAccept;
+      // The lost comparison (if any) stays marked decisive: the record
+      // shows both the lost trust edge and the chain that carried the
+      // transaction in anyway.
+      if (prov_on) notes[i].cause = ProvenanceCause::kTransitiveAccept;
+    }
+  }
+
+  // Verdicts are final; fold the notes and every pairwise trust
+  // comparison into ProvenanceRecords (input order). Deterministic:
+  // analysis->conflicts is sorted by (i, j) and every collection below
+  // iterates in index order.
+  if (prov_on) {
+    std::vector<std::vector<ProvenanceComparison>> comps(n);
+    for (const ReconcileAnalysis::Pair& pair : analysis->conflicts) {
+      if (pair.points.empty()) continue;
+      ProvenanceComparison fwd;
+      fwd.counterparty = input.txns[pair.j].id;
+      fwd.own_priority = input.txns[pair.i].priority;
+      fwd.counterparty_priority = input.txns[pair.j].priority;
+      fwd.points = pair.points;
+      fwd.decisive = notes[pair.i].decided_by == pair.j;
+      comps[pair.i].push_back(std::move(fwd));
+      ProvenanceComparison rev;
+      rev.counterparty = input.txns[pair.i].id;
+      rev.own_priority = input.txns[pair.j].priority;
+      rev.counterparty_priority = input.txns[pair.i].priority;
+      rev.points = pair.points;
+      rev.decisive = notes[pair.j].decided_by == pair.i;
+      comps[pair.j].push_back(std::move(rev));
+    }
+    outcome.provenance.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      ProvenanceRecord rec;
+      rec.recno = input.recno;
+      rec.txn = input.txns[i].id;
+      rec.priority = input.txns[i].priority;
+      rec.verdict = decision[i];
+      rec.cause = notes[i].cause;
+      // An accept that survived real competition is a win, not a
+      // clean pass.
+      if (rec.cause == ProvenanceCause::kCleanAccept && !comps[i].empty()) {
+        rec.cause = ProvenanceCause::kWonConflict;
+      }
+      for (const TransactionId& id : input.txns[i].extension) {
+        if (id != input.txns[i].id) rec.antecedents.push_back(id);
+      }
+      rec.comparisons = std::move(comps[i]);
+      rec.dirty_key = std::move(notes[i].dirty_key);
+      rec.blocker = std::move(notes[i].blocker);
+      rec.detail = std::move(notes[i].detail);
+      outcome.provenance.push_back(std::move(rec));
     }
   }
 
   // --- Phase 6 (Fig. 5 UpdateSoftState): rebuild dirty values and
   // conflict groups from this run's deferred set. ---
   phase_span.emplace("reconcile.phase.soft_state");
+  sim_span.emplace(sim, "reconcile.soft_state");
   std::map<ConflictPoint, std::vector<size_t>> group_members;
   for (size_t i = 0; i < n; ++i) {
     switch (decision[i]) {

@@ -5,9 +5,11 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/sim_trace.h"
 #include "db/instance.h"
 #include "core/decision.h"
 #include "core/extension.h"
+#include "core/provenance.h"
 #include "core/transaction.h"
 
 namespace orchestra {
@@ -68,6 +70,15 @@ struct ReconcileInput {
   /// only when the reconciler computes the analysis itself. The cache is
   /// read and filled during Run; the caller owns invalidation.
   FlattenCache* flatten_cache = nullptr;
+  /// Collect a ProvenanceRecord per input transaction into
+  /// ReconcileOutcome::provenance. Decisions are identical either way;
+  /// this only adds the explanation records.
+  bool collect_provenance = false;
+  /// Optional simulated-time trace binding: when set, Run emits
+  /// per-phase spans (analyze / check_state / priority_groups /
+  /// propagate / apply / soft_state) onto the caller's track at the
+  /// caller's simulated clock. Never feeds back into decisions.
+  const SimTraceBinding* sim_trace = nullptr;
 };
 
 /// Outcome of one ReconcileUpdates run.
@@ -84,6 +95,10 @@ struct ReconcileOutcome {
   /// the transactions deferred as of this run (Fig. 5 UpdateSoftState).
   RelKeySet dirty_values;
   std::vector<ConflictGroup> conflict_groups;
+  /// One record per input transaction (same order), populated only when
+  /// ReconcileInput::collect_provenance is set. peer/epoch are stamped
+  /// by the caller (the reconciler knows neither).
+  std::vector<ProvenanceRecord> provenance;
 };
 
 /// Execution knobs for the reconciliation engine.
@@ -95,6 +110,11 @@ struct ReconcileOptions {
   /// outcomes to serial runs (the determinism contract; see
   /// docs/ARCHITECTURE.md).
   size_t num_threads = 1;
+  /// Collect decision provenance on every run (see core/provenance.h).
+  /// On by default: records are small, and Participant persists them
+  /// alongside the decision log. Benchmarks may turn it off to measure
+  /// the overhead.
+  bool record_provenance = true;
 };
 
 /// The client-centric reconciliation algorithm of §5.1 (Figs. 4-5):

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "core/analysis.h"
 #include "core/ids.h"
+#include "core/provenance.h"
 #include "core/reconciler.h"
 #include "core/transaction.h"
 #include "core/trust.h"
@@ -204,6 +205,20 @@ class UpdateStore {
       ParticipantId peer, int64_t recno,
       const std::vector<TransactionId>& applied,
       const std::vector<TransactionId>& rejected) = 0;
+
+  /// Persists the decision-provenance records of reconciliation `recno`
+  /// alongside the decision log. Best-effort and advisory: provenance
+  /// explains decisions but is never needed to make them, so stores may
+  /// drop records under faults rather than fail the round — callers
+  /// must not treat an error here as a failed reconciliation. The
+  /// default keeps no provenance (stores opt in).
+  virtual Status RecordProvenance(ParticipantId peer, int64_t recno,
+                                  const std::vector<ProvenanceRecord>& records) {
+    (void)peer;
+    (void)recno;
+    (void)records;
+    return Status::OK();
+  }
 
   /// Retrieves the full durable state of `peer` for crash recovery: its
   /// applied transactions (in publication order), rejected transaction

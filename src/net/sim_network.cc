@@ -12,6 +12,11 @@ int64_t SimNetwork::Charge(uint32_t endpoint, int64_t hops, int64_t bytes) {
   static Counter& net_bytes = MetricsRegistry::Global().GetCounter("net.bytes");
   const int64_t micros = hops * MessageCostMicros(bytes);
   NetStats& stats = per_endpoint_[endpoint];
+  if (sim_tracer_ != nullptr) {
+    sim_tracer_->Instant(endpoint, "net.send", stats.micros, hops * bytes);
+    sim_tracer_->Instant(endpoint, "net.recv", stats.micros + micros,
+                         hops * bytes);
+  }
   stats.micros += micros;
   stats.messages += hops;
   stats.bytes += hops * bytes;

@@ -8,6 +8,7 @@
 
 #include "common/fault_injector.h"
 #include "common/result.h"
+#include "common/sim_trace.h"
 #include "common/status.h"
 
 namespace orchestra::net {
@@ -77,6 +78,14 @@ class SimNetwork {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
+  /// Installs (or clears) a simulated-time tracer: every Charge emits a
+  /// "net.send" instant at the endpoint's clock before the transfer and
+  /// a "net.recv" instant after it, on the endpoint's track. Timestamps
+  /// come from the deterministic per-endpoint accumulated micros, so
+  /// traces are bit-identical across same-seed runs. Must outlive the
+  /// network or be cleared first.
+  void set_sim_tracer(SimTracer* tracer) { sim_tracer_ = tracer; }
+
   NetStats StatsFor(uint32_t endpoint) const;
   const NetStats& global() const { return global_; }
 
@@ -90,6 +99,7 @@ class SimNetwork {
   std::unordered_map<uint32_t, NetStats> per_endpoint_;
   NetStats global_;
   FaultInjector* injector_ = nullptr;
+  SimTracer* sim_tracer_ = nullptr;
 };
 
 }  // namespace orchestra::net

@@ -1,5 +1,8 @@
 #include "sim/cdss.h"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -19,10 +22,19 @@ Result<std::unique_ptr<Cdss>> Cdss::Make(CdssConfig config) {
   // experiment with injection silently disabled.
   ORCH_RETURN_IF_ERROR(FaultInjector::ValidateConfig(config.fault));
   auto cdss = std::unique_ptr<Cdss>(new Cdss(std::move(config)));
+  // ORCH_SIM_TRACE=<path> switches the deterministic sim trace on from
+  // the outside (bench_runner's traced leg); ORCH_SIM_TRACE=1 enables
+  // it without writing a file. An explicit config wins over the env.
+  if (const char* env = std::getenv("ORCH_SIM_TRACE");
+      env != nullptr && env[0] != '\0' && !cdss->config_.sim_trace) {
+    cdss->config_.sim_trace = true;
+    if (std::strcmp(env, "1") != 0) cdss->config_.sim_trace_path = env;
+  }
   const CdssConfig& cfg = cdss->config_;
 
   ORCH_ASSIGN_OR_RETURN(cdss->catalog_, workload::MakeSwissProtCatalog());
   cdss->network_ = net::SimNetwork(cfg.network);
+  if (cfg.sim_trace) cdss->network_.set_sim_tracer(&cdss->sim_tracer_);
   cdss->fault_injector_.Configure(cfg.fault);
 
   // The injector is threaded through whichever layer carries the store's
@@ -92,9 +104,19 @@ Result<std::unique_ptr<Cdss>> Cdss::Make(CdssConfig config) {
   }
   for (size_t i = 0; i < cfg.participants; ++i) {
     const ParticipantId id = static_cast<ParticipantId>(i);
+    core::ReconcileOptions recon_opts{cfg.num_threads};
+    recon_opts.record_provenance = cfg.record_provenance;
     cdss->participants_.push_back(std::make_unique<core::Participant>(
-        id, &cdss->catalog_, *cdss->policies_[i],
-        core::ReconcileOptions{cfg.num_threads}));
+        id, &cdss->catalog_, *cdss->policies_[i], recon_opts));
+    if (cfg.sim_trace) {
+      // One track per peer, clocked by that peer's accumulated simulated
+      // network time — the only deterministic notion of "now" a peer has.
+      cdss->sim_tracer_.SetTrackName(id, "peer-" + std::to_string(i));
+      net::SimNetwork* network = &cdss->network_;
+      cdss->participants_.back()->BindSimTrace(
+          &cdss->sim_tracer_, id,
+          [network, id] { return network->StatsFor(id).micros; });
+    }
     ORCH_RETURN_IF_ERROR(
         cdss->store_->RegisterParticipant(id, cdss->policies_[i].get()));
   }
@@ -250,6 +272,9 @@ Result<CdssResult> Cdss::Run() {
   }
   result.messages = totals.messages;
   result.bytes = totals.bytes;
+  if (config_.sim_trace && !config_.sim_trace_path.empty()) {
+    ORCH_RETURN_IF_ERROR(sim_tracer_.WriteTo(config_.sim_trace_path));
+  }
   return result;
 }
 

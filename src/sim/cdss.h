@@ -8,6 +8,7 @@
 
 #include "common/fault_injector.h"
 #include "common/result.h"
+#include "common/sim_trace.h"
 #include "core/participant.h"
 #include "core/update_store.h"
 #include "net/sim_network.h"
@@ -118,6 +119,19 @@ struct CdssConfig {
   /// Nth round boundary; 0 disables. kDht only — the central store's
   /// rot is per-read, so there is nothing at rest to scrub.
   size_t scrub_interval_rounds = 0;
+  /// Collect per-decision provenance through the reconciler and persist
+  /// it store-side (core/provenance.h). On by default; the overhead
+  /// sweep's control arm turns it off.
+  bool record_provenance = true;
+  /// Emit the deterministic simulated-time trace (common/sim_trace.h):
+  /// one track per peer plus per-message net.send/net.recv instants,
+  /// timestamps taken from the per-endpoint simulated clocks — so the
+  /// trace is bit-identical across same-seed runs. Also switched on by
+  /// the ORCH_SIM_TRACE environment variable (see Make).
+  bool sim_trace = false;
+  /// Where Run() writes the sim trace; empty keeps it in memory only
+  /// (tests read sim_tracer() directly).
+  std::string sim_trace_path;
 };
 
 /// Aggregated results of a run.
@@ -195,6 +209,14 @@ class Cdss {
   FaultInjector& fault_injector() { return fault_injector_; }
   /// The DHT store when StoreKind::kDht was configured, else nullptr.
   store::DhtStore* dht_store() { return dht_; }
+  /// The central store's storage engine when StoreKind::kCentral was
+  /// configured, else nullptr. Tools and tests use it to inspect the
+  /// durable tables ("prov:<peer>", "declog:<peer>") directly.
+  storage::StorageEngine* engine() { return engine_.get(); }
+  /// The simulated-time tracer when sim_trace is on, else nullptr.
+  SimTracer* sim_tracer() {
+    return config_.sim_trace ? &sim_tracer_ : nullptr;
+  }
 
   /// Current state ratio over the Function relation.
   double CurrentStateRatio() const;
@@ -211,6 +233,8 @@ class Cdss {
   CdssConfig config_;
   db::Catalog catalog_;
   net::SimNetwork network_;
+  /// Simulated-time event stream; populated only when config_.sim_trace.
+  SimTracer sim_tracer_;
   FaultInjector fault_injector_;
   /// Dedicated injector for the churn schedule's crash draws; kept apart
   /// from fault_injector_ so message-loss faults and membership churn

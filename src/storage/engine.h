@@ -59,6 +59,12 @@ class StorageEngine {
   /// Number of keys in `table`.
   size_t TableSize(std::string_view table) const;
 
+  /// Names of every (non-empty or previously written) table, in name
+  /// order. Diagnostic — tools use it to discover per-peer table
+  /// families ("prov:<peer>", "declog:<peer>") without knowing the peer
+  /// set.
+  std::vector<std::string> TableNames() const;
+
   /// Returns the next value of the named sequence (1, 2, 3, ...). The
   /// allocation is durable before it is returned.
   Result<int64_t> NextSequence(std::string_view name);

@@ -16,6 +16,7 @@ namespace orchestra::store {
 
 using core::Epoch;
 using core::ParticipantId;
+using core::ProvenanceRecord;
 using core::ReconcileFetch;
 using core::Transaction;
 using core::TransactionId;
@@ -508,6 +509,39 @@ Status CentralStore::RecordDecisions(
   network_->Charge(peer, 2, bytes / 2);
   cpu_micros_[peer] += cpu.ElapsedMicros() + options_.procedure_overhead_micros;
   calls_[peer] += 1;
+  return Status::OK();
+}
+
+Status CentralStore::RecordProvenance(
+    ParticipantId peer, int64_t recno,
+    const std::vector<ProvenanceRecord>& records) {
+  if (records.empty()) return Status::OK();
+  TraceSpan span("central.record_provenance");
+  static Counter& stored =
+      MetricsRegistry::Global().GetCounter("store.central.provenance_records");
+  static Counter& drops =
+      MetricsRegistry::Global().GetCounter("store.central.provenance_drops");
+  Stopwatch cpu;
+  // Provenance is advisory (see UpdateStore::RecordProvenance): rows that
+  // fail to land are counted and dropped, never surfaced as a failed
+  // reconciliation. The rows ride the RecordDecisions batch — no extra
+  // sync or network charge — so a crash can lose the explanation while
+  // keeping the decision, which is the intended asymmetry.
+  const std::string prov_table = "prov:" + std::to_string(peer);
+  char idx[24];
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::snprintf(idx, sizeof(idx), "%06zu", i);
+    std::string blob;
+    db::WrapEnvelope(&blob, records[i].ToJson());
+    Status put =
+        engine_->Put(prov_table, EpochKey(recno) + ":" + idx, blob);
+    if (!put.ok()) {
+      drops.Add(static_cast<int64_t>(records.size() - i));
+      break;
+    }
+    stored.Increment();
+  }
+  cpu_micros_[peer] += cpu.ElapsedMicros();
   return Status::OK();
 }
 

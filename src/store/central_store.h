@@ -89,6 +89,9 @@ class CentralStore : public core::UpdateStore,
       core::ParticipantId peer, int64_t recno,
       const std::vector<core::TransactionId>& applied,
       const std::vector<core::TransactionId>& rejected) override;
+  Status RecordProvenance(
+      core::ParticipantId peer, int64_t recno,
+      const std::vector<core::ProvenanceRecord>& records) override;
   Result<core::RecoveryBundle> FetchRecoveryState(
       core::ParticipantId peer) const override;
   Result<core::NetworkCentricFetch> BeginNetworkCentricReconciliation(

@@ -930,6 +930,30 @@ Status DhtStore::RecordDecisions(ParticipantId peer, int64_t recno,
   return Status::OK();
 }
 
+Status DhtStore::RecordProvenance(
+    ParticipantId peer, int64_t recno,
+    const std::vector<core::ProvenanceRecord>& records) {
+  if (records.empty()) return Status::OK();
+  (void)recno;  // records already carry their recno
+  TraceSpan span("dht.record_provenance");
+  static Counter& stored =
+      MetricsRegistry::Global().GetCounter("store.dht.provenance_records");
+  // Advisory, node-local at the coordinator, piggybacking on the
+  // RecordDecisions batch: no extra messages, no replication (see the
+  // header comment on provenance_log).
+  std::vector<core::ProvenanceRecord>& log = provenance_log_[peer];
+  log.insert(log.end(), records.begin(), records.end());
+  stored.Add(static_cast<int64_t>(records.size()));
+  return Status::OK();
+}
+
+const std::vector<core::ProvenanceRecord>& DhtStore::provenance_log(
+    ParticipantId peer) const {
+  static const std::vector<core::ProvenanceRecord> kEmpty;
+  auto it = provenance_log_.find(peer);
+  return it == provenance_log_.end() ? kEmpty : it->second;
+}
+
 Result<core::RecoveryBundle> DhtStore::FetchRecoveryState(
     ParticipantId peer) const {
   Stopwatch cpu;

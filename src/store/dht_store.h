@@ -105,6 +105,9 @@ class DhtStore : public core::UpdateStore,
       core::ParticipantId peer, int64_t recno,
       const std::vector<core::TransactionId>& applied,
       const std::vector<core::TransactionId>& rejected) override;
+  Status RecordProvenance(
+      core::ParticipantId peer, int64_t recno,
+      const std::vector<core::ProvenanceRecord>& records) override;
   Result<core::RecoveryBundle> FetchRecoveryState(
       core::ParticipantId peer) const override;
   Result<core::NetworkCentricFetch> BeginNetworkCentricReconciliation(
@@ -115,6 +118,14 @@ class DhtStore : public core::UpdateStore,
   std::string_view name() const override { return "dht"; }
 
   const net::DhtRing& ring() const { return ring_; }
+
+  /// Provenance records retained for `peer`, in record order. The DHT
+  /// keeps provenance at the peer's coordinator as a node-local
+  /// diagnostic log piggybacking on the RecordDecisions batch (no extra
+  /// messages); it is not replicated and does not survive coordinator
+  /// churn — the advisory contract of RecordProvenance allows both.
+  const std::vector<core::ProvenanceRecord>& provenance_log(
+      core::ParticipantId peer) const;
 
   /// --- Membership (churn) ------------------------------------------
   ///
@@ -385,6 +396,10 @@ class DhtStore : public core::UpdateStore,
   mutable core::FetchCache cache_;
   mutable std::unordered_map<core::ParticipantId, int64_t> cpu_micros_;
   mutable std::unordered_map<core::ParticipantId, int64_t> calls_;
+  /// Per-peer provenance logs (see provenance_log). Ordered (lint rule
+  /// D3): provenance_dump walks this map whole.
+  std::map<core::ParticipantId, std::vector<core::ProvenanceRecord>>
+      provenance_log_;
 };
 
 }  // namespace orchestra::store

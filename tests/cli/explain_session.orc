@@ -1,0 +1,21 @@
+# Scripted dilemma for the `explain` verb: peers 2 and 3 insert
+# conflicting tuples, peer 1 trusts both equally and must defer, then a
+# user resolution rejects the loser. `explain` is asked for both
+# verdicts before and after the resolution.
+peers 3
+trust 1 2 1
+trust 1 3 1
+trust 2 3 1
+trust 3 2 1
+exec 2 insert rat p1 metab
+publish 2
+exec 3 insert rat p1 immune
+publish 3
+reconcile 1
+explain 1 X2:0
+explain 1 X3:0
+conflicts 1
+resolve 1 0 0
+explain 1 X2:0
+explain 1 X3:0
+quit

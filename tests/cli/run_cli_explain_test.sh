@@ -1,0 +1,17 @@
+#!/bin/bash
+# Golden test for the `explain` verb: drive a scripted equal-priority
+# dilemma through reconcile -> explain -> resolve -> explain and require
+# the CLI's output to match the committed golden byte-for-byte. The
+# explain lines are rendered from provenance records, so this pins both
+# the cause attribution and the because-chain walk.
+set -e
+CLI="$1"
+SCRIPT="$2"
+GOLDEN="$3"
+OUT=$("$CLI" < "$SCRIPT" 2>&1)
+echo "$OUT"
+if ! diff <(echo "$OUT") "$GOLDEN"; then
+  echo "FAIL: explain output diverged from $GOLDEN"
+  exit 1
+fi
+echo "CLI explain golden test passed"

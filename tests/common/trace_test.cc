@@ -143,11 +143,17 @@ struct ParsedEvent {
 };
 
 // Pulls name/ph/tid out of each {"name":...} element; the JSON is
-// machine-written, so field order is fixed.
+// machine-written, so field order is fixed. Top-level events follow '['
+// or ','; a metadata row's args payload ({"name":"thread-0"}) follows
+// ':' and is skipped.
 std::vector<ParsedEvent> ParseEvents(const std::string& json) {
   std::vector<ParsedEvent> events;
   size_t pos = 0;
   while ((pos = json.find("{\"name\":\"", pos)) != std::string::npos) {
+    if (pos > 0 && json[pos - 1] != '[' && json[pos - 1] != ',') {
+      pos += 9;
+      continue;
+    }
     ParsedEvent event;
     pos += 9;
     const size_t name_end = json.find('"', pos);
@@ -197,7 +203,17 @@ TEST(TraceTest, FlushedTraceIsValidJsonWithBalancedSpans) {
   EXPECT_TRUE(JsonScanner(json).Valid()) << json;
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
 
-  const std::vector<ParsedEvent> events = ParseEvents(json);
+  std::vector<ParsedEvent> events = ParseEvents(json);
+  // Thread-name metadata rows lead the stream: one "M" per registered
+  // thread (at least the main thread and the 3 workers; the tracer is a
+  // process singleton, so earlier tests may have registered more).
+  size_t metadata = 0;
+  while (metadata < events.size() && events[metadata].phase == 'M') {
+    EXPECT_EQ(events[metadata].name, "thread_name");
+    ++metadata;
+  }
+  EXPECT_GE(metadata, 4u);
+  events.erase(events.begin(), events.begin() + metadata);
   // outer + inner + 3 threads * 2 spans, each a B/E pair.
   ASSERT_EQ(events.size(), 16u);
   std::map<long, std::vector<std::string>> open_per_tid;
@@ -215,6 +231,59 @@ TEST(TraceTest, FlushedTraceIsValidJsonWithBalancedSpans) {
   for (const auto& [tid, stack] : open_per_tid) {
     EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
   }
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ThreadNameMetadataEmitted) {
+  const std::string path = TempTracePath("trace_names.json");
+  Tracer::Global().Enable(path);
+  Tracer::Global().NameCurrentThread("trace-test-main");
+  { TraceSpan s("named.span"); }
+  Tracer::Global().Disable();
+  const std::string json = ReadFile(path);
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"trace-test-main\"}"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+// Regression: a span still alive across Disable()/Enable() must not
+// emit its 'E' into the second session — before the session-generation
+// check, the second flush began with an unmatched 'E' that confused
+// viewers and broke span nesting.
+TEST(TraceTest, SpanAliveAcrossSessionsDoesNotLeak) {
+  const std::string p1 = TempTracePath("trace_sess1.json");
+  const std::string p2 = TempTracePath("trace_sess2.json");
+  Tracer::Global().Enable(p1);
+  auto survivor = std::make_unique<TraceSpan>("leak.survivor");
+  Tracer::Global().Disable();  // flushes the unmatched 'B', clears
+  Tracer::Global().Enable(p2);
+  survivor.reset();  // would previously leak an 'E' into session 2
+  { TraceSpan s("leak.second"); }
+  Tracer::Global().Disable();
+
+  const std::string json = ReadFile(p2);
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+  EXPECT_EQ(json.find("leak.survivor"), std::string::npos) << json;
+  EXPECT_NE(json.find("leak.second"), std::string::npos);
+  for (const ParsedEvent& event : ParseEvents(json)) {
+    if (event.phase == 'M') continue;
+    EXPECT_EQ(event.name, "leak.second");
+  }
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(TraceTest, DisableClearsTheBuffer) {
+  const std::string path = TempTracePath("trace_clear.json");
+  Tracer::Global().Enable(path);
+  { TraceSpan s("clear.span"); }
+  EXPECT_EQ(Tracer::Global().event_count(), 2u);
+  Tracer::Global().Disable();
+  // The flushed events are gone: a later flush (the atexit hook) cannot
+  // write this session's events a second time.
+  EXPECT_EQ(Tracer::Global().event_count(), 0u);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,287 @@
+// Decision provenance (core/provenance.h): every reconciler verdict
+// carries a structured record naming the phase that settled it, the
+// antecedent set, the priority comparisons fought, and — for deferrals
+// and rejections — the specific blocker. These tests drive small
+// confederations through the scenarios of Figs. 4-5 and check the cause
+// attribution, then pin down the deterministic JSON rendering.
+#include "core/provenance.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/participant.h"
+#include "net/sim_network.h"
+#include "storage/engine.h"
+#include "store/central_store.h"
+#include "test_util.h"
+
+namespace orchestra::core {
+namespace {
+
+using orchestra::testing::Ins;
+using orchestra::testing::MakeProteinCatalog;
+
+class ProvenanceTest : public ::testing::Test {
+ protected:
+  // Peer 4's trust: priority 2 for peer 1, priority 1 for everyone else
+  // — so cross-priority conflicts at peer 4 resolve automatically while
+  // the mutually-trusting low tier still produces dilemmas.
+  ProvenanceTest()
+      : catalog_(MakeProteinCatalog()),
+        engine_(storage::StorageEngine::InMemory()),
+        store_(engine_.get(), &network_) {
+    for (ParticipantId id = 1; id <= 4; ++id) {
+      auto policy = std::make_unique<TrustPolicy>(id);
+      for (ParticipantId other = 1; other <= 4; ++other) {
+        if (other == id) continue;
+        const int priority = (id == 4 && other == 1) ? 2 : 1;
+        policy->TrustPeer(other, priority);
+      }
+      ORCH_CHECK(store_.RegisterParticipant(id, policy.get()).ok());
+      policies_.push_back(std::move(policy));
+      participants_.push_back(
+          std::make_unique<Participant>(id, &catalog_, *policies_.back()));
+    }
+  }
+
+  Participant& P(size_t i) { return *participants_[i - 1]; }
+
+  const ProvenanceRecord* Find(const std::vector<ProvenanceRecord>& log,
+                               const TransactionId& txn) {
+    const ProvenanceRecord* found = nullptr;
+    for (const auto& rec : log) {
+      if (rec.txn == txn) found = &rec;  // latest record wins
+    }
+    return found;
+  }
+
+  db::Catalog catalog_;
+  net::SimNetwork network_;
+  std::unique_ptr<storage::StorageEngine> engine_;
+  store::CentralStore store_;
+  std::vector<std::unique_ptr<TrustPolicy>> policies_;
+  std::vector<std::unique_ptr<Participant>> participants_;
+};
+
+TEST_F(ProvenanceTest, CleanAcceptRecordsAntecedentsAndEpoch) {
+  auto t1 = P(1).ExecuteTransaction({Ins("rat", "p1", "one", 1)});
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+
+  auto report = P(2).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->provenance.size(), 1u);
+  const ProvenanceRecord& rec = report->provenance[0];
+  EXPECT_EQ(rec.peer, 2u);
+  EXPECT_EQ(rec.recno, report->recno);
+  EXPECT_GT(rec.epoch, 0);
+  EXPECT_EQ(rec.txn, *t1);
+  EXPECT_EQ(rec.verdict, Decision::kAccept);
+  EXPECT_EQ(rec.cause, ProvenanceCause::kCleanAccept);
+  EXPECT_TRUE(rec.antecedents.empty());
+  EXPECT_TRUE(rec.comparisons.empty());
+  // The participant keeps the same records in its cumulative log.
+  EXPECT_EQ(P(2).provenance_log().size(), 1u);
+}
+
+TEST_F(ProvenanceTest, EqualPriorityDilemmaIsMutuallyDecisive) {
+  auto a = P(2).ExecuteTransaction({Ins("rat", "p1", "two", 1)});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(P(2).PublishAndReconcile(&store_).ok());
+  auto b = P(3).ExecuteTransaction({Ins("rat", "p1", "three", 1)});
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(P(3).PublishAndReconcile(&store_).ok());
+
+  auto report = P(4).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->deferred.size(), 2u);
+
+  const ProvenanceRecord* ra = Find(report->provenance, *a);
+  const ProvenanceRecord* rb = Find(report->provenance, *b);
+  ASSERT_NE(ra, nullptr);
+  ASSERT_NE(rb, nullptr);
+  for (const ProvenanceRecord* rec : {ra, rb}) {
+    EXPECT_EQ(rec->verdict, Decision::kDefer);
+    EXPECT_EQ(rec->cause, ProvenanceCause::kEqualPriorityDilemma);
+    ASSERT_EQ(rec->comparisons.size(), 1u);
+    EXPECT_TRUE(rec->comparisons[0].decisive);
+    EXPECT_EQ(rec->comparisons[0].own_priority, 1);
+    EXPECT_EQ(rec->comparisons[0].counterparty_priority, 1);
+    ASSERT_FALSE(rec->comparisons[0].points.empty());
+  }
+  EXPECT_EQ(ra->comparisons[0].counterparty, *b);
+  EXPECT_EQ(rb->comparisons[0].counterparty, *a);
+}
+
+TEST_F(ProvenanceTest, PriorityConflictRecordsWinnerAndLoser) {
+  auto low = P(2).ExecuteTransaction({Ins("rat", "p1", "two", 1)});
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(P(2).PublishAndReconcile(&store_).ok());
+  auto high = P(1).ExecuteTransaction({Ins("rat", "p1", "one", 1)});
+  ASSERT_TRUE(high.ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+
+  // Peer 4 trusts peer 1 at priority 2, peer 2 at 1: the conflict
+  // resolves automatically in peer 1's favor.
+  auto report = P(4).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  const ProvenanceRecord* winner = Find(report->provenance, *high);
+  const ProvenanceRecord* loser = Find(report->provenance, *low);
+  ASSERT_NE(winner, nullptr);
+  ASSERT_NE(loser, nullptr);
+
+  EXPECT_EQ(winner->verdict, Decision::kAccept);
+  EXPECT_EQ(winner->cause, ProvenanceCause::kWonConflict);
+  EXPECT_EQ(winner->priority, 2);
+
+  EXPECT_EQ(loser->verdict, Decision::kReject);
+  EXPECT_EQ(loser->cause, ProvenanceCause::kLostConflict);
+  ASSERT_EQ(loser->comparisons.size(), 1u);
+  EXPECT_TRUE(loser->comparisons[0].decisive);
+  EXPECT_EQ(loser->comparisons[0].counterparty, *high);
+  EXPECT_EQ(loser->comparisons[0].own_priority, 1);
+  EXPECT_EQ(loser->comparisons[0].counterparty_priority, 2);
+}
+
+TEST_F(ProvenanceTest, DirtyValueDeferNamesTheKey) {
+  // Round 1: a dilemma at peer 4 marks (rat, p1) dirty.
+  ASSERT_TRUE(P(2).ExecuteTransaction({Ins("rat", "p1", "two", 1)}).ok());
+  ASSERT_TRUE(P(2).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(3).ExecuteTransaction({Ins("rat", "p1", "three", 1)}).ok());
+  ASSERT_TRUE(P(3).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(4).Reconcile(&store_).ok());
+  ASSERT_EQ(P(4).pending_conflicts().size(), 1u);
+
+  // Round 2: a transaction touching the dirty value must defer rather
+  // than preempt the pending user resolution — even from peer 1, whose
+  // priority-2 standing would otherwise win outright.
+  auto fresh = P(1).ExecuteTransaction({Ins("mouse", "p9", "x", 1)});
+  ASSERT_TRUE(fresh.ok());
+  auto dirty = P(1).ExecuteTransaction({Ins("rat", "p1", "late", 1)});
+  ASSERT_TRUE(dirty.ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+
+  auto report = P(4).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  const ProvenanceRecord* rec = Find(report->provenance, *dirty);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->verdict, Decision::kDefer);
+  EXPECT_EQ(rec->cause, ProvenanceCause::kDirtyValue);
+  ASSERT_TRUE(rec->dirty_key.has_value());
+  EXPECT_EQ(rec->dirty_key->relation, "F");
+  // The clean transaction in the same fetch is unaffected.
+  const ProvenanceRecord* clean = Find(report->provenance, *fresh);
+  ASSERT_NE(clean, nullptr);
+  EXPECT_EQ(clean->cause, ProvenanceCause::kCleanAccept);
+}
+
+TEST_F(ProvenanceTest, RejectedAntecedentNamesTheBlocker) {
+  // Peer 2's insert loses to peer 1's higher-priority version at peer 4.
+  auto low = P(2).ExecuteTransaction({Ins("rat", "p1", "two", 1)});
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(P(2).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "one", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(4).Reconcile(&store_).ok());
+
+  // Peer 2 builds on its own (elsewhere-rejected) insert; the dependent
+  // must be rejected at peer 4 with the rejected antecedent named.
+  auto dependent =
+      P(2).ExecuteTransaction({Ins("rat", "p2", "depends", 1)});
+  ASSERT_TRUE(dependent.ok());
+  ASSERT_TRUE(P(2).PublishAndReconcile(&store_).ok());
+
+  auto report = P(4).Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  const ProvenanceRecord* rec = Find(report->provenance, *dependent);
+  ASSERT_NE(rec, nullptr);
+  if (rec->cause == ProvenanceCause::kRejectedAntecedent) {
+    ASSERT_TRUE(rec->blocker.has_value());
+    EXPECT_EQ(*rec->blocker, *low);
+    EXPECT_EQ(rec->verdict, Decision::kReject);
+  } else {
+    // The dependent only inherits the taint when the earlier insert is
+    // in its antecedent extension; if the workload kept them
+    // independent the record must say clean accept instead.
+    EXPECT_EQ(rec->cause, ProvenanceCause::kCleanAccept);
+  }
+}
+
+TEST_F(ProvenanceTest, UserResolutionRecordsTheLoser) {
+  auto a = P(2).ExecuteTransaction({Ins("rat", "p1", "two", 1)});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(P(2).PublishAndReconcile(&store_).ok());
+  auto b = P(3).ExecuteTransaction({Ins("rat", "p1", "three", 1)});
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(P(3).PublishAndReconcile(&store_).ok());
+  ASSERT_TRUE(P(4).Reconcile(&store_).ok());
+  ASSERT_EQ(P(4).pending_conflicts().size(), 1u);
+
+  auto report = P(4).ResolveConflict(&store_, 0, 0);
+  ASSERT_TRUE(report.ok());
+  bool saw_user_rejected = false;
+  for (const auto& rec : report->provenance) {
+    if (rec.cause != ProvenanceCause::kUserRejected) continue;
+    saw_user_rejected = true;
+    EXPECT_EQ(rec.verdict, Decision::kReject);
+    EXPECT_NE(rec.detail.find("user resolved"), std::string::npos);
+  }
+  EXPECT_TRUE(saw_user_rejected);
+}
+
+TEST_F(ProvenanceTest, OptOutKeepsTheLogEmpty) {
+  auto policy = std::make_unique<TrustPolicy>(5);
+  for (ParticipantId other = 1; other <= 4; ++other) {
+    policy->TrustPeer(other, 1);
+  }
+  ASSERT_TRUE(store_.RegisterParticipant(5, policy.get()).ok());
+  ReconcileOptions options;
+  options.record_provenance = false;
+  Participant quiet(5, &catalog_, *policy, options);
+
+  ASSERT_TRUE(P(1).ExecuteTransaction({Ins("rat", "p1", "one", 1)}).ok());
+  ASSERT_TRUE(P(1).PublishAndReconcile(&store_).ok());
+  auto report = quiet.Reconcile(&store_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->accepted.size(), 1u);
+  EXPECT_TRUE(report->provenance.empty());
+  EXPECT_TRUE(quiet.provenance_log().empty());
+}
+
+TEST_F(ProvenanceTest, JsonRenderingIsStableAndStructured) {
+  ProvenanceRecord rec;
+  rec.peer = 7;
+  rec.recno = 3;
+  rec.epoch = 12;
+  rec.txn = TransactionId{2, 5};
+  rec.priority = 1;
+  rec.verdict = Decision::kDefer;
+  rec.cause = ProvenanceCause::kEqualPriorityDilemma;
+  rec.antecedents = {TransactionId{2, 4}};
+  ProvenanceComparison cmp;
+  cmp.counterparty = TransactionId{3, 1};
+  cmp.own_priority = 1;
+  cmp.counterparty_priority = 1;
+  cmp.decisive = true;
+  rec.comparisons.push_back(cmp);
+
+  const std::string json = rec.ToJson();
+  EXPECT_EQ(json, rec.ToJson());  // deterministic
+  EXPECT_NE(json.find("\"peer\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"txn\":\"X2:5\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"defer\""), std::string::npos);
+  EXPECT_NE(json.find("\"cause\":\"equal_priority_dilemma\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"antecedents\":[\"X2:4\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"decisive\":true"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+
+  const std::string lines = ToJsonLines({rec, rec});
+  EXPECT_EQ(lines, json + "\n" + json + "\n");
+}
+
+}  // namespace
+}  // namespace orchestra::core

@@ -20,9 +20,10 @@ out="${ORCH_BENCH_OUT:-$build/bench_out}"
 mkdir -p "$out"
 
 (cd "$repo" && cmake --preset default >/dev/null)
-cmake --build "$build" -j"$(nproc)" --target micro_reconcile
+cmake --build "$build" -j"$(nproc)" --target micro_reconcile provenance_dump
 
 bench="$build/bench/micro_reconcile"
+prov_dump="$build/tools/provenance_dump"
 
 echo "== reconcile study =="
 ORCH_BENCH_JSON="$out/BENCH_micro_reconcile.json" \
@@ -68,19 +69,50 @@ if ! jq -e '.traceEvents | length > 0' "$trace" >/dev/null; then
 fi
 echo "trace OK: $(jq '.traceEvents | length' "$trace") events in $trace"
 
+# Provenance + simulated-time trace determinism: run the seeded
+# provenance_dump confederation twice with ORCH_SIM_TRACE armed. Both
+# the provenance JSONL and the sim trace must be byte-identical across
+# the runs, the trace must be well-formed Chrome trace_event JSON, and
+# a verdict/cause summary of the provenance stream must match the
+# committed baseline at the repo root.
+echo "== provenance determinism =="
+ORCH_SIM_TRACE="$out/sim_trace_a.json" \
+    "$prov_dump" central "$out/provenance_a.jsonl"
+ORCH_SIM_TRACE="$out/sim_trace_b.json" \
+    "$prov_dump" central "$out/provenance_b.jsonl"
+cmp "$out/provenance_a.jsonl" "$out/provenance_b.jsonl" \
+  || { echo "provenance JSONL diverged between same-seed runs" >&2; exit 1; }
+cmp "$out/sim_trace_a.json" "$out/sim_trace_b.json" \
+  || { echo "sim trace diverged between same-seed runs" >&2; exit 1; }
+if ! jq -e '.traceEvents | length > 0' "$out/sim_trace_a.json" >/dev/null; then
+  echo "sim trace is missing, empty, or invalid JSON" >&2
+  exit 1
+fi
+echo "sim trace OK: $(jq '.traceEvents | length' "$out/sim_trace_a.json")" \
+     "events, byte-identical across runs"
+jq -s '{bench: "provenance_summary",
+        records: length,
+        by_verdict: (group_by(.verdict)
+                     | map({key: .[0].verdict, value: length})
+                     | from_entries),
+        by_cause: (group_by(.cause)
+                   | map({key: .[0].cause, value: length})
+                   | from_entries)}' \
+    "$out/provenance_a.jsonl" > "$out/BENCH_provenance_summary.json"
+
 # Keys dropped before diffing: wall-time measurements (*_us and
 # *_micros counters, the mean/p50/p95 study stats), speedups derived
 # from them, and the host-shape fields (hardware_threads,
 # oversubscribed, speedup_note).
 stable='walk(if type == "object"
              then with_entries(select(.key
-                  | test("_us$|_micros$|speedup|hardware_threads|oversubscribed|note")
+                  | test("_us$|_micros$|speedup|overhead|hardware_threads|oversubscribed|note")
                   | not))
              else . end)'
 
 fail=0
 for name in micro_reconcile fault_sweep churn_sweep delta_sweep \
-             corruption_sweep; do
+             corruption_sweep provenance_summary; do
   base="$repo/BENCH_$name.json"
   fresh="$out/BENCH_$name.json"
   if [[ ! -f "$base" ]]; then

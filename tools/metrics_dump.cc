@@ -73,15 +73,23 @@ int main(int argc, char** argv) {
   if (RunConfederation(sim::StoreKind::kCentral) != 0) return 1;
   if (RunConfederation(sim::StoreKind::kDht) != 0) return 1;
 
-  std::printf("\n%-40s %-9s %14s %10s\n", "metric", "kind", "value", "count");
-  std::printf("%-40s %-9s %14s %10s\n", "------", "----", "-----", "-----");
+  std::printf("\n%-40s %-9s %14s %10s %8s %8s %8s\n", "metric", "kind",
+              "value", "count", "p50", "p95", "p99");
+  std::printf("%-40s %-9s %14s %10s %8s %8s %8s\n", "------", "----", "-----",
+              "-----", "---", "---", "---");
   for (const MetricsRegistry::Sample& s :
        MetricsRegistry::Global().TakeSnapshot()) {
     if (s.kind == MetricsRegistry::Sample::Kind::kHistogram) {
       // value column shows the sum; count makes the mean recoverable.
-      std::printf("%-40s %-9s %14lld %10lld\n", s.name.c_str(),
-                  KindName(s.kind), static_cast<long long>(s.histogram.sum),
-                  static_cast<long long>(s.histogram.count));
+      // Quantiles are bucket-interpolated estimates (EstimateQuantile):
+      // exact at bucket edges, within a factor of 4 inside a bucket.
+      std::printf(
+          "%-40s %-9s %14lld %10lld %8lld %8lld %8lld\n", s.name.c_str(),
+          KindName(s.kind), static_cast<long long>(s.histogram.sum),
+          static_cast<long long>(s.histogram.count),
+          static_cast<long long>(EstimateQuantile(s.histogram, 0.50)),
+          static_cast<long long>(EstimateQuantile(s.histogram, 0.95)),
+          static_cast<long long>(EstimateQuantile(s.histogram, 0.99)));
     } else {
       std::printf("%-40s %-9s %14lld %10s\n", s.name.c_str(), KindName(s.kind),
                   static_cast<long long>(s.value), "");

@@ -15,6 +15,9 @@
 //   reconcile P [nc]           reconcile P (nc = network-centric)
 //   conflicts P                list P's open conflict groups
 //   resolve P GROUP OPT|none   resolve one conflict group at P
+//   explain [P] TXNID          render the causal chain behind every
+//                              decision recorded for TXNID (at P only,
+//                              or across all peers)
 //   show P                     print P's instance
 //   ratio                      state ratio across all peers
 //   stats P                    store-interaction stats for P
@@ -149,6 +152,47 @@ class Shell {
     Error("usage: insert ORG PROT FN | modify ORG PROT FROM TO | "
           "delete ORG PROT FN");
     return std::nullopt;
+  }
+
+  static std::optional<core::TransactionId> ParseTxnId(
+      const std::string& token) {
+    const char* s = token.c_str();
+    if (*s == 'X' || *s == 'x') ++s;
+    unsigned origin = 0;
+    unsigned long long seq = 0;
+    char trailing = 0;
+    if (std::sscanf(s, "%u:%llu%c", &origin, &seq, &trailing) != 2) {
+      return std::nullopt;
+    }
+    core::TransactionId id;
+    id.origin = static_cast<core::ParticipantId>(origin);
+    id.seq = seq;
+    return id;
+  }
+
+  /// Renders the causal chain under `rec`: the deferral/rejection
+  /// blocker and every decisive counterparty have records of their own
+  /// in the same log; walking them explains the explanation. `visited`
+  /// cuts cycles — a dilemma's two records are mutually decisive.
+  static void ExplainChain(const std::vector<core::ProvenanceRecord>& log,
+                           const core::ProvenanceRecord& rec, int depth,
+                           std::set<core::TransactionId>* visited) {
+    if (depth > 8) return;
+    std::vector<core::TransactionId> next;
+    if (rec.blocker) next.push_back(*rec.blocker);
+    for (const auto& cmp : rec.comparisons) {
+      if (cmp.decisive) next.push_back(cmp.counterparty);
+    }
+    for (const auto& id : next) {
+      if (!visited->insert(id).second) continue;
+      const core::ProvenanceRecord* cause = nullptr;
+      for (const auto& r : log) {  // latest record at or before rec's round
+        if (r.txn == id && r.recno <= rec.recno) cause = &r;
+      }
+      if (cause == nullptr) continue;
+      std::printf("%*sbecause: %s\n", depth * 2, "", cause->ToText().c_str());
+      ExplainChain(log, *cause, depth + 1, visited);
+    }
   }
 
   void ReportLine(const core::ReconcileReport& report) {
@@ -319,6 +363,39 @@ class Shell {
       }
       return true;
     }
+    if (cmd == "explain" && tokens.size() >= 2) {
+      std::vector<core::Participant*> scope;
+      std::string txn_token;
+      if (tokens.size() >= 3) {
+        core::Participant* peer = Peer(tokens[1]);
+        if (peer == nullptr) return true;
+        scope.push_back(peer);
+        txn_token = tokens[2];
+      } else {
+        for (const auto& p : participants_) scope.push_back(p.get());
+        txn_token = tokens[1];
+      }
+      const auto txn = ParseTxnId(txn_token);
+      if (!txn) {
+        Error("usage: explain [P] TXNID (e.g. explain X3:1)");
+        return true;
+      }
+      bool any = false;
+      for (core::Participant* peer : scope) {
+        const auto& log = peer->provenance_log();
+        for (const auto& rec : log) {
+          if (rec.txn != *txn) continue;
+          any = true;
+          std::printf("%s\n", rec.ToText().c_str());
+          std::set<core::TransactionId> visited{rec.txn};
+          ExplainChain(log, rec, 1, &visited);
+        }
+      }
+      if (!any) {
+        std::printf("no decision recorded for %s\n", txn->ToString().c_str());
+      }
+      return true;
+    }
     if (cmd == "show" && tokens.size() >= 2) {
       core::Participant* peer = Peer(tokens[1]);
       if (peer == nullptr) return true;
@@ -407,6 +484,7 @@ class Shell {
       "  begin P / add ... / commit\n"
       "  publish P | reconcile P [nc] | conflicts P\n"
       "  resolve P GROUP OPT|none | show P | ratio | stats P\n"
+      "  explain [P] TXNID   why TXNID was accepted/rejected/deferred\n"
       "  recover P | bootstrap NEWPEER SOURCEPEER\n"
       "  quit\n";
 
